@@ -1,0 +1,49 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- variance partitioning (Alg. 2) vs random vs inverted row assignment;
+- the accuracy/throughput trade across SP2 fractions (co-design sweet spot);
+- ADMM training vs plain STE for the same MSQ target.
+"""
+
+from repro.experiments import ablations
+
+
+def test_partition_criterion(benchmark, once):
+    result = once(benchmark, ablations.run_partition_criterion, scale="ci")
+    accuracy = result["criterion_accuracy"]
+    print("\npartition criterion accuracy:",
+          {k: round(v, 4) for k, v in accuracy.items()})
+    # Variance-based assignment (the paper's rule) must not lose to the
+    # inverted assignment; all criteria stay in a trainable regime.
+    assert accuracy["variance"] >= accuracy["inverted"] - 0.06
+    assert min(accuracy.values()) > 0.4
+
+
+def test_ratio_sweep(benchmark, once):
+    result = once(benchmark, ablations.run_ratio_sweep, scale="ci")
+    sweep = result["sweep"]
+    print("\nratio sweep:", [(round(r["sp2_fraction"], 2),
+                              round(r["top1"], 3),
+                              round(r["gops"], 1)) for r in sweep])
+    # Throughput rises monotonically with the SP2 share (more LUT PEs) up
+    # to the design's balanced point...
+    gops = [r["gops"] for r in sweep]
+    balanced = max(range(len(sweep)),
+                   key=lambda i: sweep[i]["gops"])
+    assert sweep[balanced]["sp2_fraction"] >= 0.5
+    # ...while accuracy stays within a band across all fractions — the
+    # co-design freedom the paper exploits.
+    accs = [r["top1"] for r in sweep]
+    assert max(accs) - min(accs) < 0.25
+
+
+def test_admm_vs_ste(benchmark, once):
+    result = once(benchmark, ablations.run_admm_vs_ste, scale="ci")
+    print(f"\nADMM {result['admm_top1']:.3f} vs STE {result['ste_top1']:.3f}")
+    # Both trainers must reach a working quantized model; ADMM (the paper's
+    # choice, motivated by large-scale stability) stays competitive. At
+    # substrate scale plain STE can edge ahead — that gap is the finding
+    # this ablation records (see EXPERIMENTS.md).
+    assert result["admm_top1"] > 0.5
+    assert result["ste_top1"] > 0.5
+    assert result["admm_top1"] >= result["ste_top1"] - 0.15

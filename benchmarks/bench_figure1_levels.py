@@ -1,0 +1,17 @@
+"""Figure 1 — level sets vs trained-layer weight density."""
+
+from repro.experiments import get_experiment
+
+
+def test_figure1(benchmark, once):
+    experiment = get_experiment("figure1")
+    result = once(benchmark, experiment.run, scale="ci")
+    print("\n" + experiment.format(result))
+    counts = result["level_counts"]
+    assert counts["fixed"] == 15 and counts["p2"] == 15 and counts["sp2"] == 13
+    mse = result["scheme_mse"]
+    # The figure's argument, quantified: P2 is the lossy scheme; SP2 sits
+    # near fixed-point.
+    assert mse["p2"] > mse["sp2"]
+    assert mse["p2"] > mse["fixed"]
+    assert mse["sp2"] < 3.0 * mse["fixed"]

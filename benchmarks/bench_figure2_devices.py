@@ -1,0 +1,14 @@
+"""Figure 2 — device resource-per-DSP ratios (exact reproduction)."""
+
+from repro.experiments import get_experiment
+
+
+def test_figure2_devices(benchmark, once):
+    experiment = get_experiment("figure2")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    assert result["max_abs_error"] < 0.1
+    # The motivating spread: 7-series parts have ~2.5x the LUT/DSP of ZU5CG.
+    ratios = result["ratios"]
+    assert ratios["XC7Z045"]["lut_per_dsp"] > \
+        2.4 * ratios["XCZU5CG"]["lut_per_dsp"]

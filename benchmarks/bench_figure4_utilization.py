@@ -1,0 +1,17 @@
+"""Figure 4 — utilization bars: DSP pinned at 100%, LUT raised to 70-80%."""
+
+from repro.experiments import get_experiment
+
+
+def test_figure4_utilization(benchmark, once):
+    experiment = get_experiment("figure4")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    assert result["worst_gap_percent"] <= 2.5
+    for name, record in result["utilization"].items():
+        util = record["model"]
+        assert util["dsp"] == 1.0, name
+    # Optimal designs raise LUT into the 70-80% band.
+    for optimal in ("D1-3", "D2-3"):
+        lut = result["utilization"][optimal]["model"]["lut"]
+        assert 0.70 <= lut <= 0.80, optimal

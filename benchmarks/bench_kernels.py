@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the framework's hot kernels (proper timing loops).
+
+These quantify the library itself rather than a paper artifact: projection
+throughput, MSQ partition+quantize cost, the bit-exact integer GEMM, and a
+training step of the substrate.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.fpga.bitexact import gemm_sp2_shiftadd, mixed_gemm_bitexact
+from repro.models import resnet_tiny
+from repro.quant import (
+    MixedSchemeQuantizer,
+    Scheme,
+    SchemeQuantizer,
+    encode_sp2,
+)
+from repro.quant.ste import ActivationQuantizer
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+def test_fixed_projection_throughput(benchmark):
+    quantizer = SchemeQuantizer(Scheme.FIXED, 4, alpha="max")
+    weights = RNG.normal(0, 0.2, size=(256, 1152))
+    result = benchmark(quantizer.quantize, weights)
+    assert result.values.shape == weights.shape
+
+
+def test_sp2_projection_throughput(benchmark):
+    quantizer = SchemeQuantizer(Scheme.SP2, 4, alpha="max")
+    weights = RNG.normal(0, 0.2, size=(256, 1152))
+    result = benchmark(quantizer.quantize, weights)
+    assert result.values.shape == weights.shape
+
+
+def test_msq_partition_and_quantize(benchmark):
+    quantizer = MixedSchemeQuantizer(bits=4, ratio="2:1", alpha="max")
+    weights = RNG.normal(0, 0.2, size=(128, 576))
+    result = benchmark(quantizer.quantize, weights)
+    assert result.partition.num_sp2 == 85
+
+
+def test_sp2_shiftadd_gemm(benchmark):
+    quantizer = SchemeQuantizer(Scheme.SP2, 4, alpha="max")
+    weights = quantizer.quantize(RNG.normal(0, 0.2, size=(256, 256)))
+    code = encode_sp2(weights.unit_values, 2, 1)
+    acts = RNG.integers(0, 16, size=(64, 256))
+    out = benchmark(gemm_sp2_shiftadd, acts, code)
+    assert out.shape == (64, 256)
+
+
+def test_mixed_bitexact_gemm(benchmark):
+    msq = MixedSchemeQuantizer(bits=4, ratio="2:1").quantize(
+        RNG.normal(0, 0.2, size=(128, 256)))
+    act_quant = ActivationQuantizer(bits=4)
+    x = np.abs(RNG.normal(size=(32, 256)))
+    act_quant.observe(x)
+    out = benchmark(mixed_gemm_bitexact, x, msq, act_quant)
+    assert out["output"].shape == (32, 128)
+
+
+def test_resnet_training_step(benchmark):
+    model = resnet_tiny(num_classes=10, rng=np.random.default_rng(7))
+    optimizer = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9)
+    images = RNG.normal(size=(32, 3, 16, 16)).astype(np.float32)
+    labels = RNG.integers(0, 10, size=32)
+
+    def step():
+        loss = nn.cross_entropy(model(Tensor(images)), labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)

@@ -1,0 +1,13 @@
+"""Table I — operation budgets + shift-add exactness."""
+
+from repro.experiments import get_experiment
+
+
+def test_table1(benchmark, once):
+    experiment = get_experiment("table1")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    assert result["shift_add_exact"]
+    w4 = {row["scheme"]: row["ops"] for row in result["rows"]["W4A4"]}
+    assert w4["fixed"]["additions"] == 2
+    assert w4["sp2"]["shifts"] == 2 and w4["sp2"]["additions"] == 1

@@ -1,0 +1,24 @@
+"""Table II — accuracy ladder of P2 / Fixed / SP2 / MSQ on CNNs.
+
+Claims preserved (shape, not absolute numbers): P2 degrades clearly; Fixed
+and SP2 stay near the FP baseline; MSQ matches or beats both single schemes.
+"""
+
+from repro.experiments import get_experiment
+
+
+def test_table2_accuracy(benchmark, once):
+    experiment = get_experiment("table2")
+    result = once(benchmark, experiment.run, scale="ci")
+    print("\n" + experiment.format(result))
+    for dataset, per_model in result["results"].items():
+        for model_name, rows in per_model.items():
+            p2 = rows["P2"]["top1"]
+            fixed = rows["Fixed"]["top1"]
+            sp2 = rows["SP2"]["top1"]
+            msq_best = max(rows["MSQ (half/half)"]["top1"],
+                           rows["MSQ (optimal)"]["top1"])
+            # P2 is the lossy scheme.
+            assert p2 < min(fixed, sp2), (dataset, model_name)
+            # MSQ is at least competitive with the better single scheme.
+            assert msq_best >= max(fixed, sp2) - 0.06, (dataset, model_name)

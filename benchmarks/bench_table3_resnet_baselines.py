@@ -1,0 +1,21 @@
+"""Table III — MSQ vs published 4-bit methods on the ResNet workload."""
+
+from repro.experiments import get_experiment
+
+
+def test_table3_baselines(benchmark, once):
+    experiment = get_experiment("table3")
+    result = once(benchmark, experiment.run, scale="ci")
+    print("\n" + experiment.format(result))
+    rows = result["rows"]
+    fp = rows["Baseline (FP)"]
+    # Every method must stay within striking distance of FP after QAT.
+    for name, acc in rows.items():
+        assert acc > fp - 0.20, name
+    # The paper's claims at this granularity: MSQ does not lose accuracy
+    # (4-bit quantization is lossless-or-better, +0.51 in the paper), and
+    # it sits within a few points of the best method (MSQ and QIL are 0.2
+    # points apart in Table III). Exact ranking is substrate noise.
+    best = max(acc for name, acc in rows.items() if name != "Baseline (FP)")
+    assert rows["MSQ"] >= fp - 0.02
+    assert rows["MSQ"] >= best - 0.12

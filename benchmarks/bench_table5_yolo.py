@@ -1,0 +1,19 @@
+"""Table V — detector quantization (YOLO-lite on the COCO stand-in)."""
+
+from repro.experiments import get_experiment
+
+
+def test_table5_yolo(benchmark, once):
+    experiment = get_experiment("table5")
+    result = once(benchmark, experiment.run, scale="ci")
+    print("\n" + experiment.format(result))
+    for image_size, metrics in result["results"].items():
+        fp = metrics["Baseline (FP)"]
+        msq = metrics["MSQ"]
+        # The FP detector must actually work...
+        assert fp["map@0.5"] > 0.5, image_size
+        # ...and 4-bit MSQ retains the bulk of it (the paper loses ~3 of 57
+        # points at 320px; our smaller substrate loses proportionally more
+        # but must stay within 40% relative).
+        assert msq["map@0.5"] > 0.6 * fp["map@0.5"], image_size
+        assert msq["map@0.5:0.95"] > 0.0

@@ -1,0 +1,28 @@
+"""Table VI — RNN quantization across language / speech / sentiment."""
+
+from repro.experiments import get_experiment
+
+
+def test_table6_rnn(benchmark, once):
+    experiment = get_experiment("table6")
+    result = once(benchmark, experiment.run, scale="ci")
+    print("\n" + experiment.format(result))
+    results = result["results"]
+
+    ppl = results["LSTM on PTB-like (PPL, lower better)"]
+    # Quantized PPL within 25% of FP (paper: 110.9 -> 112.7, ~2%).
+    for name, value in ppl.items():
+        assert value < ppl["Baseline (FP)"] * 1.25, name
+    # MSQ no worse than the worse single scheme.
+    assert min(ppl["MSQ (half/half)"], ppl["MSQ (optimal)"]) <= \
+        max(ppl["Fixed"], ppl["SP2"]) + 0.5
+
+    per = results["GRU on TIMIT-like (PER, lower better)"]
+    assert per["Baseline (FP)"] < 0.25
+    for name, value in per.items():
+        assert value < per["Baseline (FP)"] + 0.15, name
+
+    acc = results["LSTM on IMDB-like (accuracy)"]
+    assert acc["Baseline (FP)"] > 0.8
+    for name, value in acc.items():
+        assert value > acc["Baseline (FP)"] - 0.10, name

@@ -1,0 +1,17 @@
+"""Table VII — design points + the characterization search itself."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_table7_designs(benchmark, once):
+    experiment = get_experiment("table7")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    for name, row in result["designs"].items():
+        assert row["peak_gops"] == pytest.approx(row["paper_peak_gops"],
+                                                 rel=0.005), name
+    for device, char in result["characterized"].items():
+        assert char["ratio"] == char["paper_ratio"], device
+        assert 0.6 < char["lut_utilization"] <= 0.8

@@ -1,0 +1,42 @@
+"""Table VIII — six networks x six designs: throughput, speedups, latency."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment
+from repro.fpga.accelerator import simulate_network
+from repro.fpga.resources import reference_designs
+from repro.fpga.workloads import WORKLOADS
+
+
+def test_table8_networks(benchmark, once):
+    experiment = get_experiment("table8")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    ratios = []
+    for per_network in result["table"].values():
+        for record in per_network.values():
+            ratios.append(record["gops"] / record["paper_gops"])
+    ratios = np.asarray(ratios)
+    assert np.median(np.abs(ratios - 1.0)) < 0.10
+    assert ratios.min() > 0.6 and ratios.max() < 1.45
+    # Headline: 2.1-2.5x (CNN) and 2.4-4.1x (RNN) speedups, reproduced as
+    # 1.9-4.2x across the board.
+    for device, speedups in result["speedups"].items():
+        for network, speedup in speedups.items():
+            assert 1.9 <= speedup <= 4.2, (device, network)
+
+
+def test_resnet18_latency_points(benchmark):
+    """The §VI-B latency checkpoints (100.7 / 47.1 / 10.1 ms)."""
+    designs = reference_designs()
+    workload = WORKLOADS["resnet18"]()
+
+    def run():
+        return {name: simulate_network(workload, design).latency_ms
+                for name, design in designs.items()}
+
+    latency = benchmark(run)
+    assert latency["D1-1"] == pytest.approx(100.7, rel=0.10)
+    assert latency["D1-3"] == pytest.approx(47.1, rel=0.10)
+    assert latency["D2-3"] == pytest.approx(10.1, rel=0.15)

@@ -1,0 +1,23 @@
+"""Table IX — cross-design comparison + the edge-GPU energy note."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_table9_comparison(benchmark, once):
+    experiment = get_experiment("table9")
+    result = once(benchmark, experiment.run)
+    print("\n" + experiment.format(result))
+    for record in result["ours"]:
+        assert record["gops"] == pytest.approx(record["paper_gops"],
+                                               rel=0.35), record["impl"]
+        assert record["fps"] == pytest.approx(record["paper_fps"],
+                                              rel=0.35), record["impl"]
+    # Efficiency comparable to the prior designs quoted in the table.
+    resnet_z045 = next(r for r in result["ours"]
+                       if r["device"] == "XC7Z045" and "resnet" in r["impl"])
+    assert 0.2 < resnet_z045["gops_per_dsp"] < 0.6
+    assert 1.5 < resnet_z045["gops_per_klut"] < 3.5
+    # ">3x higher energy efficiency" vs Jetson AGX.
+    assert result["gpu_comparison"]["efficiency_ratio"] > 2.0

@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every paper artifact has one benchmark that regenerates it end to end and
+asserts the reproduction claims recorded in EXPERIMENTS.md. Training-heavy
+harnesses run once (``pedantic`` with a single round); micro-benchmarks of
+the hot kernels use normal timing loops.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,76 @@
+"""End-to-end co-design scenario (paper §V-§VI): characterize a device,
+co-train MSQ at the resulting ratio, and simulate the deployment.
+
+This is the workflow a user of the framework would actually run:
+
+  device --characterize--> SP2:fixed ratio --train--> quantized model
+         --simulate--> latency / GOPS / utilization report
+
+Run:  python examples/fpga_deployment.py [--device XC7Z020] [--batch 1]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import cifar10_like
+from repro.experiments.common import classification_loss, eval_classifier
+from repro.fpga import characterize_device, simulate_network
+from repro.fpga.report import efficiency_metrics, format_table, utilization_bar
+from repro.fpga.workloads import WORKLOADS
+from repro.models import resnet_tiny
+from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--device", default="XC7Z020")
+    parser.add_argument("--batch", type=int, default=1)
+    args = parser.parse_args()
+
+    # --- Step 1: characterization (§VI-A) ---
+    char = characterize_device(args.device, batch=args.batch)
+    design = char.design
+    print(f"device {args.device}: fixed:SP2 = {char.ratio_string}, "
+          f"peak {char.peak_gops:.0f} GOPS")
+    print("utilization:", utilization_bar(char.utilization))
+    print("\nsearch trajectory:")
+    print(format_table(
+        ["Blkout_sp2", "ratio", "LUT util", "peak GOPS", "fits"],
+        [[c["block_out_sp2"], c["ratio"], f"{c['lut_utilization']:.0%}",
+          f"{c['peak_gops']:.0f}", c["fits"]] for c in char.candidates]))
+
+    # --- Step 2: co-train MSQ at the characterized ratio (Alg. 2) ---
+    ratio = char.partition_ratio
+    data = cifar10_like(n_train=256, n_test=96)
+    model = resnet_tiny(num_classes=10, rng=np.random.default_rng(7))
+    train_fp(model, data.make_batches_fn(64), classification_loss,
+             epochs=8, lr=1e-2)
+    fp_acc = eval_classifier(model, data.x_test, data.y_test)
+    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
+                       ratio=f"{ratio.sp2:g}:{ratio.fixed:g}",
+                       epochs=4, lr=4e-3)
+    quantize_model(model, data.make_batches_fn(64), classification_loss,
+                   config)
+    msq_acc = eval_classifier(model, data.x_test, data.y_test)
+    print(f"\naccuracy: FP {fp_acc:.2%} -> MSQ {msq_acc:.2%}")
+
+    # --- Step 3: simulate deployment on ImageNet-scale workloads ---
+    rows = []
+    for network in ("resnet18", "mobilenet_v2", "yolov3"):
+        perf = simulate_network(WORKLOADS[network](), design)
+        eff = efficiency_metrics(design, perf.throughput_gops)
+        rows.append([network, f"{perf.throughput_gops:.1f}",
+                     f"{perf.latency_ms:.1f}", f"{perf.fps:.1f}",
+                     f"{perf.pe_utilization:.0%}",
+                     f"{eff['gops_per_dsp']:.3f}",
+                     f"{eff['gops_per_klut']:.3f}"])
+    print()
+    print(format_table(
+        ["network", "GOPS", "latency ms", "FPS", "PE util", "GOPS/DSP",
+         "GOPS/kLUT"], rows,
+        title=f"simulated deployment on {design.describe()}"))
+
+
+if __name__ == "__main__":
+    main()

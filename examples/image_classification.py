@@ -1,0 +1,35 @@
+"""Table II-style scenario: compare all quantization schemes on a CNN.
+
+Trains one float ResNet, then quantizes it five ways (P2, Fixed, SP2,
+MSQ 1:1, MSQ at the FPGA-characterized optimum) from the same starting
+weights, printing the accuracy ladder the paper reports.
+
+Run:  python examples/image_classification.py [--scale full]
+"""
+
+import argparse
+
+from repro.experiments import get_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="ci", choices=("ci", "full"))
+    args = parser.parse_args()
+
+    experiment = get_experiment("table2")
+    result = experiment.run(scale=args.scale)
+    print(experiment.format(result))
+
+    # The qualitative shape the paper claims: P2 is the lossy scheme.
+    for dataset, per_model in result["results"].items():
+        for model_name, rows in per_model.items():
+            p2 = rows["P2"]["top1"]
+            best_msq = max(rows["MSQ (half/half)"]["top1"],
+                           rows["MSQ (optimal)"]["top1"])
+            print(f"{model_name} on {dataset}: MSQ beats P2 by "
+                  f"{100 * (best_msq - p2):+.2f} points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Table VI-style scenario: quantize RNNs for language, speech, sentiment.
+
+Demonstrates that the same MSQ machinery (row partitioning over the
+gate-stacked LSTM/GRU weight matrices, signed activation STE for hidden
+states) applies unchanged to recurrent networks.
+
+Run:  python examples/rnn_quantization.py [--tasks ptb timit imdb]
+"""
+
+import argparse
+
+from repro.experiments import get_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--tasks", nargs="+", default=["ptb", "imdb"],
+                        choices=["ptb", "timit", "imdb"])
+    parser.add_argument("--scale", default="ci", choices=("ci", "full"))
+    args = parser.parse_args()
+
+    experiment = get_experiment("table6")
+    result = experiment.run(scale=args.scale, tasks=tuple(args.tasks))
+    print(experiment.format(result))
+
+
+if __name__ == "__main__":
+    main()

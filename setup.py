@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` path. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Deterministic synthetic datasets standing in for the paper's corpora.
+
+Real CIFAR/ImageNet/COCO/PTB/TIMIT/IMDB are unavailable offline; these
+generators produce learnable tasks with the same interfaces and statistics
+the quantization pipeline cares about (see DESIGN.md §2 for the
+substitution rationale). All generators are seeded and reproducible.
+"""
+
+from repro.data.vision import (
+    ImageClassificationData,
+    cifar10_like,
+    cifar100_like,
+    imagenet_like,
+)
+from repro.data.detection import DetectionData, coco_like
+from repro.data.language import (
+    LanguageModelData,
+    SentimentData,
+    ptb_like,
+    imdb_like,
+)
+from repro.data.speech import SpeechData, timit_like
+
+__all__ = [
+    "ImageClassificationData",
+    "cifar10_like",
+    "cifar100_like",
+    "imagenet_like",
+    "DetectionData",
+    "coco_like",
+    "LanguageModelData",
+    "SentimentData",
+    "ptb_like",
+    "imdb_like",
+    "SpeechData",
+    "timit_like",
+]

@@ -1,0 +1,132 @@
+"""Synthetic language datasets: a Markov-chain corpus (PTB stand-in) and a
+polarity-word sentiment task (IMDB stand-in).
+
+The Markov corpus has a sparse learnable transition structure so a trained
+LSTM's perplexity sits well below the uniform ceiling (= vocab size); the
+sentiment corpus labels sequences by which polarity lexicon dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple
+
+import numpy as np
+
+
+def _markov_matrix(vocab_size: int, successors: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Row-stochastic matrix where each token favours a few successors."""
+    matrix = np.full((vocab_size, vocab_size), 0.02 / vocab_size)
+    for token in range(vocab_size):
+        picks = rng.choice(vocab_size, size=successors, replace=False)
+        matrix[token, picks] += rng.dirichlet(np.ones(successors)) * 0.98
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+def _sample_chain(matrix: np.ndarray, length: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    vocab = matrix.shape[0]
+    seq = np.empty(length, dtype=np.int64)
+    seq[0] = rng.integers(0, vocab)
+    for t in range(1, length):
+        seq[t] = rng.choice(vocab, p=matrix[seq[t - 1]])
+    return seq
+
+
+@dataclass
+class LanguageModelData:
+    """Next-token prediction sequences: inputs (N, T), targets (N, T)."""
+
+    inputs_train: np.ndarray
+    targets_train: np.ndarray
+    inputs_test: np.ndarray
+    targets_test: np.ndarray
+    vocab_size: int
+    name: str = "ptb-like"
+
+    def batches(self, batch_size: int, epoch: int = 0
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.random.default_rng(3000 + epoch).permutation(
+            len(self.inputs_train))
+        for start in range(0, len(order), batch_size):
+            idx = order[start:start + batch_size]
+            yield self.inputs_train[idx], self.targets_train[idx]
+
+    def make_batches_fn(self, batch_size: int) -> Callable[[int], Iterator]:
+        return lambda epoch: self.batches(batch_size, epoch)
+
+
+def ptb_like(vocab_size: int = 24, n_train: int = 384, n_test: int = 96,
+             seq_len: int = 16, successors: int = 3,
+             seed: int = 30) -> LanguageModelData:
+    rng = np.random.default_rng(seed)
+    matrix = _markov_matrix(vocab_size, successors, rng)
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        seqs = np.stack([_sample_chain(matrix, seq_len + 1, rng)
+                         for _ in range(count)])
+        return seqs[:, :-1], seqs[:, 1:]
+
+    inputs_train, targets_train = make(n_train)
+    inputs_test, targets_test = make(n_test)
+    return LanguageModelData(inputs_train, targets_train, inputs_test,
+                             targets_test, vocab_size)
+
+
+@dataclass
+class SentimentData:
+    """Binary sentiment sequences: inputs (N, T) int tokens, labels (N,)."""
+
+    inputs_train: np.ndarray
+    labels_train: np.ndarray
+    inputs_test: np.ndarray
+    labels_test: np.ndarray
+    vocab_size: int
+    name: str = "imdb-like"
+
+    def batches(self, batch_size: int, epoch: int = 0
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.random.default_rng(4000 + epoch).permutation(
+            len(self.inputs_train))
+        for start in range(0, len(order), batch_size):
+            idx = order[start:start + batch_size]
+            yield self.inputs_train[idx], self.labels_train[idx]
+
+    def make_batches_fn(self, batch_size: int) -> Callable[[int], Iterator]:
+        return lambda epoch: self.batches(batch_size, epoch)
+
+
+def imdb_like(vocab_size: int = 48, n_train: int = 384, n_test: int = 96,
+              seq_len: int = 16, polarity_strength: float = 0.55,
+              seed: int = 40) -> SentimentData:
+    """Sequences whose label is carried by polarity-specific token mixtures.
+
+    A third of the vocabulary is positive, a third negative, a third
+    neutral; ``polarity_strength`` of each sequence's tokens come from its
+    class lexicon, the rest from the neutral pool — so accuracy is learnable
+    but not saturated at 100%.
+    """
+    rng = np.random.default_rng(seed)
+    third = vocab_size // 3
+    lexicons = {
+        1: np.arange(0, third),                 # positive
+        0: np.arange(third, 2 * third),         # negative
+    }
+    neutral = np.arange(2 * third, vocab_size)
+
+    def make(count: int) -> Tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 2, size=count).astype(np.int64)
+        inputs = np.empty((count, seq_len), dtype=np.int64)
+        for i, label in enumerate(labels):
+            polar = rng.random(seq_len) < polarity_strength
+            inputs[i] = np.where(
+                polar,
+                rng.choice(lexicons[int(label)], size=seq_len),
+                rng.choice(neutral, size=seq_len))
+        return inputs, labels
+
+    inputs_train, labels_train = make(n_train)
+    inputs_test, labels_test = make(n_test)
+    return SentimentData(inputs_train, labels_train, inputs_test, labels_test,
+                         vocab_size)

@@ -1,0 +1,84 @@
+"""Synthetic speech dataset (TIMIT stand-in for the GRU/PER experiment).
+
+A phoneme Markov chain emits 2-4 acoustic frames per phoneme; each phoneme
+has a Gaussian MFCC-like emission. The model predicts per-frame phoneme ids;
+PER is computed by collapsing consecutive repeats and edit-distancing the
+result against the true phoneme sequence — the same evaluation shape as
+framewise TIMIT systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.data.language import _markov_matrix, _sample_chain
+
+
+@dataclass
+class SpeechData:
+    """Frames (N, T, F) float; frame labels (N, T); phoneme sequences."""
+
+    frames_train: np.ndarray
+    frame_labels_train: np.ndarray
+    phonemes_train: List[np.ndarray]
+    frames_test: np.ndarray
+    frame_labels_test: np.ndarray
+    phonemes_test: List[np.ndarray]
+    num_phonemes: int
+    feature_dim: int
+    name: str = "timit-like"
+
+    def batches(self, batch_size: int, epoch: int = 0
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        order = np.random.default_rng(5000 + epoch).permutation(
+            len(self.frames_train))
+        for start in range(0, len(order), batch_size):
+            idx = order[start:start + batch_size]
+            yield self.frames_train[idx], self.frame_labels_train[idx]
+
+    def make_batches_fn(self, batch_size: int) -> Callable[[int], Iterator]:
+        return lambda epoch: self.batches(batch_size, epoch)
+
+
+def timit_like(num_phonemes: int = 10, feature_dim: int = 13,
+               n_train: int = 256, n_test: int = 64, num_frames: int = 20,
+               noise: float = 0.8, seed: int = 50) -> SpeechData:
+    rng = np.random.default_rng(seed)
+    transition = _markov_matrix(num_phonemes, successors=3, rng=rng)
+    centers = rng.normal(0, 1.0, size=(num_phonemes, feature_dim))
+
+    def make(count: int):
+        frames = np.empty((count, num_frames, feature_dim), dtype=np.float32)
+        labels = np.empty((count, num_frames), dtype=np.int64)
+        phonemes: List[np.ndarray] = []
+        for i in range(count):
+            chain = _sample_chain(transition, num_frames, rng)
+            sequence: List[int] = []
+            t = 0
+            pos = 0
+            while t < num_frames:
+                phoneme = int(chain[pos])
+                pos += 1
+                duration = int(rng.integers(2, 5))
+                for _ in range(min(duration, num_frames - t)):
+                    labels[i, t] = phoneme
+                    frames[i, t] = (centers[phoneme]
+                                    + rng.normal(0, noise, size=feature_dim))
+                    t += 1
+                sequence.append(phoneme)
+            # Collapse accidental repeats so the reference is canonical.
+            collapsed = [sequence[0]]
+            for p in sequence[1:]:
+                if p != collapsed[-1]:
+                    collapsed.append(p)
+            phonemes.append(np.asarray(collapsed, dtype=np.int64))
+        return frames, labels, phonemes
+
+    frames_train, labels_train, phonemes_train = make(n_train)
+    frames_test, labels_test, phonemes_test = make(n_test)
+    return SpeechData(frames_train, labels_train, phonemes_train,
+                      frames_test, labels_test, phonemes_test,
+                      num_phonemes, feature_dim)

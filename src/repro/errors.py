@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+Keeping a small, explicit hierarchy lets callers catch configuration
+mistakes (:class:`ConfigurationError`) separately from violated numeric
+invariants (:class:`QuantizationError`) and from hardware-model capacity
+problems (:class:`ResourceError`).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied by the caller."""
+
+
+class QuantizationError(ReproError):
+    """A quantization invariant was violated (e.g. value outside levels)."""
+
+
+class ResourceError(ReproError):
+    """A hardware design does not fit on the selected FPGA device."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Tensor/layer shapes are inconsistent."""

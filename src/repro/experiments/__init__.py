@@ -1,0 +1,19 @@
+"""Runnable harnesses — one module per table/figure in the paper.
+
+Every module exposes ``run(scale=...) -> dict`` and ``format_result(result)
+-> str``. ``scale="ci"`` finishes in seconds (used by the benchmark suite);
+``scale="full"`` runs the larger configurations recorded in EXPERIMENTS.md.
+
+Use the registry::
+
+    from repro.experiments import get_experiment, list_experiments
+    result = get_experiment("table2").run(scale="ci")
+"""
+
+from repro.experiments.registry import (
+    get_experiment,
+    list_experiments,
+    EXPERIMENTS,
+)
+
+__all__ = ["get_experiment", "list_experiments", "EXPERIMENTS"]

@@ -1,0 +1,188 @@
+"""Ablations of DESIGN.md's called-out design choices (not in the paper's
+tables, but implied by its arguments):
+
+- **partition criterion**: variance-based row assignment (Alg. 2) vs random
+  vs *inverted* (high-variance rows to SP2) — tests the §IV-A motivation
+  that Gaussian-like rows belong on SP2;
+- **ratio sweep**: accuracy and simulated throughput across SP2 fractions —
+  exposes the co-design sweet spot (throughput rises with the SP2 share
+  while accuracy stays flat);
+- **ADMM vs pure STE** weight training for the same MSQ target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.data import cifar10_like
+from repro.experiments.common import (
+    classification_loss,
+    eval_classifier,
+    get_scale,
+)
+from repro.fpga.accelerator import simulate_network
+from repro.fpga.report import format_table
+from repro.fpga.resources import GemmDesign, reference_designs
+from repro.fpga.workloads import WORKLOADS
+from repro.models import resnet_tiny
+from repro.quant import (
+    MixedSchemeQuantizer,
+    QATConfig,
+    Scheme,
+    WeightSTEQuantizer,
+    quantize_model,
+    train_fp,
+)
+from repro.quant.admm import QUANTIZABLE_TYPES
+from repro.quant.partition import RowPartition, to_gemm_matrix
+
+
+class _CriterionMSQ(MixedSchemeQuantizer):
+    """MSQ with a swappable row-selection criterion (ablation only)."""
+
+    def __init__(self, criterion: str, seed: int = 0, **kwargs):
+        super().__init__(**kwargs)
+        self.criterion = criterion
+        self._rng = np.random.default_rng(seed)
+
+    def quantize(self, weight, partition=None):
+        matrix = to_gemm_matrix(np.asarray(weight, dtype=np.float64))
+        variances = matrix.var(axis=1)
+        rows = matrix.shape[0]
+        num_sp2 = int(round(self.sp2_fraction * rows))
+        if self.criterion == "variance":
+            order = np.argsort(variances, kind="stable")
+        elif self.criterion == "inverted":
+            order = np.argsort(-variances, kind="stable")
+        elif self.criterion == "random":
+            order = self._rng.permutation(rows)
+        else:
+            raise ValueError(f"unknown criterion {self.criterion!r}")
+        mask = np.zeros(rows, dtype=bool)
+        mask[order[:num_sp2]] = True
+        forced = RowPartition(sp2_mask=mask, threshold=float("nan"),
+                              variances=variances)
+        return super().quantize(weight, partition=forced)
+
+
+def _train_and_eval(data, scale, projection_factory=None,
+                    config: QATConfig = None) -> float:
+    rng = np.random.default_rng(7)
+    model = resnet_tiny(num_classes=data.num_classes, rng=rng)
+    train_fp(model, data.make_batches_fn(scale.batch_size),
+             classification_loss, epochs=scale.fp_epochs, lr=8e-3)
+    if config is not None:
+        quantize_model(model, data.make_batches_fn(scale.batch_size),
+                       classification_loss, config)
+    elif projection_factory is not None:
+        from repro.quant.admm import ADMMQuantizer
+        from repro.nn import SGD
+
+        admm = ADMMQuantizer(model, projection_factory, rho=1e-2)
+        optimizer = SGD(model.parameters(), lr=4e-3, momentum=0.9)
+        for epoch in range(scale.qat_epochs):
+            admm.epoch_update()
+            for batch in data.batches(scale.batch_size, epoch):
+                loss = classification_loss(model, batch) + admm.penalty_loss()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        admm.finalize()
+    return eval_classifier(model, data.x_test, data.y_test)
+
+
+def run_partition_criterion(scale: str = "ci", ratio: str = "2:1") -> Dict:
+    scale = get_scale(scale)
+    data = cifar10_like(scale.n_train, scale.n_test, scale.image_size)
+    results = {}
+    for criterion in ("variance", "random", "inverted"):
+        factory = lambda name, w, c=criterion: _CriterionMSQ(
+            c, bits=4, ratio=ratio)
+        results[criterion] = _train_and_eval(data, scale,
+                                             projection_factory=factory)
+    return {"criterion_accuracy": results, "ratio": ratio}
+
+
+def run_ratio_sweep(scale: str = "ci",
+                    fractions=(0.0, 0.25, 0.5, 2 / 3, 0.85, 1.0)) -> Dict:
+    scale = get_scale(scale)
+    data = cifar10_like(scale.n_train, scale.n_test, scale.image_size)
+    designs = reference_designs()
+    base = designs["D2-3"]
+    workload = WORKLOADS["resnet18"]()
+    sweep: List[Dict] = []
+    for fraction in fractions:
+        config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
+                           ratio=float(fraction), epochs=scale.qat_epochs,
+                           lr=4e-3)
+        accuracy = _train_and_eval(data, scale, config=config)
+        perf = simulate_network(workload, base, sp2_fraction=fraction)
+        sweep.append({"sp2_fraction": fraction, "top1": accuracy,
+                      "gops": perf.throughput_gops})
+    return {"sweep": sweep}
+
+
+def run_admm_vs_ste(scale: str = "ci", ratio: str = "2:1") -> Dict:
+    scale = get_scale(scale)
+    data = cifar10_like(scale.n_train, scale.n_test, scale.image_size)
+
+    qat_epochs = max(scale.qat_epochs, 8)
+    admm_config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
+                            ratio=ratio, epochs=qat_epochs, lr=6e-3)
+    admm_acc = _train_and_eval(data, scale, config=admm_config)
+
+    # Pure STE: install MSQ fake-quant hooks and fine-tune; hard-project at
+    # the end (no ADMM Z/U state, no proximal loss).
+    rng = np.random.default_rng(7)
+    model = resnet_tiny(num_classes=data.num_classes, rng=rng)
+    train_fp(model, data.make_batches_fn(scale.batch_size),
+             classification_loss, epochs=scale.fp_epochs, lr=8e-3)
+    quantizer = MixedSchemeQuantizer(bits=4, ratio=ratio)
+    for _, module in model.named_modules():
+        if isinstance(module, QUANTIZABLE_TYPES):
+            module.weight_quant = WeightSTEQuantizer(quantizer)
+    from repro.nn import SGD
+
+    optimizer = SGD(model.parameters(), lr=6e-3, momentum=0.9)
+    for epoch in range(qat_epochs):
+        for batch in data.batches(scale.batch_size, epoch):
+            loss = classification_loss(model, batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    for _, module in model.named_modules():
+        if isinstance(module, QUANTIZABLE_TYPES):
+            module.weight_quant = None
+            module.weight.data = quantizer(
+                module.weight.data).astype(module.weight.data.dtype)
+    ste_acc = eval_classifier(model, data.x_test, data.y_test)
+    return {"admm_top1": admm_acc, "ste_top1": ste_acc, "ratio": ratio}
+
+
+def run(scale: str = "ci") -> Dict:
+    return {
+        "partition_criterion": run_partition_criterion(scale),
+        "ratio_sweep": run_ratio_sweep(scale),
+        "admm_vs_ste": run_admm_vs_ste(scale),
+    }
+
+
+def format_result(result: Dict) -> str:
+    blocks = []
+    crit = result["partition_criterion"]["criterion_accuracy"]
+    blocks.append(format_table(
+        ["criterion", "top1"],
+        [[name, f"{acc * 100:.2f}"] for name, acc in crit.items()],
+        title="Ablation — row partition criterion"))
+    sweep_rows = [[f"{r['sp2_fraction']:.2f}", f"{r['top1'] * 100:.2f}",
+                   f"{r['gops']:.1f}"]
+                  for r in result["ratio_sweep"]["sweep"]]
+    blocks.append(format_table(["SP2 fraction", "top1", "sim GOPS"],
+                               sweep_rows, title="Ablation — ratio sweep"))
+    admm = result["admm_vs_ste"]
+    blocks.append(f"ADMM top1 {admm['admm_top1'] * 100:.2f} vs "
+                  f"pure-STE top1 {admm['ste_top1'] * 100:.2f} "
+                  f"(ratio {admm['ratio']})")
+    return "\n\n".join(blocks)

@@ -1,0 +1,93 @@
+"""Shared experiment plumbing: scales, model factories, task evaluators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.metrics import topk_accuracy, perplexity
+from repro.tensor import Tensor
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing knobs shared across harnesses."""
+
+    name: str
+    n_train: int
+    n_test: int
+    image_size: int
+    fp_epochs: int
+    qat_epochs: int
+    batch_size: int
+    rnn_hidden: int
+    seq_len: int
+
+    @property
+    def is_ci(self) -> bool:
+        return self.name == "ci"
+
+
+SCALES: Dict[str, Scale] = {
+    "ci": Scale("ci", n_train=384, n_test=128, image_size=16, fp_epochs=10,
+                qat_epochs=5, batch_size=64, rnn_hidden=24, seq_len=10),
+    "full": Scale("full", n_train=2048, n_test=512, image_size=16,
+                  fp_epochs=24, qat_epochs=12, batch_size=64, rnn_hidden=48,
+                  seq_len=16),
+}
+
+
+def get_scale(scale) -> Scale:
+    if isinstance(scale, Scale):
+        return scale
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; available {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def classification_loss(model, batch) -> Tensor:
+    inputs, labels = batch
+    return nn.cross_entropy(model(Tensor(inputs)), labels)
+
+
+def eval_classifier(model, x: np.ndarray, y: np.ndarray, k: int = 1,
+                    batch_size: int = 128) -> float:
+    was_training = model.training
+    model.eval()
+    chunks = []
+    for start in range(0, len(x), batch_size):
+        chunks.append(model(Tensor(x[start:start + batch_size])).data)
+    model.train(was_training)
+    return topk_accuracy(np.concatenate(chunks), y, k=k)
+
+
+def lm_loss(model, batch) -> Tensor:
+    inputs, targets = batch
+    return nn.cross_entropy(model(inputs), targets.reshape(-1))
+
+
+def eval_lm_perplexity(model, inputs: np.ndarray, targets: np.ndarray) -> float:
+    was_training = model.training
+    model.eval()
+    logits = model(inputs).data
+    model.train(was_training)
+    return perplexity(logits, targets.reshape(-1))
+
+
+def speech_loss(model, batch) -> Tensor:
+    frames, labels = batch
+    return nn.cross_entropy(model(Tensor(frames)), labels.reshape(-1))
+
+
+def optimal_ratio_string() -> str:
+    """The paper's FPGA-characterized optimal SP2:fixed ratio (2:1)."""
+    from repro.fpga.characterize import characterize_device
+
+    result = characterize_device("XC7Z045", batch=4)
+    ratio = result.partition_ratio
+    return f"{ratio.sp2:g}:{ratio.fixed:g}"

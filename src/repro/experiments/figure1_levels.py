@@ -1,0 +1,60 @@
+"""Figure 1: quantization levels of fixed/P2/SP2 against a real layer's
+weight distribution (the paper plots MobileNet-v2's 4th layer).
+
+We briefly train the scaled MobileNet-v2, take its 4th quantizable layer,
+and emit the level sets plus the weight density — together with each
+scheme's projection MSE, which quantifies the figure's visual argument
+(P2 starves the tails; SP2 spreads like fixed-point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.data import cifar10_like
+from repro.experiments.common import classification_loss, get_scale
+from repro.models import mobilenet_v2_tiny
+from repro.quant import collect_quantizable, train_fp
+from repro.quant.analysis import figure1_data, quantization_mse_per_scheme
+
+
+def run(scale: str = "ci", layer_index: int = 3, bits: int = 4) -> Dict:
+    scale = get_scale(scale)
+    rng = np.random.default_rng(42)
+    data = cifar10_like(n_train=scale.n_train // 2, n_test=64,
+                        image_size=scale.image_size)
+    model = mobilenet_v2_tiny(num_classes=data.num_classes, rng=rng)
+    epochs = 1 if scale.is_ci else 4
+    train_fp(model, data.make_batches_fn(scale.batch_size),
+             classification_loss, epochs=epochs, lr=5e-3)
+
+    entries = collect_quantizable(model)
+    name, param = entries[min(layer_index, len(entries) - 1)]
+    weights = param.data
+    figure = figure1_data(weights, bits=bits)
+    return {
+        "layer": name,
+        "figure": figure,
+        "level_counts": figure.level_counts(),
+        "stats": figure.stats,
+        "scheme_mse": quantization_mse_per_scheme(weights, bits=bits),
+    }
+
+
+def format_result(result: Dict) -> str:
+    lines = [f"Figure 1 — layer {result['layer']}"]
+    figure = result["figure"]
+    lines.append(f"fixed levels ({len(figure.fixed_levels)}): "
+                 f"{np.round(figure.fixed_levels, 4).tolist()}")
+    lines.append(f"p2 levels    ({len(figure.p2_levels)}): "
+                 f"{np.round(figure.p2_levels, 4).tolist()}")
+    lines.append(f"sp2 levels   ({len(figure.sp2_levels)}): "
+                 f"{np.round(figure.sp2_levels, 4).tolist()}")
+    lines.append(f"weight stats: std={result['stats']['std']:.4f} "
+                 f"kurtosis={result['stats']['excess_kurtosis']:.3f}")
+    mse = result["scheme_mse"]
+    lines.append("projection MSE: " + "  ".join(
+        f"{scheme}={value:.3e}" for scheme, value in mse.items()))
+    return "\n".join(lines)

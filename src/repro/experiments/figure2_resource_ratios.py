@@ -1,0 +1,50 @@
+"""Figure 2: LUT/FF/BRAM-per-DSP ratios across six Zynq devices.
+
+The figure motivates device-specific SP2:fixed ratios: parts with high
+LUT/DSP (7Z045/7Z020, ~242) can afford a larger SP2 core than parts with
+low LUT/DSP (ZU4CG/ZU5CG, ~121/94).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fpga.devices import FIGURE2_DEVICES, resource_ratios
+from repro.fpga.report import format_table
+
+# The bar heights printed in the paper's Fig. 2, for verification.
+PAPER_VALUES = {
+    "XC7Z045": {"lut_per_dsp": 242.9, "ff_per_dsp": 485.8, "bram_kb_per_dsp": 21.8},
+    "XC7Z020": {"lut_per_dsp": 241.8, "ff_per_dsp": 483.6, "bram_kb_per_dsp": 22.9},
+    "XCZU2CG": {"lut_per_dsp": 196.8, "ff_per_dsp": 393.6, "bram_kb_per_dsp": 22.5},
+    "XCZU3CG": {"lut_per_dsp": 196.0, "ff_per_dsp": 392.0, "bram_kb_per_dsp": 21.6},
+    "XCZU4CG": {"lut_per_dsp": 120.7, "ff_per_dsp": 241.3, "bram_kb_per_dsp": 6.3},
+    "XCZU5CG": {"lut_per_dsp": 93.8, "ff_per_dsp": 187.7, "bram_kb_per_dsp": 4.2},
+}
+
+
+def run(scale: str = "ci") -> Dict:
+    ratios = resource_ratios(FIGURE2_DEVICES)
+    max_abs_error = 0.0
+    for device, values in PAPER_VALUES.items():
+        for key, paper_value in values.items():
+            max_abs_error = max(max_abs_error,
+                                abs(ratios[device][key] - paper_value))
+    return {"ratios": ratios, "paper": PAPER_VALUES,
+            "max_abs_error": max_abs_error}
+
+
+def format_result(result: Dict) -> str:
+    rows = []
+    for device, values in result["ratios"].items():
+        paper = result["paper"][device]
+        rows.append([
+            device,
+            f"{values['lut_per_dsp']:.1f} ({paper['lut_per_dsp']})",
+            f"{values['ff_per_dsp']:.1f} ({paper['ff_per_dsp']})",
+            f"{values['bram_kb_per_dsp']:.1f} ({paper['bram_kb_per_dsp']})",
+        ])
+    table = format_table(
+        ["device", "LUT/DSP (paper)", "FF/DSP (paper)", "BRAM Kb/DSP (paper)"],
+        rows, title="Figure 2 — resource ratios")
+    return table + f"\nmax |error| vs paper: {result['max_abs_error']:.2f}"

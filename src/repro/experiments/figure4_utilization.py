@@ -1,0 +1,52 @@
+"""Figure 4: resource utilization bars for the six designs — DSP pinned at
+100%, LUT rising toward ~80% as the SP2 core grows."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fpga.report import format_table
+from repro.fpga.resources import design_utilization, reference_designs
+
+PAPER_UTILIZATION = {  # (lut, ff, bram, dsp) percent from Fig. 4
+    "D1-1": (46, 15, 35, 100),
+    "D1-2": (66, 20, 42, 100),
+    "D1-3": (77, 22, 47, 100),
+    "D2-1": (24, 8, 31, 100),
+    "D2-2": (48, 16, 37, 100),
+    "D2-3": (72, 27, 43, 100),
+}
+
+
+def run(scale: str = "ci") -> Dict:
+    utilization = {}
+    worst_gap = 0.0
+    for name, design in reference_designs().items():
+        util = design_utilization(design)
+        paper = PAPER_UTILIZATION[name]
+        gaps = [abs(util["lut"] * 100 - paper[0]),
+                abs(util["ff"] * 100 - paper[1]),
+                abs(util["bram36"] * 100 - paper[2]),
+                abs(util["dsp"] * 100 - paper[3])]
+        worst_gap = max(worst_gap, max(gaps))
+        utilization[name] = {"model": util, "paper_percent": paper}
+    return {"utilization": utilization, "worst_gap_percent": worst_gap}
+
+
+def format_result(result: Dict) -> str:
+    rows = []
+    for name, record in result["utilization"].items():
+        util = record["model"]
+        paper = record["paper_percent"]
+        rows.append([
+            name,
+            f"{util['lut']:.0%} ({paper[0]}%)",
+            f"{util['ff']:.0%} ({paper[1]}%)",
+            f"{util['bram36']:.0%} ({paper[2]}%)",
+            f"{util['dsp']:.0%} ({paper[3]}%)",
+        ])
+    table = format_table(["design", "LUT (paper)", "FF (paper)",
+                          "BRAM (paper)", "DSP (paper)"], rows,
+                         title="Figure 4 — resource utilization")
+    return table + (f"\nworst gap vs paper: "
+                    f"{result['worst_gap_percent']:.1f} points")

@@ -1,0 +1,84 @@
+"""Registry mapping paper artifacts to their runnable harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import ModuleType
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    figure1_levels,
+    figure2_resource_ratios,
+    figure4_utilization,
+    table1_ops,
+    table2_accuracy,
+    table3_baselines,
+    table4_baselines,
+    table5_yolo,
+    table6_rnn,
+    table7_designs,
+    table8_performance,
+    table9_comparison,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One paper artifact and how to regenerate it."""
+
+    key: str
+    artifact: str
+    description: str
+    module: ModuleType
+
+    def run(self, scale: str = "ci", **kwargs):
+        return self.module.run(scale=scale, **kwargs)
+
+    def format(self, result) -> str:
+        return self.module.format_result(result)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.key: e for e in [
+        Experiment("table1", "Table I",
+                   "op budgets for fixed vs SP2 multiplies", table1_ops),
+        Experiment("figure1", "Figure 1",
+                   "level sets vs a trained layer's weight density",
+                   figure1_levels),
+        Experiment("table2", "Table II",
+                   "accuracy of P2/Fixed/SP2/MSQ on CNNs", table2_accuracy),
+        Experiment("table3", "Table III",
+                   "MSQ vs published methods, ResNet", table3_baselines),
+        Experiment("table4", "Table IV",
+                   "MSQ vs published methods, MobileNet-v2", table4_baselines),
+        Experiment("table5", "Table V",
+                   "detector quantization at two input sizes", table5_yolo),
+        Experiment("table6", "Table VI",
+                   "RNN quantization: PPL / PER / accuracy", table6_rnn),
+        Experiment("figure2", "Figure 2",
+                   "device resource-per-DSP ratios", figure2_resource_ratios),
+        Experiment("table7", "Table VII",
+                   "design points + characterization search", table7_designs),
+        Experiment("figure4", "Figure 4",
+                   "design resource utilization bars", figure4_utilization),
+        Experiment("table8", "Table VIII",
+                   "per-network throughput on all designs", table8_performance),
+        Experiment("table9", "Table IX",
+                   "cross-design comparison + GPU note", table9_comparison),
+        Experiment("ablations", "(extension)",
+                   "partition criterion / ratio sweep / ADMM-vs-STE",
+                   ablations),
+    ]
+}
+
+
+def get_experiment(key: str) -> Experiment:
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {key!r}; "
+                       f"available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[key]
+
+
+def list_experiments() -> Dict[str, str]:
+    return {key: exp.description for key, exp in EXPERIMENTS.items()}

@@ -1,0 +1,45 @@
+"""Command-line runner: ``python -m repro.experiments.runner table2 --scale ci``.
+
+Without arguments it lists the available experiments; ``all`` runs every
+registered harness at the requested scale and prints each formatted result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment key (e.g. table2), or 'all'")
+    parser.add_argument("--scale", default="ci", choices=("ci", "full"),
+                        help="ci: seconds-scale; full: the EXPERIMENTS.md runs")
+    args = parser.parse_args(argv)
+
+    if not args.experiment:
+        print("Available experiments:")
+        for key, experiment in EXPERIMENTS.items():
+            print(f"  {key:10s} {experiment.artifact:10s} "
+                  f"{experiment.description}")
+        return 0
+
+    keys = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for key in keys:
+        experiment = get_experiment(key)
+        started = time.time()
+        result = experiment.run(scale=args.scale)
+        elapsed = time.time() - started
+        print(f"\n=== {experiment.artifact}: {experiment.description} "
+              f"[{elapsed:.1f}s] ===")
+        print(experiment.format(result))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Table IV: MSQ vs PACT/DSQ on the quantization-hostile MobileNet-v2.
+
+The paper's point: 4-bit MobileNet-v2 is much harder than ResNet (even the
+best baselines drop several points) and MSQ degrades the least. The
+depthwise/linear-bottleneck structure that causes this is preserved in the
+scaled model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data import imagenet_like
+from repro.experiments.common import get_scale
+from repro.experiments import table3_baselines
+from repro.fpga.report import format_table
+from repro.models import mobilenet_v2_tiny
+
+
+def run(scale: str = "ci", methods: Optional[List[str]] = None,
+        weight_bits: int = 4, act_bits: int = 4) -> Dict:
+    scale_obj = get_scale(scale)
+    if scale_obj.is_ci:
+        from repro.data import cifar10_like
+
+        data = cifar10_like(scale_obj.n_train, scale_obj.n_test,
+                            scale_obj.image_size)
+    else:
+        data = imagenet_like(scale_obj.n_train, scale_obj.n_test,
+                             scale_obj.image_size)
+    result = table3_baselines.run(
+        scale=scale,
+        methods=list(methods or ("pact", "dsq")),
+        weight_bits=weight_bits, act_bits=act_bits,
+        model_factory=lambda: mobilenet_v2_tiny(
+            num_classes=data.num_classes, rng=np.random.default_rng(7)),
+        data=data)
+    result["model"] = "mobilenet_v2"
+    return result
+
+
+def format_result(result: Dict) -> str:
+    fp = result["rows"]["Baseline (FP)"]
+    rows = [[name, f"{acc * 100:.2f}",
+             f"{(acc - fp) * 100:+.2f}" if name != "Baseline (FP)" else "-"]
+            for name, acc in result["rows"].items()]
+    return format_table(["method", "top1 %", "delta"], rows,
+                        title=f"Table IV — MobileNet-v2 on {result['dataset']} "
+                              f"({result['bits']}-bit)")

@@ -1,0 +1,139 @@
+"""Table VI: RNN quantization on three tasks — LSTM language modelling
+(perplexity), GRU speech (PER), LSTM sentiment (accuracy) — comparing
+Fixed / SP2 / MSQ(1:1) / MSQ(optimal) plus the EQM reference.
+
+Claims to preserve: all 4-bit schemes stay close to FP on RNNs, MSQ is the
+best of the quantized variants, EQM (the published RNN method) trails MSQ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.data import imdb_like, ptb_like, timit_like
+from repro.experiments.common import (
+    classification_loss,
+    eval_classifier,
+    eval_lm_perplexity,
+    get_scale,
+    lm_loss,
+    optimal_ratio_string,
+    speech_loss,
+)
+from repro.fpga.report import format_table
+from repro.metrics import phoneme_error_rate
+from repro.models import (
+    GRUSpeechModel,
+    LSTMLanguageModel,
+    LSTMSentimentClassifier,
+)
+from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+from repro.quant.baselines import get_baseline, train_baseline
+from repro.tensor import Tensor
+
+VARIANTS = (
+    ("Fixed", Scheme.FIXED, None),
+    ("SP2", Scheme.SP2, None),
+    ("MSQ (half/half)", Scheme.MSQ, "1:1"),
+    ("MSQ (optimal)", Scheme.MSQ, "opt"),
+)
+
+
+def _run_task(make_model: Callable, make_batches, loss_fn, evaluate,
+              scale, lr: float, lower_better: bool,
+              include_eqm: bool) -> Dict[str, float]:
+    baseline = make_model()
+    train_fp(baseline, make_batches, loss_fn, epochs=scale.fp_epochs, lr=lr)
+    state = baseline.state_dict()
+    rows = {"Baseline (FP)": evaluate(baseline)}
+    opt_ratio = optimal_ratio_string()
+    for label, scheme, ratio in VARIANTS:
+        model = make_model()
+        model.load_state_dict(state)
+        config = QATConfig(scheme=scheme, weight_bits=4, act_bits=4,
+                           ratio=(opt_ratio if ratio == "opt"
+                                  else (ratio or "1:1")),
+                           epochs=scale.qat_epochs, lr=lr / 2,
+                           act_skip_first=False)
+        quantize_model(model, make_batches, loss_fn, config)
+        rows[label] = evaluate(model)
+    if include_eqm:
+        model = make_model()
+        model.load_state_dict(state)
+        method = get_baseline("eqm", weight_bits=4, act_bits=4)
+        train_baseline(model, make_batches, loss_fn, method,
+                       epochs=scale.qat_epochs, lr=lr / 2)
+        rows["EQM"] = evaluate(model)
+    return rows
+
+
+def run(scale: str = "ci", tasks=("ptb", "timit", "imdb")) -> Dict:
+    scale = get_scale(scale)
+    results: Dict[str, Dict] = {}
+    hidden = scale.rnn_hidden
+
+    if "ptb" in tasks:
+        data = ptb_like(n_train=scale.n_train // 2, n_test=scale.n_test // 2,
+                        seq_len=scale.seq_len)
+        results["LSTM on PTB-like (PPL, lower better)"] = _run_task(
+            lambda: LSTMLanguageModel(data.vocab_size, embed_dim=hidden,
+                                      hidden_size=hidden,
+                                      rng=np.random.default_rng(7)),
+            data.make_batches_fn(32), lm_loss,
+            lambda m: eval_lm_perplexity(m, data.inputs_test,
+                                         data.targets_test),
+            scale, lr=0.8, lower_better=True, include_eqm=True)
+
+    if "timit" in tasks:
+        data = timit_like(n_train=scale.n_train // 2,
+                          n_test=scale.n_test // 2,
+                          num_frames=scale.seq_len + 4)
+
+        def eval_per(model):
+            model.eval()
+            preds = model.frame_predictions(Tensor(data.frames_test))
+            model.train()
+            return phoneme_error_rate(preds, data.phonemes_test)
+
+        results["GRU on TIMIT-like (PER, lower better)"] = _run_task(
+            lambda: GRUSpeechModel(input_dim=data.feature_dim,
+                                   hidden_size=hidden,
+                                   num_phonemes=data.num_phonemes,
+                                   rng=np.random.default_rng(7)),
+            data.make_batches_fn(32), speech_loss, eval_per,
+            scale, lr=0.5, lower_better=True, include_eqm=False)
+
+    if "imdb" in tasks:
+        data = imdb_like(n_train=scale.n_train // 2,
+                         n_test=scale.n_test // 2, seq_len=scale.seq_len)
+
+        def imdb_loss(model, batch):
+            inputs, labels = batch
+            from repro import nn
+
+            return nn.cross_entropy(model(inputs), labels)
+
+        def eval_acc(model):
+            model.eval()
+            logits = model(data.inputs_test).data
+            model.train()
+            return float((logits.argmax(1) == data.labels_test).mean())
+
+        results["LSTM on IMDB-like (accuracy)"] = _run_task(
+            lambda: LSTMSentimentClassifier(data.vocab_size, embed_dim=hidden,
+                                            hidden_size=hidden, num_layers=2,
+                                            rng=np.random.default_rng(7)),
+            data.make_batches_fn(32), imdb_loss, eval_acc,
+            scale, lr=0.5, lower_better=False, include_eqm=True)
+    return {"results": results}
+
+
+def format_result(result: Dict) -> str:
+    blocks = []
+    for task, rows in result["results"].items():
+        table_rows = [[name, f"{value:.4g}"] for name, value in rows.items()]
+        blocks.append(format_table(["scheme", "metric"], table_rows,
+                                   title=f"Table VI — {task}"))
+    return "\n\n".join(blocks)

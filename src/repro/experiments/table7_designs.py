@@ -1,0 +1,60 @@
+"""Table VII: the six implementation points and their peak throughput,
+regenerated two ways — from the published design parameters, and from the
+characterization search itself (which must *rediscover* the optimal
+1:1.5 / 1:2 ratios)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fpga.characterize import characterize_device
+from repro.fpga.report import format_table
+from repro.fpga.resources import peak_throughput_gops, reference_designs
+
+PAPER_PEAKS = {"D1-1": 52.8, "D1-2": 106.0, "D1-3": 132.0,
+               "D2-1": 208.0, "D2-2": 416.0, "D2-3": 624.0}
+PAPER_OPTIMA = {"XC7Z020": "1:1.5", "XC7Z045": "1:2"}
+
+
+def run(scale: str = "ci") -> Dict:
+    designs = reference_designs()
+    rows = {}
+    for name, design in designs.items():
+        rows[name] = {
+            "device": design.device.name,
+            "bat": design.batch,
+            "blk_in": design.block_in,
+            "blk_out_fixed": design.block_out_fixed,
+            "blk_out_sp2": design.block_out_sp2,
+            "ratio": design.ratio_string,
+            "peak_gops": peak_throughput_gops(design),
+            "paper_peak_gops": PAPER_PEAKS[name],
+        }
+    characterized = {}
+    for device, batch in (("XC7Z020", 1), ("XC7Z045", 4)):
+        result = characterize_device(device, batch=batch)
+        characterized[device] = {
+            "ratio": result.ratio_string,
+            "paper_ratio": PAPER_OPTIMA[device],
+            "peak_gops": result.peak_gops,
+            "lut_utilization": result.utilization["lut"],
+        }
+    return {"designs": rows, "characterized": characterized}
+
+
+def format_result(result: Dict) -> str:
+    rows = [[name, r["device"], r["bat"], r["blk_in"], r["blk_out_fixed"],
+             r["blk_out_sp2"], r["ratio"], f"{r['peak_gops']:.1f}",
+             r["paper_peak_gops"]]
+            for name, r in result["designs"].items()]
+    table = format_table(
+        ["impl", "device", "Bat", "Blkin", "Blkout_f", "Blkout_sp2",
+         "ratio", "peak GOPS", "paper"],
+        rows, title="Table VII — implementation parameters")
+    char_rows = [[device, c["ratio"], c["paper_ratio"],
+                  f"{c['peak_gops']:.1f}", f"{c['lut_utilization']:.0%}"]
+                 for device, c in result["characterized"].items()]
+    table2 = format_table(
+        ["device", "found ratio", "paper ratio", "peak GOPS", "LUT util"],
+        char_rows, title="Characterization search (§VI-A)")
+    return table + "\n\n" + table2

@@ -1,0 +1,73 @@
+"""Table VIII: throughput of all six networks on all six designs, plus the
+derived headline claims — per-network speedup of the optimal ratio over
+DSP-only (2.1-2.5x CNNs, 2.4-4.1x RNNs) and the ResNet-18 latency points
+(~100.7 -> 47.1 ms on XC7Z020, ~25.1 -> 10.1 ms on XC7Z045)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.fpga.accelerator import simulate_network
+from repro.fpga.report import format_table
+from repro.fpga.resources import reference_designs
+from repro.fpga.workloads import WORKLOADS
+
+PAPER_GOPS = {
+    "D1-1": {"resnet18": 36.0, "mobilenet_v2": 33.0, "yolov3": 36.6,
+             "lstm_ptb": 26.1, "gru_timit": 22.6, "lstm_imdb": 25.0},
+    "D1-2": {"resnet18": 74.4, "mobilenet_v2": 65.7, "yolov3": 74.1,
+             "lstm_ptb": 52.9, "gru_timit": 49.2, "lstm_imdb": 58.7},
+    "D1-3": {"resnet18": 77.0, "mobilenet_v2": 71.8, "yolov3": 84.0,
+             "lstm_ptb": 77.2, "gru_timit": 77.2, "lstm_imdb": 59.7},
+    "D2-1": {"resnet18": 144.7, "mobilenet_v2": 129.6, "yolov3": 143.6,
+             "lstm_ptb": 91.3, "gru_timit": 89.6, "lstm_imdb": 108.0},
+    "D2-2": {"resnet18": 285.5, "mobilenet_v2": 258.1, "yolov3": 283.7,
+             "lstm_ptb": 183.2, "gru_timit": 212.5, "lstm_imdb": 217.2},
+    "D2-3": {"resnet18": 359.2, "mobilenet_v2": 326.9, "yolov3": 390.0,
+             "lstm_ptb": 318.2, "gru_timit": 369.2, "lstm_imdb": 340.7},
+}
+NETWORKS = tuple(PAPER_GOPS["D1-1"])
+
+
+def run(scale: str = "ci") -> Dict:
+    designs = reference_designs()
+    workloads = {name: WORKLOADS[name]() for name in NETWORKS}
+    table: Dict[str, Dict] = {}
+    for design_name, design in designs.items():
+        table[design_name] = {}
+        for network in NETWORKS:
+            perf = simulate_network(workloads[network], design)
+            table[design_name][network] = {
+                "gops": perf.throughput_gops,
+                "paper_gops": PAPER_GOPS[design_name][network],
+                "latency_ms": perf.latency_ms,
+                "pe_utilization": perf.pe_utilization,
+            }
+    speedups = {}
+    for device, base, opt in (("XC7Z020", "D1-1", "D1-3"),
+                              ("XC7Z045", "D2-1", "D2-3")):
+        speedups[device] = {
+            network: table[opt][network]["gops"] / table[base][network]["gops"]
+            for network in NETWORKS
+        }
+    return {"table": table, "speedups": speedups}
+
+
+def format_result(result: Dict) -> str:
+    rows = []
+    for design_name, per_network in result["table"].items():
+        for network, record in per_network.items():
+            rows.append([
+                design_name, network, f"{record['gops']:.1f}",
+                f"{record['paper_gops']:.1f}",
+                f"{record['latency_ms']:.2f}",
+                f"{record['pe_utilization']:.0%}",
+            ])
+    table = format_table(
+        ["design", "network", "GOPS", "paper GOPS", "latency ms", "PE util"],
+        rows, title="Table VIII — network performance")
+    speedup_rows = [[device] + [f"{values[n]:.2f}x" for n in NETWORKS]
+                    for device, values in result["speedups"].items()]
+    table2 = format_table(["device"] + list(NETWORKS), speedup_rows,
+                          title="Optimal-ratio speedup over DSP-only")
+    return table + "\n\n" + table2

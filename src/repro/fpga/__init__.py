@@ -1,0 +1,82 @@
+"""The hardware substrate (paper §V and §VI).
+
+No synthesis toolchain exists offline, so this package models the paper's
+heterogeneous-GEMM accelerator analytically:
+
+- :mod:`repro.fpga.devices` — the Zynq device catalog (Fig. 2);
+- :mod:`repro.fpga.resources` — LUT/FF/BRAM/DSP cost and peak-throughput
+  models **calibrated against the paper's published design points**
+  (Table VII/VIII, Fig. 4) and used predictively everywhere else;
+- :mod:`repro.fpga.characterize` — the §V-A/§VI-A search that pins DSP
+  utilization at 100% and grows the SP2 core until the LUT budget is hit,
+  yielding the SP2:fixed ratio fed back into MSQ training;
+- :mod:`repro.fpga.gemm` / :mod:`repro.fpga.accelerator` — tile-level
+  performance simulation of full networks (Table VIII/IX);
+- :mod:`repro.fpga.bitexact` — integer shift-add kernels proving the SP2
+  datapath computes exactly what the float model does;
+- :mod:`repro.fpga.workloads` — ImageNet/COCO-scale layer shape tables.
+"""
+
+from repro.fpga.devices import Device, get_device, list_devices, resource_ratios
+from repro.fpga.resources import (
+    GemmDesign,
+    ResourceUsage,
+    design_resources,
+    design_utilization,
+    peak_throughput_gops,
+    max_block_out_fixed,
+)
+from repro.fpga.characterize import characterize_device, CharacterizationResult
+from repro.fpga.gemm import GemmWorkload, simulate_gemm, TileStats
+from repro.fpga.accelerator import (
+    AcceleratorSim,
+    NetworkPerformance,
+    simulate_network,
+)
+from repro.fpga.workloads import (
+    LayerShape,
+    resnet18_imagenet,
+    mobilenet_v2_imagenet,
+    yolov3_coco,
+    lstm_ptb,
+    gru_timit,
+    lstm_imdb,
+    WORKLOADS,
+)
+from repro.fpga.bitexact import (
+    mixed_gemm_bitexact,
+    gemm_fixed_int,
+    gemm_sp2_shiftadd,
+)
+
+__all__ = [
+    "Device",
+    "get_device",
+    "list_devices",
+    "resource_ratios",
+    "GemmDesign",
+    "ResourceUsage",
+    "design_resources",
+    "design_utilization",
+    "peak_throughput_gops",
+    "max_block_out_fixed",
+    "characterize_device",
+    "CharacterizationResult",
+    "GemmWorkload",
+    "simulate_gemm",
+    "TileStats",
+    "AcceleratorSim",
+    "NetworkPerformance",
+    "simulate_network",
+    "LayerShape",
+    "resnet18_imagenet",
+    "mobilenet_v2_imagenet",
+    "yolov3_coco",
+    "lstm_ptb",
+    "gru_timit",
+    "lstm_imdb",
+    "WORKLOADS",
+    "mixed_gemm_bitexact",
+    "gemm_fixed_int",
+    "gemm_sp2_shiftadd",
+]

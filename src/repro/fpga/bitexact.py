@@ -1,0 +1,110 @@
+"""Bit-exact integer GEMM kernels — the functional model of the datapath.
+
+These kernels prove the central hardware claim of §III/§V: with MSQ weights
+and fixed-point activations, every multiply in the network reduces to
+
+- an integer multiply (DSP path, fixed-point rows), or
+- two shifts and one add (LUT path, SP2 rows),
+
+and the integer results, rescaled, equal the float quantized-model output
+*exactly* (the only float operation left is the final per-row rescale).
+
+``mixed_gemm_bitexact`` runs a full Linear-layer forward this way and is
+asserted against the float reference in the test-suite and the quickstart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.arithmetic import sp2_frac_bits
+from repro.quant.encoding import SP2Code
+from repro.quant.msq import MSQResult
+from repro.quant.ste import ActivationQuantizer
+
+
+def gemm_fixed_int(act_codes: np.ndarray, weight_codes: np.ndarray) -> np.ndarray:
+    """(N, K) int activations x (M, K) int weight magnitudes -> (N, M) int64.
+
+    This is the DSP-core computation: plain integer MACs.
+    """
+    act = np.asarray(act_codes)
+    weights = np.asarray(weight_codes)
+    if not (np.issubdtype(act.dtype, np.integer)
+            and np.issubdtype(weights.dtype, np.integer)):
+        raise QuantizationError("bit-exact GEMM requires integer operands")
+    return act.astype(np.int64) @ weights.astype(np.int64).T
+
+
+def sp2_weight_integers(code: SP2Code) -> np.ndarray:
+    """SP2 weights as exact integers in units of 2^-S (S = 2^m1 - 1).
+
+    On hardware these never materialize — the two shift terms are applied
+    to the activation (Eq. 6). Numerically the two formulations are the
+    same integer, which ``tests/test_bitexact.py`` asserts against the
+    per-element :func:`repro.quant.arithmetic.shift_add_multiply`.
+    """
+    depth = sp2_frac_bits(code.m1)
+    term1 = np.where(code.c1 > 0, 1 << np.maximum(depth - code.c1, 0), 0)
+    term2 = np.where(code.c2 > 0, 1 << np.maximum(depth - code.c2, 0), 0)
+    return code.sign.astype(np.int64) * (term1 + term2).astype(np.int64)
+
+
+def gemm_sp2_shiftadd(act_codes: np.ndarray, code: SP2Code) -> np.ndarray:
+    """(N, K) int activations x SP2-coded (M, K) weights -> (N, M) int64.
+
+    Result is scaled by 2^S relative to the unit-level weights.
+    """
+    act = np.asarray(act_codes)
+    if not np.issubdtype(act.dtype, np.integer):
+        raise QuantizationError("bit-exact GEMM requires integer activations")
+    return act.astype(np.int64) @ sp2_weight_integers(code).T
+
+
+def mixed_gemm_bitexact(x: np.ndarray, msq: MSQResult,
+                        act_quantizer: ActivationQuantizer) -> Dict[str, np.ndarray]:
+    """Full integer forward of a Linear layer quantized with MSQ.
+
+    Returns the integer accumulators of both cores plus the rescaled float
+    output, which equals ``quantized_activations @ quantized_weights.T``
+    exactly (up to float64 rounding of the final scale multiply).
+    """
+    weight_matrix = msq.values.reshape(msq.values.shape[0], -1)
+    act_codes = act_quantizer.to_codes(np.asarray(x, dtype=np.float64))
+    act_scale = act_quantizer.scale
+
+    encoding = msq.hardware_encoding()
+    output = np.zeros((act_codes.shape[0], weight_matrix.shape[0]),
+                      dtype=np.float64)
+
+    fixed_rows = encoding["fixed_rows"]
+    if fixed_rows.size:
+        acc_fixed = gemm_fixed_int(act_codes, encoding["fixed_codes"])
+        steps = 2 ** (msq.spec_fixed.bits - 1) - 1
+        scales = encoding["row_alphas"][fixed_rows] / steps * act_scale
+        output[:, fixed_rows] = acc_fixed * scales[None, :]
+    else:
+        acc_fixed = np.zeros((act_codes.shape[0], 0), dtype=np.int64)
+
+    sp2_rows = encoding["sp2_rows"]
+    if sp2_rows.size:
+        acc_sp2 = gemm_sp2_shiftadd(act_codes, encoding["sp2_codes"])
+        depth = sp2_frac_bits(msq.spec_sp2.m1)
+        scales = encoding["row_alphas"][sp2_rows] / (2 ** depth) * act_scale
+        output[:, sp2_rows] = acc_sp2 * scales[None, :]
+    else:
+        acc_sp2 = np.zeros((act_codes.shape[0], 0), dtype=np.int64)
+
+    return {"output": output, "acc_fixed": acc_fixed, "acc_sp2": acc_sp2,
+            "act_codes": act_codes}
+
+
+def float_reference(x: np.ndarray, msq: MSQResult,
+                    act_quantizer: ActivationQuantizer) -> np.ndarray:
+    """The float path the integer kernels must match."""
+    weight_matrix = msq.values.reshape(msq.values.shape[0], -1)
+    quantized_acts = act_quantizer.quantize_array(np.asarray(x, dtype=np.float64))
+    return quantized_acts @ weight_matrix.T

@@ -1,0 +1,113 @@
+"""FPGA resource characterization (paper §V-A and §VI-A).
+
+The search mirrors the paper's procedure exactly:
+
+1. size the fixed-point GEMM core so the *entire* DSP budget is committed
+   (DSP utilization pinned at 100%);
+2. progressively grow the SP2 core's column count ``Blk_out,sp2`` (in
+   register-array tiles of 8 columns) until the full-design LUT utilization
+   (platform shell included) would exceed the cap (~80%);
+3. the resulting PE-count ratio *is* the SP2:fixed partition ratio handed to
+   Algorithm 2 ("the PE ratio is used as the desired SP2/fixed-point ratio
+   and sent to Algorithm 2").
+
+On the paper's devices this reproduces the published optima: 1:1.5 on
+XC7Z020 and 1:2 on XC7Z045.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.fpga.devices import Device, get_device
+from repro.fpga.resources import (
+    GemmDesign,
+    design_utilization,
+    max_block_out_fixed,
+    peak_throughput_gops,
+)
+from repro.quant.partition import PartitionRatio
+
+SP2_COLUMN_STEP = 8       # register-array tile granularity
+DEFAULT_LUT_CAP = 0.80    # "raise LUT utilization to 70%-80%" (§VI-B.1)
+
+
+@dataclass
+class CharacterizationResult:
+    """Outcome of the ratio search for one device."""
+
+    design: GemmDesign
+    partition_ratio: PartitionRatio
+    peak_gops: float
+    utilization: dict
+    candidates: List[dict]
+
+    @property
+    def ratio_string(self) -> str:
+        return self.design.ratio_string
+
+
+def characterize_device(device, batch: int = 1, block_in: int = 16,
+                        weight_bits: int = 4, act_bits: int = 4,
+                        lut_cap: float = DEFAULT_LUT_CAP,
+                        freq_mhz: float = 100.0,
+                        sp2_step: int = SP2_COLUMN_STEP,
+                        max_sp2_columns: int = 512) -> CharacterizationResult:
+    """Run the §VI-A design-space walk for one device.
+
+    Returns the largest-SP2 design under the LUT cap, plus the trajectory of
+    every candidate examined (used by the ablation benchmarks).
+    """
+    if isinstance(device, str):
+        device = get_device(device)
+    if not 0.0 < lut_cap <= 1.0:
+        raise ConfigurationError(f"lut_cap must be in (0, 1], got {lut_cap}")
+
+    block_out_fixed = max_block_out_fixed(device, batch, block_in, weight_bits)
+    # On BRAM-poor parts (e.g. XCZU5CG, 4.2 Kb/DSP in Fig. 2) the full-DSP
+    # fixed core does not fit the buffer budget; shrink it until it does.
+    while block_out_fixed > 1:
+        probe = GemmDesign(device, batch, block_in, block_out_fixed, 0,
+                           weight_bits=weight_bits, act_bits=act_bits,
+                           freq_mhz=freq_mhz)
+        utilization = design_utilization(probe)
+        if (utilization["lut"] <= lut_cap and utilization["bram36"] <= 1.0
+                and utilization["ff"] <= 1.0):
+            break
+        block_out_fixed -= 1
+    candidates: List[dict] = []
+    best: Optional[GemmDesign] = None
+    sp2_columns = 0
+    while sp2_columns <= max_sp2_columns:
+        design = GemmDesign(device, batch, block_in, block_out_fixed,
+                            sp2_columns, weight_bits=weight_bits,
+                            act_bits=act_bits, freq_mhz=freq_mhz)
+        utilization = design_utilization(design)
+        fits = utilization["lut"] <= lut_cap and utilization["bram36"] <= 1.0 \
+            and utilization["ff"] <= 1.0
+        candidates.append({
+            "block_out_sp2": sp2_columns,
+            "ratio": design.ratio_string,
+            "lut_utilization": utilization["lut"],
+            "peak_gops": peak_throughput_gops(design),
+            "fits": fits,
+        })
+        if not fits:
+            break
+        best = design
+        sp2_columns += sp2_step
+
+    if best is None:
+        raise ConfigurationError(
+            f"even the DSP-only design exceeds the LUT cap on {device.name}")
+    ratio = PartitionRatio(sp2=float(best.block_out_sp2),
+                           fixed=float(best.block_out_fixed))
+    return CharacterizationResult(
+        design=best,
+        partition_ratio=ratio,
+        peak_gops=peak_throughput_gops(best),
+        utilization=design_utilization(best),
+        candidates=candidates,
+    )

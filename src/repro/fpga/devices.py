@@ -1,0 +1,76 @@
+"""FPGA device catalog (paper Fig. 2 and Tables VII-IX).
+
+Resource counts are the vendor datasheet numbers for the Zynq-7000 and
+Zynq UltraScale+ parts the paper characterizes. Fig. 2 normalizes LUT/FF by
+DSP count directly and BRAM by *kilobits* per DSP (each BRAM36 block is
+36 Kb) — reproduced by :func:`resource_ratios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+BRAM36_KBITS = 36
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA part: programmable-logic resource counts."""
+
+    name: str
+    lut: int
+    ff: int
+    bram36: float
+    dsp: int
+
+    @property
+    def bram_kbits(self) -> float:
+        return self.bram36 * BRAM36_KBITS
+
+    def ratios(self) -> Dict[str, float]:
+        """LUT/DSP, FF/DSP and BRAM-Kb/DSP as plotted in Fig. 2."""
+        return {
+            "lut_per_dsp": self.lut / self.dsp,
+            "ff_per_dsp": self.ff / self.dsp,
+            "bram_kb_per_dsp": self.bram_kbits / self.dsp,
+        }
+
+
+_CATALOG: Dict[str, Device] = {
+    device.name: device for device in [
+        Device("XC7Z020", lut=53_200, ff=106_400, bram36=140, dsp=220),
+        Device("XC7Z045", lut=218_600, ff=437_200, bram36=545, dsp=900),
+        Device("XCZU2CG", lut=47_232, ff=94_464, bram36=150, dsp=240),
+        Device("XCZU3CG", lut=70_560, ff=141_120, bram36=216, dsp=360),
+        Device("XCZU3EG", lut=70_560, ff=141_120, bram36=216, dsp=360),
+        Device("XCZU4CG", lut=87_840, ff=175_680, bram36=128, dsp=728),
+        Device("XCZU5CG", lut=117_120, ff=234_240, bram36=144, dsp=1_248),
+    ]
+}
+
+# The six devices of Fig. 2, in the paper's plotting order.
+FIGURE2_DEVICES = ("XC7Z045", "XC7Z020", "XCZU2CG", "XCZU3CG",
+                   "XCZU4CG", "XCZU5CG")
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by part name (``XC`` prefix optional)."""
+    key = name.upper()
+    if not key.startswith("XC"):
+        key = "XC" + key
+    if key not in _CATALOG:
+        raise ConfigurationError(
+            f"unknown device {name!r}; available: {sorted(_CATALOG)}")
+    return _CATALOG[key]
+
+
+def list_devices() -> List[str]:
+    return sorted(_CATALOG)
+
+
+def resource_ratios(names=FIGURE2_DEVICES) -> Dict[str, Dict[str, float]]:
+    """The Fig. 2 dataset: per-device resource-per-DSP ratios."""
+    return {name: get_device(name).ratios() for name in names}

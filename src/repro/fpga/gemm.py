@@ -1,0 +1,124 @@
+"""Tile-level simulation of one GEMM on the heterogeneous cores (§V-B).
+
+A layer's GEMM is characterized by rows M (output channels), a channel
+reduction C, kernel positions k (=KH*KW for convs), and columns N (output
+positions; per-timestep rows for RNNs). MSQ assigns a fraction of the rows
+to the SP2 core; both cores run in parallel on their row subsets and the
+layer finishes when the slower one does — which is why the characterized
+PE ratio must match the trained row ratio (§V-B: "an imbalanced ratio may
+result in under-utilization of the certain GEMM core").
+
+Tiling model (VTA-style, channel-major):
+
+    cycles(core) = ceil(M_core / Blk_out,core) * ceil(C / Blk_in) * k
+                   * ceil(N / Bat)        (or N * 1 for recurrent GEMMs)
+
+The first conv layer's 3 input channels fill only 3/16 of the reduction
+lanes and depthwise convolutions only 1/16 — the under-utilization effects
+§VI-B.2 describes fall out of the ceil() terms naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.resources import GemmDesign
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """One GEMM's dimensions, hardware-agnostic."""
+
+    name: str
+    rows: int                  # M: output channels / gate-stacked units
+    reduction: int             # C: input channels (per group)
+    kernel_positions: int = 1  # KH * KW
+    columns: int = 1           # N: output positions / timesteps
+    sequential_columns: bool = False  # True for recurrent W_hh GEMMs
+    groups: int = 1            # depthwise convs: groups == channels
+
+    def __post_init__(self):
+        if min(self.rows, self.reduction, self.kernel_positions,
+               self.columns, self.groups) < 1:
+            raise ConfigurationError(f"invalid GEMM dims in {self.name!r}")
+
+    @property
+    def macs(self) -> int:
+        return (self.rows * self.reduction * self.kernel_positions
+                * self.columns)
+
+    @property
+    def ops(self) -> int:
+        """2 ops per MAC — what the paper's GOPS figures count."""
+        return 2 * self.macs
+
+
+@dataclass
+class TileStats:
+    """Cycle breakdown of one GEMM on one design."""
+
+    workload: GemmWorkload
+    cycles_fixed: int
+    cycles_sp2: int
+    rows_fixed: int
+    rows_sp2: int
+
+    @property
+    def cycles(self) -> int:
+        """Both cores run in parallel; the slower one gates the layer."""
+        return max(self.cycles_fixed, self.cycles_sp2)
+
+    @property
+    def pe_utilization(self) -> float:
+        """Achieved MACs per cycle over the array's MAC capacity."""
+        if self.cycles == 0:
+            return 0.0
+        return self.workload.macs / (self.cycles * self._capacity)
+
+    def _attach_capacity(self, macs_per_cycle: int) -> "TileStats":
+        self._capacity = macs_per_cycle
+        return self
+
+
+def _core_cycles(rows: int, block_out: int, workload: GemmWorkload,
+                 design: GemmDesign) -> int:
+    if rows == 0:
+        return 0
+    if block_out == 0:
+        raise ConfigurationError(
+            f"{workload.name}: rows assigned to a core with no columns")
+    m_tiles = -(-rows // block_out)
+    k_tiles = -(-workload.reduction // design.block_in) * workload.kernel_positions
+    # Recurrent GEMMs (sequential_columns) serialize over timesteps, but the
+    # Bat lanes carry concurrent sequences (throughput batching) — the
+    # dependency cost is modelled as an efficiency factor in accelerator.py.
+    n_tiles = -(-workload.columns // design.batch)
+    return m_tiles * k_tiles * n_tiles * workload.groups
+
+
+def simulate_gemm(workload: GemmWorkload, design: GemmDesign,
+                  sp2_fraction: Optional[float] = None) -> TileStats:
+    """Simulate one GEMM; ``sp2_fraction`` defaults to the design's PE ratio."""
+    if sp2_fraction is None:
+        sp2_fraction = design.sp2_fraction
+    if design.block_out_sp2 == 0:
+        sp2_fraction = 0.0
+    if design.block_out_fixed == 0:
+        sp2_fraction = 1.0
+    rows_sp2 = int(round(workload.rows * sp2_fraction))
+    rows_fixed = workload.rows - rows_sp2
+    stats = TileStats(
+        workload=workload,
+        cycles_fixed=_core_cycles(rows_fixed, design.block_out_fixed,
+                                  workload, design),
+        cycles_sp2=_core_cycles(rows_sp2, design.block_out_sp2,
+                                workload, design),
+        rows_fixed=rows_fixed,
+        rows_sp2=rows_sp2,
+    )
+    return stats._attach_capacity(
+        design.batch * design.block_in * design.block_out_total)

@@ -1,0 +1,87 @@
+"""VTA-style instruction stream generation (paper §V-B, Fig. 3a).
+
+The accelerator has four modules — Instruction fetch, Load, Compute
+(GEMM_fixed + GEMM_sp2 + TensorALU), Store — coordinated by dependency
+tokens. ``generate_layer_program`` emits the tile-by-tile instruction
+sequence for one GEMM workload; ``program_summary`` counts instructions and
+estimates cycles, which the tests cross-check against the closed-form tile
+model of :mod:`repro.fpga.gemm` (they must agree on compute cycles).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.fpga.gemm import GemmWorkload, simulate_gemm
+from repro.fpga.resources import GemmDesign
+
+
+class Opcode(enum.Enum):
+    LOAD_WEIGHT = "load_weight"
+    LOAD_INPUT = "load_input"
+    GEMM_FIXED = "gemm_fixed"
+    GEMM_SP2 = "gemm_sp2"
+    ALU = "alu"            # fused BN / ReLU / pooling
+    STORE = "store"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction with its dependency token."""
+
+    opcode: Opcode
+    tile_m: int
+    tile_n: int
+    cycles: int
+    depends_on_load: bool = False
+    raises_store: bool = False
+
+
+def _core_tiles(rows: int, block_out: int) -> int:
+    return -(-rows // block_out) if rows and block_out else 0
+
+
+def generate_layer_program(workload: GemmWorkload, design: GemmDesign,
+                           sp2_fraction: Optional[float] = None
+                           ) -> List[Instruction]:
+    """Emit the instruction stream for one layer.
+
+    Loop order is output-stationary: for each (m, n) output tile, load the
+    weight tile once, stream the reduction, then ALU + store.
+    """
+    stats = simulate_gemm(workload, design, sp2_fraction)
+    k_tiles = -(-workload.reduction // design.block_in) \
+        * workload.kernel_positions
+    n_tiles = (workload.columns if workload.sequential_columns
+               else -(-workload.columns // design.batch))
+    program: List[Instruction] = []
+    for core, rows, block_out, opcode in (
+            ("fixed", stats.rows_fixed, design.block_out_fixed,
+             Opcode.GEMM_FIXED),
+            ("sp2", stats.rows_sp2, design.block_out_sp2, Opcode.GEMM_SP2)):
+        for m in range(_core_tiles(rows, block_out)):
+            program.append(Instruction(Opcode.LOAD_WEIGHT, m, 0,
+                                       cycles=k_tiles, raises_store=False))
+            for n in range(n_tiles):
+                program.append(Instruction(Opcode.LOAD_INPUT, m, n, cycles=1))
+                program.append(Instruction(opcode, m, n, cycles=k_tiles,
+                                           depends_on_load=True))
+            program.append(Instruction(Opcode.ALU, m, 0, cycles=1))
+            program.append(Instruction(Opcode.STORE, m, 0, cycles=1,
+                                       raises_store=True))
+    return program
+
+
+def program_summary(program: List[Instruction]) -> Dict[str, int]:
+    """Instruction counts and the per-core compute cycle totals."""
+    counts: Dict[str, int] = {}
+    cycles: Dict[str, int] = {"gemm_fixed": 0, "gemm_sp2": 0}
+    for instruction in program:
+        counts[instruction.opcode.value] = counts.get(
+            instruction.opcode.value, 0) + 1
+        if instruction.opcode in (Opcode.GEMM_FIXED, Opcode.GEMM_SP2):
+            cycles[instruction.opcode.value] += instruction.cycles
+    counts["total"] = len(program)
+    return {"counts": counts, "gemm_cycles": cycles}

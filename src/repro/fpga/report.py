@@ -1,0 +1,41 @@
+"""Report formatting for the hardware experiments (Tables VII-IX style)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.fpga.resources import GemmDesign, design_resources
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table with right-padded columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row]
+                                           for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(separator)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def efficiency_metrics(design: GemmDesign, gops: float) -> Dict[str, float]:
+    """GOPS/DSP and GOPS/kLUT — Table IX's cross-design efficiency columns."""
+    usage = design_resources(design)
+    dsp = max(usage.dsp, 1.0)
+    lut = max(usage.lut, 1.0)
+    return {
+        "gops_per_dsp": gops / dsp,
+        "gops_per_klut": gops / (lut / 1000.0),
+    }
+
+
+def utilization_bar(utilization: Dict[str, float]) -> str:
+    """One-line textual version of a Fig. 4 bar group."""
+    return "  ".join(f"{name.upper()}={value:.0%}"
+                     for name, value in utilization.items())

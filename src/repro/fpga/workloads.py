@@ -1,0 +1,229 @@
+"""ImageNet/COCO-scale layer shape tables (paper Table VIII workloads).
+
+The *training* experiments use scaled models (numpy substrate); the
+*hardware* experiments need the real layer dimensions, because tiling
+efficiency, latency and GOPS depend only on shapes. These generators emit
+:class:`~repro.fpga.gemm.GemmWorkload` lists for the six networks of
+Table VIII with their standard architectures:
+
+- ResNet-18 @ 224x224 (1.81 GMACs, matching the paper's ~100 ms / 36 GOPS
+  D1-1 arithmetic),
+- MobileNet-v2 @ 224x224 (~0.30 GMACs),
+- YOLO-v3 @ 320x320 (~19.5 GMACs),
+- 2x256 LSTM (PTB), 2x1024 GRU (TIMIT), 3x512 LSTM (IMDB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.fpga.gemm import GemmWorkload
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """A conv/fc layer at network scale."""
+
+    name: str
+    kind: str          # "conv" | "dwconv" | "fc"
+    in_channels: int
+    out_channels: int
+    kernel: int = 1
+    stride: int = 1
+    out_size: int = 1  # output spatial edge (square maps)
+
+    @property
+    def macs(self) -> int:
+        positions = self.out_size * self.out_size if self.kind != "fc" else 1
+        if self.kind == "dwconv":
+            return self.out_channels * self.kernel ** 2 * positions
+        return (self.in_channels * self.out_channels * self.kernel ** 2
+                * positions)
+
+    def to_gemm(self) -> GemmWorkload:
+        """im2col mapping: channels and kernel positions pack *jointly* into
+        the reduction lanes (VTA-style blocking), so a 7x7 stem with 3 input
+        channels fills 147/160 lanes rather than 3/16. Depthwise convs have
+        only their own channel's k^2 taps to reduce over (9/16 lanes at
+        k=3) — the under-utilization §VI-B.2 attributes to thin layers."""
+        positions = self.out_size * self.out_size if self.kind != "fc" else 1
+        if self.kind == "dwconv":
+            return GemmWorkload(self.name, rows=self.out_channels,
+                                reduction=self.kernel ** 2,
+                                columns=positions)
+        return GemmWorkload(self.name, rows=self.out_channels,
+                            reduction=self.in_channels * self.kernel ** 2,
+                            columns=positions)
+
+
+def _conv(name: str, c_in: int, c_out: int, k: int, stride: int,
+          in_size: int) -> Tuple[LayerShape, int]:
+    out_size = in_size // stride
+    return LayerShape(name, "conv", c_in, c_out, k, stride, out_size), out_size
+
+
+# ----------------------------------------------------------------------
+# ResNet-18 @ 224
+# ----------------------------------------------------------------------
+def resnet18_imagenet() -> List[GemmWorkload]:
+    layers: List[LayerShape] = []
+    layer, size = _conv("conv1", 3, 64, 7, 2, 224)
+    layers.append(layer)
+    size //= 2  # 3x3/2 max-pool -> 56
+
+    def basic_block(index: int, c_in: int, c_out: int, stride: int,
+                    size: int) -> int:
+        nonlocal layers
+        layer, out = _conv(f"block{index}.conv1", c_in, c_out, 3, stride, size)
+        layers.append(layer)
+        layer, out = _conv(f"block{index}.conv2", c_out, c_out, 3, 1, out)
+        layers.append(layer)
+        if stride != 1 or c_in != c_out:
+            layers.append(LayerShape(f"block{index}.down", "conv", c_in,
+                                     c_out, 1, stride, out))
+        return out
+
+    block = 0
+    channels = 64
+    for stage, out_channels in enumerate((64, 128, 256, 512)):
+        for block_in_stage in range(2):
+            stride = 2 if stage > 0 and block_in_stage == 0 else 1
+            size = basic_block(block, channels, out_channels, stride, size)
+            channels = out_channels
+            block += 1
+    layers.append(LayerShape("fc", "fc", 512, 1000))
+    return [layer.to_gemm() for layer in layers]
+
+
+# ----------------------------------------------------------------------
+# MobileNet-v2 @ 224
+# ----------------------------------------------------------------------
+_MBV2_PLAN = [  # (expand t, channels c, repeats n, stride s)
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v2_imagenet() -> List[GemmWorkload]:
+    layers: List[LayerShape] = []
+    layer, size = _conv("stem", 3, 32, 3, 2, 224)
+    layers.append(layer)
+    channels = 32
+    index = 0
+    for expand, out_channels, repeats, stride in _MBV2_PLAN:
+        for i in range(repeats):
+            s = stride if i == 0 else 1
+            hidden = channels * expand
+            if expand != 1:
+                layers.append(LayerShape(f"ir{index}.expand", "conv",
+                                         channels, hidden, 1, 1, size))
+            dw_out = size // s
+            layers.append(LayerShape(f"ir{index}.dw", "dwconv", hidden,
+                                     hidden, 3, s, dw_out))
+            layers.append(LayerShape(f"ir{index}.project", "conv", hidden,
+                                     out_channels, 1, 1, dw_out))
+            channels = out_channels
+            size = dw_out
+            index += 1
+    layers.append(LayerShape("head", "conv", channels, 1280, 1, 1, size))
+    layers.append(LayerShape("fc", "fc", 1280, 1000))
+    return [layer.to_gemm() for layer in layers]
+
+
+# ----------------------------------------------------------------------
+# YOLO-v3 @ 320 (Darknet-53 backbone + 3-scale heads)
+# ----------------------------------------------------------------------
+def yolov3_coco(input_size: int = 320) -> List[GemmWorkload]:
+    layers: List[LayerShape] = []
+    size = input_size
+    layer, size = _conv("d0", 3, 32, 3, 1, size)
+    layers.append(layer)
+
+    def residual_stage(tag: str, c_out: int, blocks: int, size: int) -> int:
+        nonlocal layers
+        layer, size = _conv(f"{tag}.down", c_out // 2, c_out, 3, 2, size)
+        layers.append(layer)
+        for i in range(blocks):
+            layers.append(LayerShape(f"{tag}.r{i}.1x1", "conv", c_out,
+                                     c_out // 2, 1, 1, size))
+            layers.append(LayerShape(f"{tag}.r{i}.3x3", "conv", c_out // 2,
+                                     c_out, 3, 1, size))
+        return size
+
+    size = residual_stage("s1", 64, 1, size)      # 160
+    size = residual_stage("s2", 128, 2, size)     # 80
+    size40 = residual_stage("s3", 256, 8, size)   # 40
+    size20 = residual_stage("s4", 512, 8, size40)  # 20
+    size10 = residual_stage("s5", 1024, 4, size20)  # 10
+
+    def head(tag: str, c_in: int, width: int, size: int) -> None:
+        nonlocal layers
+        channels = c_in
+        for i in range(3):
+            layers.append(LayerShape(f"{tag}.c{2*i}", "conv", channels,
+                                     width, 1, 1, size))
+            layers.append(LayerShape(f"{tag}.c{2*i+1}", "conv", width,
+                                     width * 2, 3, 1, size))
+            channels = width * 2
+        layers.append(LayerShape(f"{tag}.det", "conv", channels, 255, 1, 1,
+                                 size))
+
+    head("h1", 1024, 512, size10)
+    layers.append(LayerShape("h2.reduce", "conv", 512, 256, 1, 1, size10))
+    head("h2", 256 + 512, 256, size20)
+    layers.append(LayerShape("h3.reduce", "conv", 256, 128, 1, 1, size20))
+    head("h3", 128 + 256, 128, size40)
+    return [layer.to_gemm() for layer in layers]
+
+
+# ----------------------------------------------------------------------
+# RNNs (Table VIII right half) — gate-stacked GEMMs per layer.
+# ----------------------------------------------------------------------
+def _rnn_workloads(name: str, gates: int, hidden: int, num_layers: int,
+                   input_dim: int, timesteps: int) -> List[GemmWorkload]:
+    workloads: List[GemmWorkload] = []
+    for layer in range(num_layers):
+        in_dim = input_dim if layer == 0 else hidden
+        workloads.append(GemmWorkload(
+            f"{name}.l{layer}.ih", rows=gates * hidden, reduction=in_dim,
+            columns=timesteps))
+        workloads.append(GemmWorkload(
+            f"{name}.l{layer}.hh", rows=gates * hidden, reduction=hidden,
+            columns=timesteps, sequential_columns=True))
+    return workloads
+
+
+def lstm_ptb(timesteps: int = 35) -> List[GemmWorkload]:
+    """2-layer, 256-hidden LSTM on PTB (paper §IV-C.1)."""
+    return _rnn_workloads("lstm-ptb", 4, 256, 2, 256, timesteps)
+
+
+def gru_timit(timesteps: int = 100) -> List[GemmWorkload]:
+    """2-layer, 1024-hidden GRU on TIMIT."""
+    return _rnn_workloads("gru-timit", 3, 1024, 2, 39, timesteps)
+
+
+def lstm_imdb(timesteps: int = 80) -> List[GemmWorkload]:
+    """3-layer, 512-hidden LSTM on IMDB."""
+    return _rnn_workloads("lstm-imdb", 4, 512, 3, 512, timesteps)
+
+
+WORKLOADS: Dict[str, Callable[[], List[GemmWorkload]]] = {
+    "resnet18": resnet18_imagenet,
+    "mobilenet_v2": mobilenet_v2_imagenet,
+    "yolov3": yolov3_coco,
+    "lstm_ptb": lstm_ptb,
+    "gru_timit": gru_timit,
+    "lstm_imdb": lstm_imdb,
+}
+
+
+def total_gops(workloads: List[GemmWorkload]) -> float:
+    """Total operation count in GOPs (2 x MACs)."""
+    return sum(w.ops for w in workloads) / 1e9

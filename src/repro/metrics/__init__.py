@@ -1,0 +1,18 @@
+"""Evaluation metrics used by the paper's tables: top-k accuracy (II-IV),
+COCO-style mAP (V), perplexity / phoneme error rate / accuracy (VI)."""
+
+from repro.metrics.classification import topk_accuracy, accuracy
+from repro.metrics.detection import average_precision, mean_average_precision
+from repro.metrics.language import perplexity
+from repro.metrics.speech import edit_distance, phoneme_error_rate, collapse_repeats
+
+__all__ = [
+    "topk_accuracy",
+    "accuracy",
+    "average_precision",
+    "mean_average_precision",
+    "perplexity",
+    "edit_distance",
+    "phoneme_error_rate",
+    "collapse_repeats",
+]

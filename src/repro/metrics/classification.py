@@ -1,0 +1,25 @@
+"""Classification metrics (Tables II, III, IV and the IMDB row of VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy from (N, C) logits and (N,) integer targets."""
+    return topk_accuracy(logits, targets, k=1)
+
+
+def topk_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of samples whose target is among the k highest logits."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets).reshape(-1)
+    if logits.ndim != 2:
+        raise ShapeError(f"expected (N, C) logits, got {logits.shape}")
+    if logits.shape[0] != targets.shape[0]:
+        raise ShapeError("logits/targets length mismatch")
+    k = min(k, logits.shape[1])
+    top = np.argpartition(-logits, kth=k - 1, axis=1)[:, :k]
+    return float(np.mean(np.any(top == targets[:, None], axis=1)))

@@ -1,0 +1,86 @@
+"""Detection metrics: per-class average precision and COCO-style mAP
+(Table V reports mAP@0.5 and mAP@(0.5:0.95))."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.models.yolo import box_iou
+
+
+def average_precision(detections: Sequence[dict],
+                      ground_truths: Sequence[np.ndarray],
+                      class_id: int, iou_threshold: float = 0.5) -> float:
+    """All-point-interpolated AP for one class.
+
+    ``detections[i]`` has keys ``boxes`` (xyxy, normalized), ``scores``,
+    ``classes``; ``ground_truths[i]`` is (M, 5): class, cx, cy, w, h.
+    """
+    scores: List[float] = []
+    matches: List[int] = []
+    total_gt = 0
+    for det, gt in zip(detections, ground_truths):
+        gt = np.asarray(gt, dtype=np.float64).reshape(-1, 5)
+        gt_cls = gt[gt[:, 0] == class_id]
+        gt_boxes = np.stack([
+            gt_cls[:, 1] - gt_cls[:, 3] / 2, gt_cls[:, 2] - gt_cls[:, 4] / 2,
+            gt_cls[:, 1] + gt_cls[:, 3] / 2, gt_cls[:, 2] + gt_cls[:, 4] / 2,
+        ], axis=1) if len(gt_cls) else np.zeros((0, 4))
+        total_gt += len(gt_boxes)
+        mask = det["classes"] == class_id
+        boxes = det["boxes"][mask]
+        confs = det["scores"][mask]
+        order = np.argsort(-confs)
+        used = np.zeros(len(gt_boxes), dtype=bool)
+        for rank in order:
+            scores.append(float(confs[rank]))
+            if len(gt_boxes) == 0:
+                matches.append(0)
+                continue
+            ious = box_iou(boxes[rank:rank + 1], gt_boxes).reshape(-1)
+            ious[used] = -1.0
+            best = int(np.argmax(ious))
+            if ious[best] >= iou_threshold:
+                matches.append(1)
+                used[best] = True
+            else:
+                matches.append(0)
+    if total_gt == 0:
+        return 0.0
+    if not scores:
+        return 0.0
+    order = np.argsort(-np.asarray(scores))
+    tp = np.asarray(matches)[order]
+    cum_tp = np.cumsum(tp)
+    precision = cum_tp / (np.arange(len(tp)) + 1)
+    recall = cum_tp / total_gt
+    # All-point interpolation (monotone precision envelope).
+    precision = np.maximum.accumulate(precision[::-1])[::-1]
+    recall = np.concatenate([[0.0], recall])
+    precision = np.concatenate([[precision[0] if len(precision) else 0.0],
+                                precision])
+    return float(np.sum(np.diff(recall) * precision[1:]))
+
+
+def mean_average_precision(detections: Sequence[dict],
+                           ground_truths: Sequence[np.ndarray],
+                           num_classes: int,
+                           iou_thresholds: Sequence[float] = (0.5,)
+                           ) -> Dict[str, float]:
+    """mAP averaged over classes and IoU thresholds.
+
+    With thresholds (0.5,) this is mAP@0.5; with ``np.arange(0.5, 1.0,
+    0.05)`` it is COCO's mAP@(0.5:0.95).
+    """
+    per_threshold = []
+    for threshold in iou_thresholds:
+        aps = [average_precision(detections, ground_truths, cls, threshold)
+               for cls in range(num_classes)]
+        per_threshold.append(float(np.mean(aps)))
+    return {
+        "map": float(np.mean(per_threshold)),
+        "per_threshold": dict(zip((f"{t:.2f}" for t in iou_thresholds),
+                                  per_threshold)),
+    }

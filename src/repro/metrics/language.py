@@ -1,0 +1,20 @@
+"""Language-model metric: perplexity (the PTB row of Table VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def perplexity(logits: np.ndarray, targets: np.ndarray) -> float:
+    """exp(mean NLL) from (N, V) logits over all predicted positions."""
+    logits = np.asarray(logits, dtype=np.float64)
+    targets = np.asarray(targets).reshape(-1)
+    if logits.ndim != 2 or logits.shape[0] != targets.shape[0]:
+        raise ShapeError(
+            f"logits {logits.shape} incompatible with targets {targets.shape}")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    nll = -log_probs[np.arange(len(targets)), targets].mean()
+    return float(np.exp(nll))

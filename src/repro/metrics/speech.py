@@ -1,0 +1,54 @@
+"""Speech metric: phoneme error rate (the TIMIT row of Table VI).
+
+PER = edit_distance(collapse(framewise predictions), reference) / len(ref),
+averaged over utterances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def collapse_repeats(sequence: np.ndarray) -> np.ndarray:
+    """Merge consecutive duplicate frame labels into one phoneme each."""
+    sequence = np.asarray(sequence).reshape(-1)
+    if sequence.size == 0:
+        return sequence
+    keep = np.ones(sequence.size, dtype=bool)
+    keep[1:] = sequence[1:] != sequence[:-1]
+    return sequence[keep]
+
+
+def edit_distance(a: Sequence[int], b: Sequence[int]) -> int:
+    """Levenshtein distance via the classic two-row DP."""
+    a = list(a)
+    b = list(b)
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, token_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, token_b in enumerate(b, start=1):
+            cost = 0 if token_a == token_b else 1
+            current[j] = min(previous[j] + 1,        # deletion
+                             current[j - 1] + 1,     # insertion
+                             previous[j - 1] + cost)  # substitution
+        previous = current
+    return previous[-1]
+
+
+def phoneme_error_rate(frame_predictions: np.ndarray,
+                       references: Sequence[np.ndarray]) -> float:
+    """Mean PER over utterances from (N, T) frame label predictions."""
+    total_errors = 0
+    total_length = 0
+    for prediction, reference in zip(frame_predictions, references):
+        hypothesis = collapse_repeats(prediction)
+        reference = np.asarray(reference).reshape(-1)
+        total_errors += edit_distance(hypothesis.tolist(), reference.tolist())
+        total_length += max(len(reference), 1)
+    return total_errors / max(total_length, 1)

@@ -1,0 +1,31 @@
+"""Evaluation workloads: the network families the paper quantizes.
+
+Training-scale variants (width/depth reduced for the numpy substrate) keep
+the exact block structure of the originals; the full ImageNet-scale layer
+shapes used by the FPGA performance experiments live in
+:mod:`repro.fpga.workloads`.
+"""
+
+from repro.models.resnet import ResNet, BasicBlock, resnet18_cifar, resnet_tiny
+from repro.models.mobilenet import MobileNetV2, InvertedResidual, mobilenet_v2_tiny
+from repro.models.yolo import YoloLite, yolo_lite
+from repro.models.rnn_models import (
+    LSTMLanguageModel,
+    GRUSpeechModel,
+    LSTMSentimentClassifier,
+)
+
+__all__ = [
+    "ResNet",
+    "BasicBlock",
+    "resnet18_cifar",
+    "resnet_tiny",
+    "MobileNetV2",
+    "InvertedResidual",
+    "mobilenet_v2_tiny",
+    "YoloLite",
+    "yolo_lite",
+    "LSTMLanguageModel",
+    "GRUSpeechModel",
+    "LSTMSentimentClassifier",
+]

@@ -1,0 +1,98 @@
+"""MobileNet-v2 (Sandler et al., 2018) — the paper's lightweight CNN.
+
+Inverted residuals with expansion, depthwise 3x3 convolution, a linear
+(non-activated) bottleneck projection, and residual connections when shapes
+match — the structure that makes MobileNet-v2 notoriously sensitive to
+quantization (§IV-C.2), which the reproduction preserves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+def _conv_bn_relu6(inp: int, out: int, kernel: int, stride: int, groups: int,
+                   rng) -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(inp, out, kernel, stride=stride, padding=kernel // 2,
+                  groups=groups, bias=False, rng=rng),
+        nn.BatchNorm2d(out),
+        nn.ReLU6(),
+    )
+
+
+class InvertedResidual(nn.Module):
+    """expand (1x1) -> depthwise (3x3) -> project (1x1, linear)."""
+
+    def __init__(self, inp: int, out: int, stride: int, expand_ratio: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = inp * expand_ratio
+        self.use_residual = stride == 1 and inp == out
+        if expand_ratio != 1:
+            self.expand = _conv_bn_relu6(inp, hidden, 1, 1, 1, rng)
+        else:
+            self.expand = nn.Identity()
+        self.depthwise = _conv_bn_relu6(hidden, hidden, 3, stride, hidden, rng)
+        self.project = nn.Sequential(
+            nn.Conv2d(hidden, out, 1, bias=False, rng=rng),
+            nn.BatchNorm2d(out),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.project(self.depthwise(self.expand(x)))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(nn.Module):
+    """MobileNet-v2 with a configurable inverted-residual plan.
+
+    ``plan`` entries are (expand_ratio, out_channels, repeats, stride) —
+    the same (t, c, n, s) table as the original paper, scaled down by
+    default for the numpy substrate.
+    """
+
+    DEFAULT_PLAN: List[Tuple[int, int, int, int]] = [
+        (1, 8, 1, 1),
+        (4, 12, 2, 2),
+        (4, 16, 2, 2),
+        (4, 24, 2, 2),
+    ]
+
+    def __init__(self, num_classes: int = 10,
+                 plan: Optional[List[Tuple[int, int, int, int]]] = None,
+                 stem_channels: int = 8, head_channels: int = 64,
+                 in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        plan = plan or self.DEFAULT_PLAN
+        self.stem = _conv_bn_relu6(in_channels, stem_channels, 3, 1, 1, rng)
+        blocks = []
+        current = stem_channels
+        for expand, out, repeats, stride in plan:
+            for i in range(repeats):
+                blocks.append(InvertedResidual(
+                    current, out, stride if i == 0 else 1, expand, rng=rng))
+                current = out
+        self.blocks = nn.Sequential(*blocks)
+        self.head = _conv_bn_relu6(current, head_channels, 1, 1, 1, rng)
+        self.pool = nn.GlobalAvgPool2d()
+        self.classifier = nn.Linear(head_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.head(self.blocks(self.stem(x)))
+        return self.classifier(self.pool(out))
+
+
+def mobilenet_v2_tiny(num_classes: int = 10,
+                      rng: Optional[np.random.Generator] = None) -> MobileNetV2:
+    """Default scaled-down MobileNet-v2."""
+    return MobileNetV2(num_classes=num_classes, rng=rng)

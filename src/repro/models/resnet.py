@@ -1,0 +1,93 @@
+"""ResNet with basic blocks (He et al., 2016) — the paper's primary CNN.
+
+``resnet18_cifar`` keeps ResNet-18's [2, 2, 2, 2] basic-block layout with a
+3x3 stem (the standard CIFAR adaptation); ``base_width`` scales the channel
+widths so the numpy substrate trains in seconds while every quantized layer
+type (stem conv, block convs, downsample 1x1, final linear) is exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with identity (or 1x1-projected) residual."""
+
+    expansion = 1
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1,
+                               padding=1, bias=False, rng=rng)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride,
+                          bias=False, rng=rng),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x)
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        return (out + identity).relu()
+
+
+class ResNet(nn.Module):
+    """Configurable basic-block ResNet for 32x32-ish inputs."""
+
+    def __init__(self, layers: List[int], num_classes: int = 10,
+                 base_width: int = 16, in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        widths = [base_width * (2 ** i) for i in range(len(layers))]
+        self.conv1 = nn.Conv2d(in_channels, widths[0], 3, stride=1, padding=1,
+                               bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(widths[0])
+        current = widths[0]
+        stages = []
+        for stage_index, (width, blocks) in enumerate(zip(widths, layers)):
+            stride = 1 if stage_index == 0 else 2
+            stage_blocks = []
+            for block_index in range(blocks):
+                stage_blocks.append(BasicBlock(
+                    current, width,
+                    stride=stride if block_index == 0 else 1, rng=rng))
+                current = width
+            stages.append(nn.Sequential(*stage_blocks))
+        self.stages = nn.Sequential(*stages)
+        self.pool = nn.GlobalAvgPool2d()
+        self.fc = nn.Linear(current, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.stages(out)
+        return self.fc(self.pool(out))
+
+
+def resnet18_cifar(num_classes: int = 10, base_width: int = 16,
+                   rng: Optional[np.random.Generator] = None) -> ResNet:
+    """ResNet-18 block layout ([2,2,2,2]) with a CIFAR stem."""
+    return ResNet([2, 2, 2, 2], num_classes=num_classes,
+                  base_width=base_width, rng=rng)
+
+
+def resnet_tiny(num_classes: int = 10, base_width: int = 8,
+                rng: Optional[np.random.Generator] = None) -> ResNet:
+    """Three-stage mini ResNet for fast tests and benchmarks."""
+    return ResNet([1, 1, 1], num_classes=num_classes,
+                  base_width=base_width, rng=rng)

@@ -1,0 +1,91 @@
+"""RNN task models (paper §IV-C.1): LSTM language model (PTB-style),
+GRU frame classifier (TIMIT-style) and LSTM sentiment classifier
+(IMDB-style).
+
+Dimensions default to scaled-down versions of the paper's (256x2 LSTM,
+1024x2 GRU, 512x3 LSTM); the ImageNet-scale GEMM shapes used for the FPGA
+experiments live in :mod:`repro.fpga.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class LSTMLanguageModel(nn.Module):
+    """Embedding -> multi-layer LSTM -> tied-size softmax over the vocab.
+
+    Evaluated with perplexity (lower is better), as on PTB in Table VI.
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 32,
+                 hidden_size: int = 64, num_layers: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.lstm = nn.LSTM(embed_dim, hidden_size, num_layers=num_layers, rng=rng)
+        self.decoder = nn.Linear(hidden_size, vocab_size, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """(N, T) int tokens -> (N*T, vocab) logits for next-token prediction."""
+        embedded = self.embedding(token_ids)
+        outputs, _ = self.lstm(embedded)
+        n, t, h = outputs.shape
+        return self.decoder(outputs.reshape(n * t, h))
+
+
+class GRUSpeechModel(nn.Module):
+    """Multi-layer GRU over acoustic frames -> per-frame phoneme logits.
+
+    Evaluated with phoneme error rate, as on TIMIT in Table VI.
+    """
+
+    def __init__(self, input_dim: int = 13, hidden_size: int = 64,
+                 num_layers: int = 2, num_phonemes: int = 12,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.gru = nn.GRU(input_dim, hidden_size, num_layers=num_layers, rng=rng)
+        self.classifier = nn.Linear(hidden_size, num_phonemes, rng=rng)
+
+    def forward(self, frames: Tensor) -> Tensor:
+        """(N, T, F) frames -> (N*T, phonemes) logits."""
+        outputs, _ = self.gru(frames)
+        n, t, h = outputs.shape
+        return self.classifier(outputs.reshape(n * t, h))
+
+    def frame_predictions(self, frames: Tensor) -> np.ndarray:
+        """(N, T) argmax phoneme ids per frame."""
+        n, t, _ = frames.shape
+        logits = self.forward(frames)
+        return logits.data.argmax(axis=1).reshape(n, t)
+
+
+class LSTMSentimentClassifier(nn.Module):
+    """Embedding -> multi-layer LSTM -> binary sentiment from the last state.
+
+    Evaluated with accuracy, as on IMDB in Table VI (the paper's model has
+    three 512-unit layers).
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 32,
+                 hidden_size: int = 48, num_layers: int = 3,
+                 num_classes: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embedding = nn.Embedding(vocab_size, embed_dim, rng=rng)
+        self.lstm = nn.LSTM(embed_dim, hidden_size, num_layers=num_layers, rng=rng)
+        self.classifier = nn.Linear(hidden_size, num_classes, rng=rng)
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        embedded = self.embedding(token_ids)
+        outputs, _ = self.lstm(embedded)
+        last = outputs[:, outputs.shape[1] - 1]
+        return self.classifier(last)

@@ -1,0 +1,236 @@
+"""YOLO-lite: a compact anchor-based single-scale detector.
+
+Stands in for YOLO-v3 in the Table V experiments (the full model is a
+~62M-parameter FCN; see DESIGN.md §2). The detector keeps the pieces that
+interact with quantization: a fully convolutional backbone, per-anchor box
+regression with sigmoid offsets and log-scale sizes, objectness + class
+heads, target assignment by cell/best-anchor, and NMS decoding evaluated
+with COCO-style mAP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+
+# (width, height) in normalized image coordinates.
+DEFAULT_ANCHORS: Tuple[Tuple[float, float], ...] = ((0.2, 0.2), (0.45, 0.45))
+
+
+def _conv_block(inp: int, out: int, stride: int, rng) -> nn.Sequential:
+    return nn.Sequential(
+        nn.Conv2d(inp, out, 3, stride=stride, padding=1, bias=False, rng=rng),
+        nn.BatchNorm2d(out),
+        nn.ReLU(),
+    )
+
+
+class YoloLite(nn.Module):
+    """Single-scale anchor detector over square images.
+
+    The backbone downsamples by 8, so a 32px image yields a 4x4 grid and a
+    64px image an 8x8 grid (the Table V experiment runs both sizes, echoing
+    the paper's 320 vs 640 comparison).
+    """
+
+    def __init__(self, num_classes: int = 3,
+                 anchors: Sequence[Tuple[float, float]] = DEFAULT_ANCHORS,
+                 base_width: int = 8, in_channels: int = 3,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_classes = num_classes
+        self.anchors = np.asarray(anchors, dtype=np.float64)
+        base = base_width
+        self.backbone = nn.Sequential(
+            _conv_block(in_channels, base, 1, rng),
+            _conv_block(base, base * 2, 2, rng),
+            _conv_block(base * 2, base * 2, 1, rng),
+            _conv_block(base * 2, base * 4, 2, rng),
+            _conv_block(base * 4, base * 4, 1, rng),
+            _conv_block(base * 4, base * 8, 2, rng),
+        )
+        out_channels = len(anchors) * (5 + num_classes)
+        self.head = nn.Conv2d(base * 8, out_channels, 1, rng=rng)
+
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.backbone(x))
+
+    def _flat_predictions(self, x: Tensor) -> Tuple[Tensor, int, int]:
+        """Raw head output reshaped to (N*A*S*S, 5+C)."""
+        raw = self.forward(x)
+        n, channels, s, _ = raw.shape
+        a = len(self.anchors)
+        per = 5 + self.num_classes
+        if channels != a * per:
+            raise ShapeError(f"head produced {channels} channels, expected {a * per}")
+        grid = raw.reshape(n, a, per, s, s).transpose(0, 1, 3, 4, 2)
+        return grid.reshape(n * a * s * s, per), n, s
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def build_targets(self, targets: Sequence[np.ndarray], grid: int,
+                      batch: int) -> dict:
+        """Assign each ground-truth box to (cell containing its center,
+        best-IoU anchor). ``targets[i]`` is (M_i, 5): class, cx, cy, w, h."""
+        a = len(self.anchors)
+        obj = np.zeros(batch * a * grid * grid, dtype=np.float32)
+        flat_idx: List[int] = []
+        boxes: List[List[float]] = []
+        classes: List[int] = []
+        for image_index, rows in enumerate(targets):
+            for row in np.asarray(rows, dtype=np.float64).reshape(-1, 5):
+                cls, cx, cy, w, h = row
+                j = min(int(cx * grid), grid - 1)
+                i = min(int(cy * grid), grid - 1)
+                # Best anchor by shape IoU (wh only).
+                inter = np.minimum(self.anchors[:, 0], w) * \
+                    np.minimum(self.anchors[:, 1], h)
+                union = self.anchors[:, 0] * self.anchors[:, 1] + w * h - inter
+                anchor = int(np.argmax(inter / union))
+                k = ((image_index * a + anchor) * grid + i) * grid + j
+                if obj[k] == 1.0:
+                    continue  # cell/anchor already taken
+                obj[k] = 1.0
+                flat_idx.append(k)
+                boxes.append([
+                    cx * grid - j,
+                    cy * grid - i,
+                    math.log(max(w, 1e-6) / self.anchors[anchor, 0]),
+                    math.log(max(h, 1e-6) / self.anchors[anchor, 1]),
+                ])
+                classes.append(int(cls))
+        return {
+            "obj": obj,
+            "assigned_idx": np.asarray(flat_idx, dtype=np.int64),
+            "box_targets": np.asarray(boxes, dtype=np.float32).reshape(-1, 4),
+            "class_targets": np.asarray(classes, dtype=np.int64),
+        }
+
+    def loss(self, images: Tensor, targets: Sequence[np.ndarray],
+             lambda_box: float = 5.0, lambda_obj: float = 8.0,
+             lambda_noobj: float = 0.5) -> Tensor:
+        """Composite detection loss (box MSE + objectness BCE + class CE).
+
+        Positives are up-weighted (``lambda_obj``) because a grid has far
+        more background cells than objects; without it the mean-BCE keeps
+        objectness under-confident.
+        """
+        flat, batch, grid = self._flat_predictions(images)
+        built = self.build_targets(targets, grid, batch)
+
+        obj_logits = flat[:, 4]
+        tobj = built["obj"]
+        # Stable elementwise BCE with per-element weights.
+        weights = np.where(tobj > 0, lambda_obj, lambda_noobj).astype(np.float32)
+        relu_x = obj_logits.relu()
+        softplus = ((-obj_logits.abs()).exp() + 1.0).log()
+        bce = relu_x - obj_logits * Tensor(tobj) + softplus
+        obj_loss = (bce * Tensor(weights)).mean()
+
+        if built["assigned_idx"].size == 0:
+            return obj_loss
+
+        assigned = flat[built["assigned_idx"]]
+        xy_pred = assigned[:, 0:2].sigmoid()
+        # Clamp the log-size regression so a bad step cannot blow up the
+        # squared loss (exp-decode saturates at +-6 in detect() anyway).
+        wh_pred = assigned[:, 2:4].clip(-4.0, 4.0)
+        t = built["box_targets"]
+        box_loss = (((xy_pred - Tensor(t[:, 0:2])) ** 2).sum()
+                    + ((wh_pred - Tensor(t[:, 2:4])) ** 2).sum()) \
+            * (1.0 / max(len(t), 1))
+        class_loss = nn.cross_entropy(assigned[:, 5:], built["class_targets"])
+        return obj_loss + lambda_box * box_loss + class_loss
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def detect(self, images: Tensor, conf_threshold: float = 0.4,
+               iou_threshold: float = 0.45,
+               max_detections: int = 20) -> List[dict]:
+        """Decode + NMS. Returns per-image dicts of boxes/scores/classes.
+
+        Boxes are (x1, y1, x2, y2) in normalized [0, 1] coordinates.
+        """
+        flat, batch, grid = self._flat_predictions(images)
+        a = len(self.anchors)
+        per = 5 + self.num_classes
+        pred = flat.data.reshape(batch, a, grid, grid, per)
+        results = []
+        ii, jj = np.meshgrid(np.arange(grid), np.arange(grid), indexing="ij")
+        for n in range(batch):
+            boxes, scores, classes = [], [], []
+            for anchor_index in range(a):
+                p = pred[n, anchor_index]
+                xy = 1.0 / (1.0 + np.exp(-p[..., 0:2]))
+                cx = (xy[..., 0] + jj) / grid
+                cy = (xy[..., 1] + ii) / grid
+                w = self.anchors[anchor_index, 0] * np.exp(
+                    np.clip(p[..., 2], -6, 6))
+                h = self.anchors[anchor_index, 1] * np.exp(
+                    np.clip(p[..., 3], -6, 6))
+                obj = 1.0 / (1.0 + np.exp(-p[..., 4]))
+                cls_logits = p[..., 5:]
+                cls_exp = np.exp(cls_logits - cls_logits.max(-1, keepdims=True))
+                cls_prob = cls_exp / cls_exp.sum(-1, keepdims=True)
+                best_cls = cls_prob.argmax(-1)
+                conf = obj * np.take_along_axis(
+                    cls_prob, best_cls[..., None], axis=-1)[..., 0]
+                keep = conf >= conf_threshold
+                for i, j in zip(*np.where(keep)):
+                    boxes.append([cx[i, j] - w[i, j] / 2, cy[i, j] - h[i, j] / 2,
+                                  cx[i, j] + w[i, j] / 2, cy[i, j] + h[i, j] / 2])
+                    scores.append(conf[i, j])
+                    classes.append(best_cls[i, j])
+            boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+            scores = np.asarray(scores, dtype=np.float64)
+            classes = np.asarray(classes, dtype=np.int64)
+            keep = _nms(boxes, scores, iou_threshold)[:max_detections]
+            results.append({"boxes": boxes[keep], "scores": scores[keep],
+                            "classes": classes[keep]})
+        return results
+
+
+def _nms(boxes: np.ndarray, scores: np.ndarray, iou_threshold: float
+         ) -> np.ndarray:
+    """Greedy class-agnostic non-maximum suppression."""
+    order = np.argsort(-scores)
+    keep: List[int] = []
+    while order.size:
+        best = order[0]
+        keep.append(int(best))
+        if order.size == 1:
+            break
+        rest = order[1:]
+        ious = box_iou(boxes[best:best + 1], boxes[rest]).reshape(-1)
+        order = rest[ious <= iou_threshold]
+    return np.asarray(keep, dtype=np.int64)
+
+
+def box_iou(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between (N, 4) and (M, 4) xyxy boxes -> (N, M)."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1, 4)
+    b = np.asarray(b, dtype=np.float64).reshape(-1, 4)
+    x1 = np.maximum(a[:, None, 0], b[None, :, 0])
+    y1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    x2 = np.minimum(a[:, None, 2], b[None, :, 2])
+    y2 = np.minimum(a[:, None, 3], b[None, :, 3])
+    inter = np.clip(x2 - x1, 0, None) * np.clip(y2 - y1, 0, None)
+    area_a = np.clip(a[:, 2] - a[:, 0], 0, None) * np.clip(a[:, 3] - a[:, 1], 0, None)
+    area_b = np.clip(b[:, 2] - b[:, 0], 0, None) * np.clip(b[:, 3] - b[:, 1], 0, None)
+    union = area_a[:, None] + area_b[None, :] - inter
+    return np.where(union > 0, inter / union, 0.0)
+
+
+def yolo_lite(num_classes: int = 3, base_width: int = 8,
+              rng: Optional[np.random.Generator] = None) -> YoloLite:
+    return YoloLite(num_classes=num_classes, base_width=base_width, rng=rng)

@@ -1,0 +1,69 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Provides the PyTorch-like substrate the paper's training code assumes:
+``Module``/``Parameter``, common layers, RNN cells, losses, optimizers and
+learning-rate schedulers.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Linear,
+    Conv2d,
+    BatchNorm2d,
+    BatchNorm1d,
+    ReLU,
+    ReLU6,
+    Identity,
+    Flatten,
+    MaxPool2d,
+    AvgPool2d,
+    GlobalAvgPool2d,
+    Dropout,
+    Embedding,
+)
+from repro.nn.rnn import LSTMCell, GRUCell, LSTM, GRU
+from repro.nn.losses import (
+    cross_entropy,
+    mse_loss,
+    l1_loss,
+    bce_with_logits,
+    log_softmax,
+    softmax,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import StepLR, MultiStepLR, CosineAnnealingLR
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "ReLU",
+    "ReLU6",
+    "Identity",
+    "Flatten",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Embedding",
+    "LSTMCell",
+    "GRUCell",
+    "LSTM",
+    "GRU",
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "bce_with_logits",
+    "log_softmax",
+    "softmax",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "StepLR",
+    "MultiStepLR",
+    "CosineAnnealingLR",
+]

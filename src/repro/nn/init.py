@@ -1,0 +1,61 @@
+"""Weight initialization helpers.
+
+All initializers draw from an explicit ``numpy.random.Generator`` so every
+experiment in the reproduction is deterministic end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in/groups, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape[1:])) or shape[0]
+    return fan_in, fan_out
+
+
+def kaiming_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He-normal init for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform init (PyTorch's default for Conv/Linear)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init for tanh/sigmoid (RNN) networks."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform(shape: Sequence[int], bound: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape: Sequence[int], std: float, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: Sequence[int]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Sequence[int]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

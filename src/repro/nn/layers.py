@@ -1,0 +1,261 @@
+"""Standard layers.
+
+``Conv2d`` and ``Linear`` carry two optional hooks used by the quantization
+framework (:mod:`repro.quant`):
+
+- ``weight_quant`` — a fake-quantizer applied to the weight each forward pass
+  (straight-through estimator semantics; used by the STE-trained baselines).
+- ``act_quant`` — a fake-quantizer applied to the layer *input* (the paper
+  quantizes activations with fixed-point STE in all experiments, Alg. 1).
+
+Hooks default to ``None`` (pure full-precision behaviour), so the substrate
+stays generic and the quantization logic lives entirely in ``repro.quant``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, conv2d, max_pool2d, avg_pool2d, global_avg_pool2d
+
+QuantHook = Optional[Callable[[Tensor], Tensor]]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W^T + b``.
+
+    The weight is stored as ``(out_features, in_features)`` — each *row* is
+    one output neuron's weights, which is exactly the row granularity the
+    paper's MSQ partitioning operates on (§IV-A).
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.weight_quant: QuantHook = None
+        self.act_quant: QuantHook = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.act_quant is not None:
+            x = self.act_quant(x)
+        weight = self.weight
+        if self.weight_quant is not None:
+            weight = self.weight_quant(weight)
+        out = x @ weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class Conv2d(Module):
+    """2-D convolution over NCHW tensors with optional grouping."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 bias: bool = True, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if in_channels % groups != 0:
+            raise ConfigurationError(
+                f"in_channels {in_channels} not divisible by groups {groups}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_uniform(shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self.weight_quant: QuantHook = None
+        self.act_quant: QuantHook = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.act_quant is not None:
+            x = self.act_quant(x)
+        weight = self.weight
+        if self.weight_quant is not None:
+            weight = self.weight_quant(weight)
+        return conv2d(x, weight, self.bias, stride=self.stride,
+                      padding=self.padding, groups=self.groups)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"k={self.kernel_size}, s={self.stride}, p={self.padding}, "
+                f"g={self.groups})")
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over the channel axis of NCHW tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        axes = (0, 2, 3)
+        shape = (1, self.num_features, 1, 1)
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            m = self.momentum
+            self.set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1),
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * var.data.reshape(-1),
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over (N, F) tensors."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones((num_features,)))
+        self.beta = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            var = x.var(axis=0, keepdims=True)
+            m = self.momentum
+            self.set_buffer(
+                "running_mean",
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1),
+            )
+            self.set_buffer(
+                "running_var",
+                (1 - m) * self.running_var + m * var.data.reshape(-1),
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            var = Tensor(self.running_var.reshape(1, -1))
+        normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.gamma.reshape(1, -1) + self.beta.reshape(1, -1)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (MobileNet-v2's activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.clip(0.0, 6.0)
+
+    def __repr__(self) -> str:
+        return "ReLU6()"
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: Optional[int] = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), 0.1, rng))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.weight[indices]
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

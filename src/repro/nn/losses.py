@@ -1,0 +1,72 @@
+"""Loss functions and softmax helpers.
+
+``cross_entropy`` is implemented as a fused op (softmax + NLL with the
+closed-form gradient) because it sits in every training inner loop; the
+remaining losses compose existing autograd ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``targets``.
+
+    Fused forward/backward: grad = (softmax - onehot) / N.
+    """
+    targets = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, C) logits, got {logits.shape}")
+    n, c = logits.shape
+    if targets.shape[0] != n:
+        raise ShapeError(f"targets length {targets.shape[0]} != batch {n}")
+
+    z = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    log_probs = z - np.log(exp.sum(axis=1, keepdims=True))
+    loss_value = -log_probs[np.arange(n), targets].mean()
+
+    def backward(grad: np.ndarray) -> None:
+        dlogits = probs.copy()
+        dlogits[np.arange(n), targets] -= 1.0
+        logits._accumulate(grad * dlogits / n)
+
+    return Tensor._make(np.asarray(loss_value, dtype=np.float32), (logits,), backward)
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits."""
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    t = targets.detach()
+    # max(x,0) - x*t + log(1 + exp(-|x|))
+    relu_x = logits.relu()
+    abs_x = logits.abs()
+    softplus = ((-abs_x).exp() + 1.0).log()
+    return (relu_x - logits * t + softplus).mean()

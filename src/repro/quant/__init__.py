@@ -1,0 +1,117 @@
+"""The paper's contribution: SP2 quantization, mixed-scheme quantization
+(MSQ), and the ADMM+STE quantization-aware training algorithms.
+
+Typical use::
+
+    from repro.quant import QATConfig, quantize_model, Scheme
+
+    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
+                       ratio="2:1")           # SP2:fixed from FPGA charact.
+    result = quantize_model(model, make_batches, loss_fn, config)
+"""
+
+from repro.quant.schemes import (
+    Scheme,
+    SchemeSpec,
+    fixed_point_levels,
+    power_of_2_levels,
+    sp2_levels,
+    sp2_magnitude_terms,
+    default_sp2_split,
+    levels_for,
+)
+from repro.quant.quantizers import (
+    SchemeQuantizer,
+    QuantResult,
+    make_quantizer,
+    project_to_levels,
+    quantization_mse,
+    verify_on_levels,
+)
+from repro.quant.encoding import (
+    SP2Code,
+    encode_fixed,
+    decode_fixed,
+    encode_p2,
+    decode_p2,
+    encode_sp2,
+    decode_sp2,
+    pack_sp2,
+    unpack_sp2,
+)
+from repro.quant.arithmetic import (
+    OpCount,
+    ops_fixed_point,
+    ops_sp2,
+    shift_add_multiply,
+    fixed_multiply,
+    sp2_frac_bits,
+    table1_rows,
+)
+from repro.quant.partition import (
+    PartitionRatio,
+    RowPartition,
+    partition_rows,
+    row_variances,
+    to_gemm_matrix,
+)
+from repro.quant.msq import MixedSchemeQuantizer, MSQResult
+from repro.quant.ste import ActivationQuantizer, WeightSTEQuantizer, fake_quant_ste
+from repro.quant.admm import ADMMQuantizer, collect_quantizable
+from repro.quant.trainer import (
+    QATConfig,
+    QATResult,
+    quantize_model,
+    train_fp,
+    install_activation_quantizers,
+)
+
+__all__ = [
+    "Scheme",
+    "SchemeSpec",
+    "fixed_point_levels",
+    "power_of_2_levels",
+    "sp2_levels",
+    "sp2_magnitude_terms",
+    "default_sp2_split",
+    "levels_for",
+    "SchemeQuantizer",
+    "QuantResult",
+    "make_quantizer",
+    "project_to_levels",
+    "quantization_mse",
+    "verify_on_levels",
+    "SP2Code",
+    "encode_fixed",
+    "decode_fixed",
+    "encode_p2",
+    "decode_p2",
+    "encode_sp2",
+    "decode_sp2",
+    "pack_sp2",
+    "unpack_sp2",
+    "OpCount",
+    "ops_fixed_point",
+    "ops_sp2",
+    "shift_add_multiply",
+    "fixed_multiply",
+    "sp2_frac_bits",
+    "table1_rows",
+    "PartitionRatio",
+    "RowPartition",
+    "partition_rows",
+    "row_variances",
+    "to_gemm_matrix",
+    "MixedSchemeQuantizer",
+    "MSQResult",
+    "ActivationQuantizer",
+    "WeightSTEQuantizer",
+    "fake_quant_ste",
+    "ADMMQuantizer",
+    "collect_quantizable",
+    "QATConfig",
+    "QATResult",
+    "quantize_model",
+    "train_fp",
+    "install_activation_quantizers",
+]

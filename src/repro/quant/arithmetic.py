@@ -1,0 +1,157 @@
+"""Weight-activation multiplication arithmetic (paper Table I and Eq. 6).
+
+Two things live here:
+
+1. **Bit-exact shift-add emulation** of the SP2 datapath. An n-bit unsigned
+   activation ``a`` times an SP2 weight ``±(2^-c1 + 2^-c2)`` is computed as
+   two left-shifts of ``a`` into a fixed-point accumulator with ``S``
+   fractional bits (``S = 2^m1 - 1``, the deepest shift):
+   ``(a << (S - c1)) + (a << (S - c2))`` — pure integer ops, exactly equal to
+   the real-valued product scaled by ``2^S``. This is the claim behind the
+   paper's LUT-only GEMM core and is asserted exhaustively by the tests.
+
+2. **The operation-count model** reproducing Table I: a fixed-point multiply
+   costs ``m - 2`` n-bit additions (shift-add multiplier), while an SP2
+   multiply costs two shifts (by at most ``2^m1 - 1`` / ``2^m2 - 1`` bits —
+   the level set of Eq. 8 allows one more than the ``2^mi - 2`` stated in the
+   table's text) plus a single wide addition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.quant.encoding import SP2Code
+
+
+def sp2_frac_bits(m1: int) -> int:
+    """Fractional bits needed for exact SP2 shift-add accumulation."""
+    return 2 ** m1 - 1
+
+
+def shift_add_multiply(activation: np.ndarray, code: SP2Code) -> np.ndarray:
+    """Exact integer product ``activation * weight * 2^S`` via shifts+add.
+
+    ``activation`` must be non-negative integers (n-bit unsigned, as after a
+    ReLU + fixed-point activation quantizer). Result dtype is int64.
+    """
+    act = np.asarray(activation)
+    if not np.issubdtype(act.dtype, np.integer):
+        raise QuantizationError("activation operand must be an integer array")
+    if np.any(act < 0):
+        raise QuantizationError("activation operand must be unsigned (>= 0)")
+    act = act.astype(np.int64)
+    shift_depth = sp2_frac_bits(code.m1)
+    term1 = np.where(code.c1 > 0, act << np.maximum(shift_depth - code.c1, 0), 0)
+    term2 = np.where(code.c2 > 0, act << np.maximum(shift_depth - code.c2, 0), 0)
+    return code.sign.astype(np.int64) * (term1 + term2)
+
+
+def fixed_multiply(activation: np.ndarray, weight_codes: np.ndarray) -> np.ndarray:
+    """Plain integer multiply (the DSP path): activation * magnitude code."""
+    act = np.asarray(activation)
+    if not np.issubdtype(act.dtype, np.integer):
+        raise QuantizationError("activation operand must be an integer array")
+    return act.astype(np.int64) * np.asarray(weight_codes, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Primitive-operation budget of one weight-activation multiply."""
+
+    shifts: int = 0
+    max_shift_bits: int = 0
+    additions: int = 0
+    addition_bits: int = 0
+    dsp_multiplies: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shifts": self.shifts,
+            "max_shift_bits": self.max_shift_bits,
+            "additions": self.additions,
+            "addition_bits": self.addition_bits,
+            "dsp_multiplies": self.dsp_multiplies,
+        }
+
+
+def ops_fixed_point(weight_bits: int, act_bits: int,
+                    use_dsp: bool = False) -> OpCount:
+    """Cost of an m-bit fixed x n-bit fixed multiply (Table I, row 1).
+
+    In LUT logic this is the schoolbook shift-add multiplier: the (m-1)-bit
+    magnitude contributes ``m - 2`` n-bit additions. On the FPGA the DSP
+    slice absorbs it into one hard multiply (``use_dsp=True``).
+    """
+    if weight_bits < 2:
+        raise ConfigurationError("fixed-point needs >= 2 bits")
+    if use_dsp:
+        return OpCount(dsp_multiplies=1)
+    return OpCount(additions=weight_bits - 2, addition_bits=act_bits)
+
+
+def ops_sp2(weight_bits: int, act_bits: int, m1: int, m2: int) -> OpCount:
+    """Cost of an m-bit SP2 x n-bit fixed multiply (Table I, row 2)."""
+    if m1 + m2 + 1 != weight_bits:
+        raise ConfigurationError("SP2 requires m1 + m2 + 1 == weight_bits")
+    max_shift = max(sp2_frac_bits(m1), sp2_frac_bits(m2))
+    return OpCount(
+        shifts=2,
+        max_shift_bits=max_shift,
+        additions=1,
+        addition_bits=act_bits + sp2_frac_bits(m1),
+    )
+
+
+def table1_rows(weight_bits: int = 4, act_bits: int = 4) -> list:
+    """The rows of paper Table I for the given bit-widths.
+
+    Returns dictionaries describing operands and op budgets for the fixed
+    and SP2 schemes, formatted by :mod:`repro.experiments.table1_ops`.
+    """
+    from repro.quant.schemes import default_sp2_split
+
+    m1, m2 = default_sp2_split(weight_bits)
+    return [
+        {
+            "scheme": "fixed",
+            "weight_operand": f"{weight_bits - 1}-bit integer",
+            "act_operand": f"{act_bits}-bit integer",
+            "ops": ops_fixed_point(weight_bits, act_bits).as_dict(),
+        },
+        {
+            "scheme": "sp2",
+            "weight_operand": f"{m1}-bit + {m2}-bit shift codes",
+            "act_operand": f"{act_bits}-bit integer",
+            "ops": ops_sp2(weight_bits, act_bits, m1, m2).as_dict(),
+        },
+    ]
+
+
+def lut_cost_per_multiply(scheme: str, weight_bits: int, act_bits: int,
+                          m1: int = None, m2: int = None) -> float:
+    """Approximate LUT6 count for one multiply in soft logic.
+
+    Derived from the op model: an n-bit ripple-carry add costs ~n LUTs and a
+    barrel-shift stage costs ~w LUTs per output bit handled. Used by the FPGA
+    resource model to reason about relative LUT budgets; absolute values are
+    calibrated in :mod:`repro.fpga.resources`.
+    """
+    if scheme == "fixed":
+        ops = ops_fixed_point(weight_bits, act_bits)
+        return ops.additions * ops.addition_bits
+    if scheme == "sp2":
+        from repro.quant.schemes import default_sp2_split
+
+        if m1 is None or m2 is None:
+            m1, m2 = default_sp2_split(weight_bits)
+        ops = ops_sp2(weight_bits, act_bits, m1, m2)
+        # Shifts by a *constant stored code* are mux stages, ~1 LUT per bit
+        # of the shifted operand per code bit.
+        mux = act_bits * (m1 + m2)
+        return ops.additions * ops.addition_bits + mux
+    raise ConfigurationError(f"unknown scheme {scheme!r}")

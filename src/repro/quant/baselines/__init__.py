@@ -1,0 +1,61 @@
+"""Baseline DNN quantization methods the paper compares against
+(Tables III, IV and VI): DoReFa, PACT, DSQ, QIL, µL2Q, LQ-Nets, LSQ, EQM.
+
+Every method implements the small :class:`~repro.quant.baselines.common.
+BaselineMethod` interface (install STE hooks -> optional per-epoch state
+update -> hard projection at the end) so the shared
+:func:`~repro.quant.baselines.common.train_baseline` loop runs them all under
+identical conditions — the same discipline the paper follows by starting all
+methods from the same pre-trained model.
+"""
+
+from repro.quant.baselines.common import BaselineMethod, train_baseline
+from repro.quant.baselines.dorefa import DoReFa
+from repro.quant.baselines.pact import PACT
+from repro.quant.baselines.dsq import DSQ
+from repro.quant.baselines.qil import QIL
+from repro.quant.baselines.ul2q import MuL2Q
+from repro.quant.baselines.lqnets import LQNets
+from repro.quant.baselines.lsq import LSQ
+from repro.quant.baselines.eqm import EQM
+
+_REGISTRY = {
+    "dorefa": DoReFa,
+    "pact": PACT,
+    "dsq": DSQ,
+    "qil": QIL,
+    "ul2q": MuL2Q,
+    "lq-nets": LQNets,
+    "lqnets": LQNets,
+    "lsq": LSQ,
+    "eqm": EQM,
+}
+
+
+def get_baseline(name: str, **kwargs) -> BaselineMethod:
+    """Instantiate a baseline by its (case-insensitive) published name."""
+    key = name.lower().replace("µ", "u").replace("_", "-")
+    key = {"u-l2q": "ul2q", "mul2q": "ul2q"}.get(key, key)
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; have {sorted(set(_REGISTRY))}")
+    return _REGISTRY[key](**kwargs)
+
+
+def available_baselines() -> list:
+    return sorted({cls.__name__ for cls in _REGISTRY.values()})
+
+
+__all__ = [
+    "BaselineMethod",
+    "train_baseline",
+    "get_baseline",
+    "available_baselines",
+    "DoReFa",
+    "PACT",
+    "DSQ",
+    "QIL",
+    "MuL2Q",
+    "LQNets",
+    "LSQ",
+    "EQM",
+]

@@ -1,0 +1,100 @@
+"""Shared machinery for the baseline quantization methods.
+
+A baseline is described by three operations:
+
+- ``prepare(model)`` — install weight/activation fake-quant hooks;
+- ``epoch_update(model)`` — refresh per-layer state (e.g. LQ-Nets refits its
+  basis by QEM once per epoch);
+- ``finalize(model)`` — hard-project the weights in place and detach hooks.
+
+``train_baseline`` runs the standard STE fine-tuning loop around these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import SGD, CosineAnnealingLR
+from repro.nn.module import Module
+from repro.quant.admm import QUANTIZABLE_TYPES, collect_quantizable
+from repro.tensor import Tensor
+
+
+class BaselineMethod:
+    """Interface for baseline quantization methods."""
+
+    name: str = "baseline"
+
+    def __init__(self, weight_bits: int = 4, act_bits: int = 4):
+        self.weight_bits = weight_bits
+        self.act_bits = act_bits
+
+    # -- hooks ---------------------------------------------------------
+    def prepare(self, model: Module) -> None:
+        raise NotImplementedError
+
+    def epoch_update(self, model: Module) -> None:
+        """Per-epoch state refresh; default none."""
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        raise NotImplementedError
+
+    # -- helpers shared by implementations ------------------------------
+    @staticmethod
+    def quantizable_modules(model: Module) -> List[Tuple[str, Module]]:
+        return [(name, module) for name, module in model.named_modules()
+                if isinstance(module, QUANTIZABLE_TYPES)]
+
+    @staticmethod
+    def weight_params(model: Module):
+        return collect_quantizable(model)
+
+    @staticmethod
+    def detach_hooks(model: Module) -> None:
+        for _, module in model.named_modules():
+            if isinstance(module, QUANTIZABLE_TYPES):
+                module.weight_quant = None
+                module.act_quant = None
+
+
+def uniform_quantize_unit(x: np.ndarray, bits: int) -> np.ndarray:
+    """``Q_k`` of DoReFa: round a [0, 1] value to k-bit uniform levels."""
+    steps = 2 ** bits - 1
+    return np.round(np.clip(x, 0.0, 1.0) * steps) / steps
+
+
+def train_baseline(model: Module, make_batches: Callable[[int], Iterable],
+                   loss_fn: Callable[[Module, object], Tensor],
+                   method: BaselineMethod, epochs: int, lr: float,
+                   momentum: float = 0.9, weight_decay: float = 1e-4,
+                   eval_fn: Optional[Callable[[Module], float]] = None
+                   ) -> List[Dict[str, float]]:
+    """STE fine-tuning loop shared by all baselines (Tables III/IV/VI)."""
+    method.prepare(model)
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
+                    weight_decay=weight_decay)
+    scheduler = CosineAnnealingLR(optimizer, t_max=epochs)
+    history: List[Dict[str, float]] = []
+    model.train()
+    for epoch in range(epochs):
+        method.epoch_update(model)
+        total = 0.0
+        count = 0
+        for batch in make_batches(epoch):
+            loss = loss_fn(model, batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            total += loss.item()
+            count += 1
+        record = {"epoch": epoch, "loss": total / max(count, 1)}
+        if eval_fn is not None:
+            record["eval"] = float(eval_fn(model))
+        history.append(record)
+        scheduler.step()
+    method.finalize(model)
+    model.eval()
+    return history

@@ -1,0 +1,63 @@
+"""DoReFa-Net weight/activation quantization (Zhou et al., 2016; paper [38]).
+
+Weights: ``w_q = 2 * Q_k( tanh(w) / (2 max|tanh(w)|) + 1/2 ) - 1`` with the
+uniform k-bit quantizer ``Q_k`` and STE gradients. Activations: ``Q_k`` of
+the input clipped to [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
+from repro.quant.ste import WeightSTEQuantizer, fake_quant_ste
+from repro.tensor import Tensor
+
+
+def dorefa_weight_projection(w: np.ndarray, bits: int) -> np.ndarray:
+    t = np.tanh(np.asarray(w, dtype=np.float64))
+    peak = np.max(np.abs(t))
+    if peak == 0.0:
+        return np.zeros_like(t)
+    unit = t / (2.0 * peak) + 0.5
+    return 2.0 * uniform_quantize_unit(unit, bits) - 1.0
+
+
+class _DoReFaAct:
+    """Clip to [0, 1] and apply ``Q_k`` with STE."""
+
+    def __init__(self, bits: int):
+        self.bits = bits
+
+    def __call__(self, x: Tensor) -> Tensor:
+        clipped = x.clip(0.0, 1.0)
+        quantized = uniform_quantize_unit(clipped.data, self.bits)
+        return fake_quant_ste(x, quantized, pass_through=clipped)
+
+
+class DoReFa(BaselineMethod):
+    name = "DoReFa"
+
+    def prepare(self, model: Module) -> None:
+        bits = self.weight_bits
+        first = True
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = WeightSTEQuantizer(
+                lambda w, b=bits: dorefa_weight_projection(w, b))
+            if first:
+                first = False  # keep the input layer's activations FP
+                continue
+            module.act_quant = _DoReFaAct(self.act_bits)
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, param in self.weight_params(model):
+            param.data = dorefa_weight_projection(
+                param.data, self.weight_bits).astype(param.data.dtype)
+            results[name] = param.data
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = None
+        return results

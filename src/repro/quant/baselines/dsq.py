@@ -1,0 +1,89 @@
+"""DSQ: Differentiable Soft Quantization (Gong et al., 2019; paper [40]).
+
+DSQ replaces the hard staircase with a per-cell tanh: inside cell i with
+center ``m_i`` and width ``delta``, the soft value is
+``m_i + (delta/2) * tanh(k (w - m_i)) / tanh(k delta / 2)``. Training uses
+the soft function (fully differentiable, no STE); evaluation/finalization
+uses the hard uniform quantizer the soft one converges to as ``k -> inf``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.baselines.common import BaselineMethod
+from repro.tensor import Tensor
+
+
+def _grid(bits: int, alpha: float):
+    steps = 2 ** (bits - 1) - 1
+    delta = alpha / steps
+    return steps, delta
+
+
+def dsq_soft(w: np.ndarray, bits: int, alpha: float, temperature: float
+             ) -> np.ndarray:
+    """The soft-quantized value (numpy; used for the forward correction)."""
+    steps, delta = _grid(bits, alpha)
+    clipped = np.clip(w, -alpha, alpha)
+    cell = np.clip(np.floor((clipped + alpha) / delta), 0, 2 * steps - 1)
+    center = -alpha + (cell + 0.5) * delta
+    scale = np.tanh(temperature * delta / 2.0)
+    return center + (delta / 2.0) * np.tanh(
+        temperature * (clipped - center)) / scale
+
+
+def dsq_hard(w: np.ndarray, bits: int, alpha: float) -> np.ndarray:
+    """Hard uniform projection (the k -> inf limit)."""
+    steps, delta = _grid(bits, alpha)
+    if alpha == 0.0:
+        return np.zeros_like(w)
+    return np.clip(np.round(w / delta), -steps, steps) * delta
+
+
+class _DSQWeight:
+    """Soft forward with the *true* soft gradient.
+
+    We implement the soft function directly with autograd ops so DSQ's
+    selling point — no STE — is reproduced: gradient = soft-staircase slope.
+    """
+
+    def __init__(self, bits: int, temperature: float):
+        self.bits = bits
+        self.temperature = temperature
+
+    def __call__(self, w: Tensor) -> Tensor:
+        alpha = float(np.max(np.abs(w.data))) or 1.0
+        steps, delta = _grid(self.bits, alpha)
+        clipped = w.clip(-alpha, alpha)
+        cell = np.clip(np.floor((clipped.data + alpha) / delta), 0, 2 * steps - 1)
+        center = (-alpha + (cell + 0.5) * delta).astype(np.float32)
+        scale = float(np.tanh(self.temperature * delta / 2.0))
+        soft = (clipped - Tensor(center)) * self.temperature
+        return Tensor(center) + soft.tanh() * (delta / (2.0 * scale))
+
+
+class DSQ(BaselineMethod):
+    name = "DSQ"
+
+    def __init__(self, weight_bits: int = 4, act_bits: int = 4,
+                 temperature: float = 10.0):
+        super().__init__(weight_bits, act_bits)
+        self.temperature = temperature
+
+    def prepare(self, model: Module) -> None:
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = _DSQWeight(self.weight_bits, self.temperature)
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, param in self.weight_params(model):
+            alpha = float(np.max(np.abs(param.data))) or 1.0
+            param.data = dsq_hard(param.data.astype(np.float64), self.weight_bits,
+                                  alpha).astype(param.data.dtype)
+            results[name] = param.data
+        self.detach_hooks(model)
+        return results

@@ -1,0 +1,54 @@
+"""EQM: Effective Quantization Methods for RNNs (He et al., 2016; paper [63]).
+
+Table VI quotes EQM as the published RNN-quantization reference. EQM's core
+technique is *balanced quantization*: weights are divided into
+equal-population bins (via percentiles) before uniform quantization so every
+level is equally used, plus a 3-sigma clip to tame outliers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.baselines.common import BaselineMethod
+from repro.quant.ste import WeightSTEQuantizer
+
+
+def eqm_projection(w: np.ndarray, bits: int) -> np.ndarray:
+    """Balanced (equal-population) uniform quantization with 3-sigma clip."""
+    w = np.asarray(w, dtype=np.float64)
+    sigma = w.std()
+    if sigma == 0.0:
+        return w.copy()
+    clip = 3.0 * sigma
+    clipped = np.clip(w - w.mean(), -clip, clip)
+    levels = 2 ** bits - 1
+    # Percentile edges give equal-population cells; map each cell to its
+    # median so the dequantized values track the distribution ("balanced").
+    quantiles = np.quantile(clipped, np.linspace(0.0, 1.0, levels + 1))
+    centers = (quantiles[:-1] + quantiles[1:]) / 2.0
+    idx = np.clip(np.searchsorted(quantiles, clipped, side="right") - 1,
+                  0, levels - 1)
+    return centers[idx] + w.mean()
+
+
+class EQM(BaselineMethod):
+    name = "EQM"
+
+    def prepare(self, model: Module) -> None:
+        bits = self.weight_bits
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = WeightSTEQuantizer(
+                lambda w, b=bits: eqm_projection(w, b))
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, param in self.weight_params(model):
+            param.data = eqm_projection(param.data, self.weight_bits).astype(
+                param.data.dtype)
+            results[name] = param.data
+        self.detach_hooks(model)
+        return results

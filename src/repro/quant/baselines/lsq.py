@@ -1,0 +1,67 @@
+"""LSQ: Learned Step Size Quantization (Esser et al., 2019; paper [43]).
+
+The quantizer step ``s`` is a trainable parameter per layer:
+``w_q = round(clip(w / s, -Q_N, Q_P)) * s``. We realize the LSQ gradient by
+applying STE only over the rounding, so gradients reach both the weights and
+``s`` through the clip and the final multiply. (The original's 1/sqrt(N Q_P)
+gradient scale is omitted; with layer-wise SGD on small models it only
+rescales the effective LR of ``s``.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.quant.baselines.common import BaselineMethod
+from repro.tensor import Tensor
+
+
+def lsq_project(w: np.ndarray, step: float, bits: int) -> np.ndarray:
+    qn = 2 ** (bits - 1) - 1
+    step = max(abs(step), 1e-8)
+    return np.clip(np.round(np.asarray(w, dtype=np.float64) / step), -qn, qn) * step
+
+
+class _LSQWeight:
+    def __init__(self, step: Parameter, bits: int):
+        self.step = step
+        self.bits = bits
+
+    def __call__(self, w: Tensor) -> Tensor:
+        qn = 2 ** (self.bits - 1) - 1
+        step = self.step.abs() + 1e-8
+        scaled = w / step
+        clipped = scaled.clip(-qn, qn)
+        rounded = clipped + Tensor(
+            (np.round(clipped.data) - clipped.data).astype(np.float32))
+        return rounded * step
+
+
+class LSQ(BaselineMethod):
+    name = "LSQ"
+
+    def prepare(self, model: Module) -> None:
+        for _, module in self.quantizable_modules(model):
+            weight = (module.weight_ih if hasattr(module, "weight_ih")
+                      else module.weight)
+            qn = 2 ** (self.weight_bits - 1) - 1
+            init = 2.0 * float(np.mean(np.abs(weight.data))) / np.sqrt(qn)
+            module.lsq_step = Parameter(np.asarray(max(init, 1e-4),
+                                                   dtype=np.float32))
+            module.weight_quant = _LSQWeight(module.lsq_step, self.weight_bits)
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, module in self.quantizable_modules(model):
+            step = float(np.abs(module.lsq_step.data)) + 1e-8
+            params = ([module.weight_ih, module.weight_hh]
+                      if hasattr(module, "weight_ih") else [module.weight])
+            for param in params:
+                param.data = lsq_project(param.data, step,
+                                         self.weight_bits).astype(param.data.dtype)
+            results[name] = step
+        self.detach_hooks(model)
+        return results

@@ -1,0 +1,71 @@
+"""PACT: Parameterized Clipping Activation (Choi et al., 2018; paper [39]).
+
+Activations are clipped to a *learnable* upper bound ``alpha`` per layer and
+then quantized uniformly; the gradient w.r.t. alpha is 1 where the input
+saturates (which our autograd's ``minimum`` provides directly). Weights use
+the DoReFa quantizer, as in the original paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
+from repro.quant.baselines.dorefa import dorefa_weight_projection
+from repro.quant.ste import WeightSTEQuantizer, fake_quant_ste
+from repro.tensor import Tensor, minimum
+
+
+class _PACTAct:
+    """y = Q_k(min(relu(x), alpha)) with alpha trainable via autograd."""
+
+    def __init__(self, alpha: Parameter, bits: int):
+        self.alpha = alpha
+        self.bits = bits
+
+    def __call__(self, x: Tensor) -> Tensor:
+        clipped = minimum(x.relu(), self.alpha)
+        alpha_value = float(self.alpha.data)
+        if alpha_value <= 0:
+            return clipped
+        steps = 2 ** self.bits - 1
+        quantized = np.round(
+            np.clip(clipped.data / alpha_value, 0, 1) * steps) / steps * alpha_value
+        return fake_quant_ste(x, quantized, pass_through=clipped)
+
+
+class PACT(BaselineMethod):
+    name = "PACT"
+
+    def __init__(self, weight_bits: int = 4, act_bits: int = 4,
+                 alpha_init: float = 6.0, alpha_decay: float = 1e-3):
+        super().__init__(weight_bits, act_bits)
+        self.alpha_init = alpha_init
+        self.alpha_decay = alpha_decay  # PACT regularizes alpha with L2
+
+    def prepare(self, model: Module) -> None:
+        bits = self.weight_bits
+        first = True
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = WeightSTEQuantizer(
+                lambda w, b=bits: dorefa_weight_projection(w, b))
+            if first:
+                first = False
+                continue
+            # Registering on the module makes alpha visible to the optimizer.
+            module.pact_alpha = Parameter(
+                np.asarray(self.alpha_init, dtype=np.float32))
+            module.act_quant = _PACTAct(module.pact_alpha, self.act_bits)
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, param in self.weight_params(model):
+            param.data = dorefa_weight_projection(
+                param.data, self.weight_bits).astype(param.data.dtype)
+            results[name] = param.data
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = None
+        return results

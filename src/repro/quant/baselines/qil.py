@@ -1,0 +1,101 @@
+"""QIL: Quantization Interval Learning (Jung et al., 2019; paper [41]).
+
+A learnable interval [c - d, c + d] transforms weights before uniform
+quantization: values below the interval prune to 0, values above saturate
+to ±1, values inside map linearly. ``c`` and ``d`` are trained with the
+task loss (registered as parameters on each layer), which is QIL's core
+idea.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
+from repro.quant.ste import fake_quant_ste
+from repro.tensor import Tensor
+
+
+def qil_transform_np(w: np.ndarray, center: float, distance: float) -> np.ndarray:
+    """The hard interval transformer (numpy) followed by no quantization."""
+    distance = max(distance, 1e-6)
+    magnitude = np.abs(w)
+    unit = np.clip((magnitude - center + distance) / (2.0 * distance), 0.0, 1.0)
+    return np.sign(w) * unit
+
+
+def qil_project(w: np.ndarray, center: float, distance: float,
+                bits: int) -> np.ndarray:
+    """Transformer + uniform quantizer; output in [-1, 1] times max|w|."""
+    unit = qil_transform_np(w, center, distance)
+    quantized = np.sign(unit) * uniform_quantize_unit(np.abs(unit), bits - 1)
+    return quantized
+
+
+class _QILWeight:
+    """Differentiable transformer with STE only over the final rounding.
+
+    The transformer output lives in [-1, 1]; it is rescaled by the layer's
+    max-abs so the effective weight magnitude matches the float weights —
+    without this the loss landscape shifts wildly between steps and the
+    interval parameters diverge.
+    """
+
+    def __init__(self, center: Parameter, distance: Parameter, bits: int):
+        self.center = center
+        self.distance = distance
+        self.bits = bits
+
+    def __call__(self, w: Tensor) -> Tensor:
+        eps = 1e-6
+        scale = float(np.max(np.abs(w.data))) or 1.0
+        dist = self.distance.abs() + eps
+        sign = np.sign(w.data)
+        shifted = (w.abs() - self.center + dist) / (dist * 2.0)
+        unit = shifted.clip(0.0, 1.0) * Tensor((sign * scale).astype(np.float32))
+        hard = scale * np.sign(unit.data) * uniform_quantize_unit(
+            np.abs(unit.data) / scale, self.bits - 1)
+        return fake_quant_ste(w, hard, pass_through=unit)
+
+
+class QIL(BaselineMethod):
+    name = "QIL"
+
+    def __init__(self, weight_bits: int = 4, act_bits: int = 4,
+                 init_center: float = 0.3, init_distance: float = 0.3):
+        super().__init__(weight_bits, act_bits)
+        self.init_center = init_center
+        self.init_distance = init_distance
+
+    def prepare(self, model: Module) -> None:
+        for _, module in self.quantizable_modules(model):
+            scale = float(np.max(np.abs(module.weight.data))) or 1.0
+            module.qil_center = Parameter(
+                np.asarray(self.init_center * scale, dtype=np.float32))
+            module.qil_distance = Parameter(
+                np.asarray(self.init_distance * scale, dtype=np.float32))
+            hook = _QILWeight(module.qil_center, module.qil_distance,
+                              self.weight_bits)
+            if hasattr(module, "weight_ih"):
+                module.weight_quant = hook
+            else:
+                module.weight_quant = hook
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, module in self.quantizable_modules(model):
+            center = float(np.abs(module.qil_center.data))
+            distance = float(np.abs(module.qil_distance.data)) + 1e-6
+            params = ([module.weight_ih, module.weight_hh]
+                      if hasattr(module, "weight_ih") else [module.weight])
+            for param in params:
+                scale = float(np.max(np.abs(param.data))) or 1.0
+                unit = qil_project(param.data.astype(np.float64), center,
+                                   distance, self.weight_bits)
+                param.data = (unit * scale).astype(param.data.dtype)
+            results[name] = center
+        self.detach_hooks(model)
+        return results

@@ -1,0 +1,71 @@
+"""µL2Q: ultra-low loss quantization (Cheng et al., 2019; paper [42]).
+
+µL2Q assumes Gaussian weights, standardizes them, and quantizes on a uniform
+grid whose step ``lambda*`` minimizes the expected L2 error for a unit
+Gaussian at each bit-width. The optimal steps for 1-8 bits are constants
+from the original paper.
+
+The paper's Table III runs µL2Q at W4/A32 — weights only — which is also the
+default here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.baselines.common import BaselineMethod
+from repro.quant.ste import WeightSTEQuantizer
+
+# Optimal unit-Gaussian step sizes lambda* per bit-width (µL2Q, Table 1).
+_LAMBDA_STAR = {
+    1: 1.5958,
+    2: 0.9957,
+    3: 0.5860,
+    4: 0.3352,
+    5: 0.1881,
+    6: 0.1041,
+    7: 0.0569,
+    8: 0.0308,
+}
+
+
+def ul2q_projection(w: np.ndarray, bits: int) -> np.ndarray:
+    """Standardize, snap to the lambda* grid, de-standardize."""
+    if bits not in _LAMBDA_STAR:
+        raise KeyError(f"µL2Q defines lambda* for 1-8 bits, got {bits}")
+    w = np.asarray(w, dtype=np.float64)
+    mu = w.mean()
+    sigma = w.std()
+    if sigma == 0.0:
+        return np.full_like(w, mu)
+    step = _LAMBDA_STAR[bits] * sigma
+    half_levels = 2 ** (bits - 1) - 0.5
+    # Levels sit at (k + 1/2) * step around the mean, k integer.
+    k = np.clip(np.round((w - mu) / step - 0.5), -half_levels - 0.5,
+                half_levels - 0.5)
+    return mu + (k + 0.5) * step
+
+
+class MuL2Q(BaselineMethod):
+    name = "µL2Q"
+
+    def __init__(self, weight_bits: int = 4, act_bits: int = 32):
+        super().__init__(weight_bits, act_bits)
+
+    def prepare(self, model: Module) -> None:
+        bits = self.weight_bits
+        for _, module in self.quantizable_modules(model):
+            module.weight_quant = WeightSTEQuantizer(
+                lambda w, b=bits: ul2q_projection(w, b))
+
+    def finalize(self, model: Module) -> Dict[str, np.ndarray]:
+        results = {}
+        for name, param in self.weight_params(model):
+            param.data = ul2q_projection(param.data, self.weight_bits).astype(
+                param.data.dtype)
+            results[name] = param.data
+        self.detach_hooks(model)
+        return results

@@ -1,0 +1,173 @@
+"""Integer hardware encodings of quantized weights (paper §III-A, Table I).
+
+These encodings are what the FPGA datapath actually stores and computes on:
+
+- **Fixed-point**: sign-magnitude, an (m-1)-bit unsigned magnitude integer
+  ``k`` with value ``alpha * k / (2^(m-1) - 1)``.
+- **P2**: a shift code ``c`` (0 means the value 0; ``c >= 1`` means
+  ``2^-(c-1)`` ... i.e. shift by ``c - 1`` bits).
+- **SP2**: a sign bit plus two shift codes ``(c1, c2)`` of ``m1`` and ``m2``
+  bits; code 0 means that term is absent, code ``c >= 1`` means ``2^-c``.
+  The value is ``sign * (term(c1) + term(c2))``.
+
+``pack_sp2``/``unpack_sp2`` produce the literal m-bit words
+``[sign | c1 | c2]``, used by the storage tests and the accelerator's weight
+buffer model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.schemes import SchemeSpec, Scheme, sp2_magnitude_terms
+
+_MATCH_TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Fixed-point
+# ----------------------------------------------------------------------
+def encode_fixed(unit_values: np.ndarray, bits: int) -> np.ndarray:
+    """Map unit levels to signed magnitude integers in [-(2^(m-1)-1), ...]."""
+    steps = 2 ** (bits - 1) - 1
+    codes = np.round(np.asarray(unit_values, dtype=np.float64) * steps)
+    if not np.allclose(codes / steps, unit_values, atol=_MATCH_TOL):
+        raise QuantizationError("values are not m-bit fixed-point levels")
+    if np.any(np.abs(codes) > steps):
+        raise QuantizationError("fixed-point code out of range")
+    return codes.astype(np.int32)
+
+
+def decode_fixed(codes: np.ndarray, bits: int, alpha: float = 1.0) -> np.ndarray:
+    steps = 2 ** (bits - 1) - 1
+    return alpha * codes.astype(np.float64) / steps
+
+
+# ----------------------------------------------------------------------
+# Power-of-2
+# ----------------------------------------------------------------------
+def encode_p2(unit_values: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (sign, shift_code) arrays; shift_code 0 encodes the value 0."""
+    values = np.asarray(unit_values, dtype=np.float64)
+    sign = np.sign(values).astype(np.int8)
+    magnitude = np.abs(values)
+    codes = np.zeros(values.shape, dtype=np.int32)
+    nonzero = magnitude > 0
+    exps = np.round(np.log2(magnitude, where=nonzero,
+                            out=np.zeros_like(magnitude)))
+    max_code = 2 ** (bits - 1) - 1
+    codes[nonzero] = (1 - exps[nonzero]).astype(np.int32)
+    if np.any(nonzero & ((codes < 1) | (codes > max_code))):
+        raise QuantizationError("P2 exponent out of representable range")
+    decoded = np.where(codes > 0, 2.0 ** (1 - codes.astype(np.float64)), 0.0)
+    if not np.allclose(decoded[nonzero], magnitude[nonzero], atol=_MATCH_TOL):
+        raise QuantizationError("values are not P2 levels")
+    return sign, codes
+
+
+def decode_p2(sign: np.ndarray, codes: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    magnitude = np.where(codes > 0, 2.0 ** (1 - codes.astype(np.float64)), 0.0)
+    return alpha * sign * magnitude
+
+
+# ----------------------------------------------------------------------
+# SP2
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SP2Code:
+    """Vectorized SP2 encoding: sign in {-1, 0, +1}, shift codes c1, c2."""
+
+    sign: np.ndarray
+    c1: np.ndarray
+    c2: np.ndarray
+    m1: int
+    m2: int
+
+    @property
+    def shape(self) -> tuple:
+        return self.sign.shape
+
+
+def _sp2_code_table(m1: int, m2: int) -> Dict[int, Tuple[int, int]]:
+    """Canonical magnitude -> (c1, c2) lookup.
+
+    Magnitudes are keyed as integers in units of ``2^-S`` where
+    ``S = max shift`` so lookups are exact. Collisions (the same magnitude
+    reachable by several code pairs) resolve to the smallest c1.
+    """
+    scale = 2 ** (2 ** m1 - 1)
+    table: Dict[int, Tuple[int, int]] = {}
+    terms1 = sp2_magnitude_terms(m1)
+    terms2 = sp2_magnitude_terms(m2)
+    for c1 in range(len(terms1)):
+        for c2 in range(len(terms2)):
+            key = int(round((terms1[c1] + terms2[c2]) * scale))
+            if key not in table:
+                table[key] = (c1, c2)
+    return table
+
+
+def encode_sp2(unit_values: np.ndarray, m1: int, m2: int) -> SP2Code:
+    """Encode unit SP2 levels into (sign, c1, c2) shift codes."""
+    values = np.asarray(unit_values, dtype=np.float64)
+    table = _sp2_code_table(m1, m2)
+    scale = 2 ** (2 ** m1 - 1)
+    keys = np.round(np.abs(values) * scale).astype(np.int64)
+    if not np.allclose(keys / scale, np.abs(values), atol=_MATCH_TOL):
+        raise QuantizationError("values are not on the SP2 dyadic grid")
+    sign = np.sign(values).astype(np.int8)
+    c1 = np.zeros(values.shape, dtype=np.int32)
+    c2 = np.zeros(values.shape, dtype=np.int32)
+    flat_keys = keys.reshape(-1)
+    flat_c1 = c1.reshape(-1)
+    flat_c2 = c2.reshape(-1)
+    for i, key in enumerate(flat_keys):
+        pair = table.get(int(key))
+        if pair is None:
+            raise QuantizationError(
+                f"magnitude {key / scale} is not an SP2(m1={m1}, m2={m2}) level"
+            )
+        flat_c1[i], flat_c2[i] = pair
+    return SP2Code(sign=sign, c1=c1, c2=c2, m1=m1, m2=m2)
+
+
+def decode_sp2(code: SP2Code, alpha: float = 1.0) -> np.ndarray:
+    """Decode (sign, c1, c2) back to float values."""
+    term1 = np.where(code.c1 > 0, 2.0 ** (-code.c1.astype(np.float64)), 0.0)
+    term2 = np.where(code.c2 > 0, 2.0 ** (-code.c2.astype(np.float64)), 0.0)
+    return alpha * code.sign * (term1 + term2)
+
+
+def pack_sp2(code: SP2Code) -> np.ndarray:
+    """Pack to literal m-bit words laid out as [sign | c1 | c2]."""
+    sign_bit = (code.sign < 0).astype(np.uint32)
+    return ((sign_bit << (code.m1 + code.m2))
+            | (code.c1.astype(np.uint32) << code.m2)
+            | code.c2.astype(np.uint32))
+
+
+def unpack_sp2(words: np.ndarray, m1: int, m2: int) -> SP2Code:
+    """Inverse of :func:`pack_sp2` (sign of zero decodes as +)."""
+    words = np.asarray(words, dtype=np.uint32)
+    c2 = (words & ((1 << m2) - 1)).astype(np.int32)
+    c1 = ((words >> m2) & ((1 << m1) - 1)).astype(np.int32)
+    sign_bit = (words >> (m1 + m2)) & 1
+    sign = np.where(sign_bit == 1, -1, 1).astype(np.int8)
+    sign = np.where((c1 == 0) & (c2 == 0), 0, sign).astype(np.int8)
+    return SP2Code(sign=sign, c1=c1, c2=c2, m1=m1, m2=m2)
+
+
+def encode_result(result, spec: SchemeSpec = None):
+    """Encode a :class:`~repro.quant.quantizers.QuantResult` for hardware."""
+    spec = spec or result.spec
+    if spec.scheme == Scheme.FIXED:
+        return encode_fixed(result.unit_values, spec.bits)
+    if spec.scheme == Scheme.P2:
+        return encode_p2(result.unit_values, spec.bits)
+    if spec.scheme == Scheme.SP2:
+        return encode_sp2(result.unit_values, spec.m1, spec.m2)
+    raise QuantizationError(f"cannot encode scheme {spec.scheme}")

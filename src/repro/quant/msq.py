@@ -1,0 +1,170 @@
+"""Mixed Scheme Quantization — the paper's core algorithm (§IV).
+
+:class:`MixedSchemeQuantizer` quantizes a single weight tensor by assigning
+each GEMM row either the SP2 or the fixed-point scheme (same bit-width), with
+the SP2 share given by an FPGA-characterized partition ratio.
+
+It exposes the same ``quantize()`` / ``__call__`` projection interface as
+:class:`~repro.quant.quantizers.SchemeQuantizer`, so the ADMM trainer treats
+single-scheme and mixed-scheme layers uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quant.encoding import encode_fixed, encode_sp2, SP2Code
+from repro.quant.partition import (
+    PartitionRatio,
+    RowPartition,
+    from_gemm_matrix,
+    partition_rows,
+    to_gemm_matrix,
+)
+from repro.quant.quantizers import AlphaSpec, SchemeQuantizer, project_to_levels
+from repro.quant.schemes import Scheme, SchemeSpec
+
+
+@dataclass
+class MSQResult:
+    """Outcome of mixed-scheme quantization of one tensor."""
+
+    values: np.ndarray            # dequantized weights, original shape
+    partition: RowPartition
+    row_alphas: np.ndarray        # (rows,) scale per GEMM row
+    spec_fixed: SchemeSpec
+    spec_sp2: SchemeSpec
+
+    @property
+    def sp2_fraction(self) -> float:
+        return self.partition.sp2_fraction
+
+    def hardware_encoding(self) -> dict:
+        """Per-row hardware codes: fixed rows as magnitude ints, SP2 rows as
+        (sign, c1, c2) shift codes — what the two weight buffers store."""
+        matrix = to_gemm_matrix(self.values)
+        unit = matrix / self.row_alphas[:, None]
+        mask = self.partition.sp2_mask
+        fixed_codes = encode_fixed(unit[~mask], self.spec_fixed.bits)
+        sp2_codes = encode_sp2(unit[mask], self.spec_sp2.m1, self.spec_sp2.m2)
+        return {
+            "fixed_rows": np.where(~mask)[0],
+            "fixed_codes": fixed_codes,
+            "sp2_rows": np.where(mask)[0],
+            "sp2_codes": sp2_codes,
+            "row_alphas": self.row_alphas,
+        }
+
+
+class MixedSchemeQuantizer:
+    """Per-row SP2/fixed-point quantizer (Algorithm 2's ``proj_S``).
+
+    Parameters
+    ----------
+    bits:
+        Bit-width m shared by both schemes (the paper uses 4).
+    ratio:
+        SP2:fixed row ratio — a :class:`PartitionRatio`, an "a:b" string
+        (SP2 first) or a float SP2 fraction in [0, 1].
+    alpha:
+        Scale strategy passed to the underlying quantizers.
+    alpha_granularity:
+        ``"row"`` (default) fits one scale per GEMM row (per output channel,
+        folds into batch-norm on hardware); ``"layer"`` shares one scale per
+        scheme group within a layer.
+    """
+
+    def __init__(self, bits: int = 4,
+                 ratio: Union[PartitionRatio, str, float] = "1:1",
+                 alpha: AlphaSpec = "fit",
+                 alpha_granularity: str = "row",
+                 m1: Optional[int] = None, m2: Optional[int] = None):
+        if alpha_granularity not in ("row", "layer"):
+            raise ConfigurationError(
+                f"alpha_granularity must be 'row' or 'layer', got {alpha_granularity!r}"
+            )
+        self.bits = bits
+        self.ratio = self._coerce_ratio(ratio)
+        self.alpha = alpha
+        self.alpha_granularity = alpha_granularity
+        self._fixed = SchemeQuantizer(Scheme.FIXED, bits, alpha=alpha)
+        self._sp2 = SchemeQuantizer(Scheme.SP2, bits, alpha=alpha, m1=m1, m2=m2)
+
+    @staticmethod
+    def _coerce_ratio(ratio) -> PartitionRatio:
+        if isinstance(ratio, PartitionRatio):
+            return ratio
+        if isinstance(ratio, str):
+            return PartitionRatio.from_string(ratio)
+        if isinstance(ratio, (int, float)):
+            if not 0.0 <= ratio <= 1.0:
+                raise ConfigurationError(
+                    f"SP2 fraction must be in [0, 1], got {ratio}"
+                )
+            return PartitionRatio(sp2=float(ratio), fixed=float(1.0 - ratio))
+        raise ConfigurationError(f"cannot interpret ratio {ratio!r}")
+
+    @property
+    def sp2_fraction(self) -> float:
+        return self.ratio.sp2_fraction
+
+    # ------------------------------------------------------------------
+    def quantize(self, weight: np.ndarray,
+                 partition: Optional[RowPartition] = None) -> MSQResult:
+        """Quantize ``weight`` row-wise; optionally reuse a fixed partition.
+
+        Passing ``partition`` lets the ADMM trainer compute the row
+        assignment once per epoch from W (Alg. 2) and keep it stable while
+        projecting W + U.
+        """
+        weight = np.asarray(weight, dtype=np.float64)
+        matrix = to_gemm_matrix(weight)
+        if partition is None:
+            partition = partition_rows(matrix, self.sp2_fraction)
+        if partition.sp2_mask.size != matrix.shape[0]:
+            raise ConfigurationError(
+                f"partition has {partition.sp2_mask.size} rows, weight has "
+                f"{matrix.shape[0]}"
+            )
+
+        out = np.empty_like(matrix)
+        row_alphas = np.empty(matrix.shape[0], dtype=np.float64)
+        mask = partition.sp2_mask
+        self._quantize_group(matrix, ~mask, self._fixed, out, row_alphas)
+        self._quantize_group(matrix, mask, self._sp2, out, row_alphas)
+        return MSQResult(
+            values=from_gemm_matrix(out, weight.shape),
+            partition=partition,
+            row_alphas=row_alphas,
+            spec_fixed=self._fixed.spec,
+            spec_sp2=self._sp2.spec,
+        )
+
+    def _quantize_group(self, matrix: np.ndarray, mask: np.ndarray,
+                        quantizer: SchemeQuantizer, out: np.ndarray,
+                        row_alphas: np.ndarray) -> None:
+        rows = np.where(mask)[0]
+        if rows.size == 0:
+            return
+        if self.alpha_granularity == "layer":
+            result = quantizer.quantize(matrix[rows])
+            out[rows] = result.values
+            row_alphas[rows] = result.alpha
+            return
+        for row in rows:
+            result = quantizer.quantize(matrix[row])
+            out[row] = result.values
+            row_alphas[row] = result.alpha
+
+    def __call__(self, weight: np.ndarray) -> np.ndarray:
+        """Projection interface used by the ADMM trainer."""
+        return self.quantize(weight).values
+
+    def __repr__(self) -> str:
+        return (f"MixedSchemeQuantizer(bits={self.bits}, "
+                f"{self.ratio.describe()}, alpha={self.alpha!r}, "
+                f"granularity={self.alpha_granularity})")

@@ -1,0 +1,152 @@
+"""Row-wise scheme partitioning (paper §IV-A/B, Algorithm 2).
+
+A layer's weight tensor is viewed as its GEMM matrix (rows = output
+channels / output neurons / stacked RNN gate units). Row variances are
+computed, and the ``PR_SP2`` fraction of rows with the *smallest* variance
+(most Gaussian-like, tight around the mean) is assigned to SP2; the rest
+(more Uniform-like) to fixed-point.
+
+The partition ratio itself comes from FPGA resource characterization
+(:mod:`repro.fpga.characterize`), not from accuracy tuning — that is the
+paper's central co-design loop.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+def to_gemm_matrix(weight: np.ndarray) -> np.ndarray:
+    """Reshape a layer weight tensor to its 2-D GEMM form (rows x cols).
+
+    Conv weights (OC, IC/g, KH, KW) flatten to (OC, IC/g*KH*KW); 2-D weights
+    (Linear ``(out, in)``, stacked RNN gates ``(gates*H, in)``) pass through.
+    """
+    weight = np.asarray(weight)
+    if weight.ndim == 2:
+        return weight
+    if weight.ndim == 4:
+        return weight.reshape(weight.shape[0], -1)
+    raise ShapeError(f"cannot interpret weight of ndim {weight.ndim} as GEMM matrix")
+
+
+def from_gemm_matrix(matrix: np.ndarray, original_shape: tuple) -> np.ndarray:
+    """Inverse of :func:`to_gemm_matrix`."""
+    return np.asarray(matrix).reshape(original_shape)
+
+
+def row_variances(matrix: np.ndarray) -> np.ndarray:
+    """Per-row variance v_r of the GEMM weight matrix (Alg. 2)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ShapeError(f"row_variances expects a 2-D matrix, got {matrix.shape}")
+    return matrix.var(axis=1)
+
+
+@dataclass(frozen=True)
+class PartitionRatio:
+    """SP2 : fixed-point row ratio.
+
+    The paper writes ratios both ways ("PR_SP2:Fixed = 2:1" in §IV and
+    "fixed/SP2 = 1:2" in §VI) — both denote 2/3 of rows on SP2. This class
+    normalizes to the SP2 fraction.
+    """
+
+    sp2: float
+    fixed: float
+
+    def __post_init__(self):
+        if self.sp2 < 0 or self.fixed < 0 or (self.sp2 + self.fixed) == 0:
+            raise ConfigurationError(
+                f"invalid partition ratio {self.sp2}:{self.fixed}"
+            )
+
+    @property
+    def sp2_fraction(self) -> float:
+        return self.sp2 / (self.sp2 + self.fixed)
+
+    @classmethod
+    def from_string(cls, text: str, order: str = "sp2:fixed") -> "PartitionRatio":
+        """Parse "a:b" with the given component order."""
+        match = re.fullmatch(r"\s*([\d.]+)\s*:\s*([\d.]+)\s*", text)
+        if not match:
+            raise ConfigurationError(f"cannot parse ratio {text!r}")
+        first, second = float(match.group(1)), float(match.group(2))
+        if order == "sp2:fixed":
+            return cls(sp2=first, fixed=second)
+        if order == "fixed:sp2":
+            return cls(sp2=second, fixed=first)
+        raise ConfigurationError(f"unknown ratio order {order!r}")
+
+    @classmethod
+    def half_and_half(cls) -> "PartitionRatio":
+        return cls(sp2=1.0, fixed=1.0)
+
+    def describe(self) -> str:
+        return f"SP2:fixed = {self.sp2:g}:{self.fixed:g}"
+
+
+@dataclass
+class RowPartition:
+    """Outcome of partitioning one weight matrix."""
+
+    sp2_mask: np.ndarray          # (rows,) bool — True = SP2 row
+    threshold: float              # theta^(l) from Alg. 2
+    variances: np.ndarray         # (rows,) float
+
+    @property
+    def num_sp2(self) -> int:
+        return int(self.sp2_mask.sum())
+
+    @property
+    def num_fixed(self) -> int:
+        return int((~self.sp2_mask).sum())
+
+    @property
+    def sp2_fraction(self) -> float:
+        return self.num_sp2 / self.sp2_mask.size
+
+
+def partition_rows(matrix: np.ndarray, sp2_fraction: float) -> RowPartition:
+    """Assign the ``sp2_fraction`` lowest-variance rows to SP2 (Alg. 2).
+
+    The paper sorts variances and picks the threshold theta so that exactly
+    ``PR_SP2`` of rows fall below it; ties are broken deterministically by
+    row index (stable argsort).
+    """
+    if not 0.0 <= sp2_fraction <= 1.0:
+        raise ConfigurationError(f"sp2_fraction must be in [0, 1], got {sp2_fraction}")
+    variances = row_variances(to_gemm_matrix(matrix))
+    rows = variances.size
+    num_sp2 = int(round(sp2_fraction * rows))
+    order = np.argsort(variances, kind="stable")
+    mask = np.zeros(rows, dtype=bool)
+    mask[order[:num_sp2]] = True
+    if num_sp2 == 0:
+        threshold = float(variances.min()) if rows else 0.0
+    elif num_sp2 == rows:
+        threshold = float(np.inf)
+    else:
+        threshold = float(variances[order[num_sp2]])
+    return RowPartition(sp2_mask=mask, threshold=threshold, variances=variances)
+
+
+def partition_summary(partition: RowPartition) -> dict:
+    """Small JSON-friendly summary used in reports and tests."""
+    return {
+        "rows": int(partition.sp2_mask.size),
+        "sp2_rows": partition.num_sp2,
+        "fixed_rows": partition.num_fixed,
+        "sp2_fraction": partition.sp2_fraction,
+        "threshold": partition.threshold,
+        "mean_var_sp2": float(partition.variances[partition.sp2_mask].mean())
+        if partition.num_sp2 else 0.0,
+        "mean_var_fixed": float(partition.variances[~partition.sp2_mask].mean())
+        if partition.num_fixed else 0.0,
+    }

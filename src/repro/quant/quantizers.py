@@ -1,0 +1,202 @@
+"""Weight quantizers: projection onto a scheme's level set (Eqs. 2, 3, 5).
+
+Each quantizer maps a float weight array ``w`` to ``alpha * unit_level``.
+The default projection is the exact Euclidean (nearest-level) projection —
+which is what ADMM's ``proj_S`` step requires. The paper's closed-form
+formulations (the ``h``-transform of Eq. 2 and the log-domain rounding of
+Eq. 5) are provided as a ``mode="paper"`` variant and tested for agreement.
+
+The scaling factor ``alpha`` can be:
+
+- ``"max"`` — the max-abs of the tensor (no clipping error);
+- ``"fit"``  — a few alternating minimization steps of
+  ``min_alpha ||w - alpha * proj(w / alpha)||^2`` starting from max-abs,
+  trading clipping error against resolution (default);
+- an explicit float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.quant.schemes import Scheme, SchemeSpec, default_sp2_split
+
+AlphaSpec = Union[str, float]
+
+_FIT_ITERATIONS = 3
+
+
+def project_to_levels(values: np.ndarray, levels: np.ndarray) -> np.ndarray:
+    """Exact nearest-neighbour projection of ``values`` onto sorted ``levels``.
+
+    Ties round toward the *lower* level (deterministic).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    idx = np.searchsorted(levels, values)
+    idx = np.clip(idx, 1, len(levels) - 1)
+    lower = levels[idx - 1]
+    upper = levels[idx]
+    pick_upper = (values - lower) > (upper - values)
+    return np.where(pick_upper, upper, lower)
+
+
+def _resolve_alpha(w: np.ndarray, alpha: AlphaSpec, unit_levels: np.ndarray) -> float:
+    max_abs = float(np.max(np.abs(w))) if w.size else 1.0
+    if max_abs == 0.0:
+        return 1.0
+    if isinstance(alpha, (int, float)) and not isinstance(alpha, bool):
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {alpha}")
+        return float(alpha)
+    if alpha == "max":
+        return max_abs
+    if alpha == "fit":
+        current = max_abs
+        flat = w.reshape(-1).astype(np.float64)
+        for _ in range(_FIT_ITERATIONS):
+            q = project_to_levels(np.clip(flat / current, -1.0, 1.0), unit_levels)
+            denom = float(q @ q)
+            if denom == 0.0:
+                break
+            current = float(np.abs(flat @ q) / denom)
+            if current <= 0.0:
+                current = max_abs
+                break
+        return current
+    raise ConfigurationError(f"unknown alpha spec {alpha!r}")
+
+
+@dataclass
+class QuantResult:
+    """Outcome of quantizing a tensor.
+
+    ``values`` are the dequantized weights ``alpha * unit_level`` (same shape
+    as the input); ``unit_values`` are the levels in [-1, 1] before scaling.
+    """
+
+    values: np.ndarray
+    unit_values: np.ndarray
+    alpha: float
+    spec: SchemeSpec
+
+    @property
+    def mse(self) -> float:
+        """Only meaningful when the caller retains the original weights."""
+        raise AttributeError("use quantization_mse(original, result)")
+
+
+def quantization_mse(original: np.ndarray, result: QuantResult) -> float:
+    return float(np.mean((np.asarray(original, dtype=np.float64) - result.values) ** 2))
+
+
+class SchemeQuantizer:
+    """Quantizer for a single scheme (FIXED, P2 or SP2).
+
+    Parameters
+    ----------
+    scheme:
+        One of :class:`~repro.quant.schemes.Scheme` (not MSQ — see
+        :class:`~repro.quant.msq.MixedSchemeQuantizer` for that).
+    bits:
+        Total bit-width m (sign included).
+    alpha:
+        Scaling factor strategy (see module docstring).
+    mode:
+        ``"projection"`` (default) or ``"paper"`` for the closed-form
+        Eq. 2 / Eq. 5 formulations.
+    """
+
+    def __init__(self, scheme: Scheme, bits: int, alpha: AlphaSpec = "fit",
+                 m1: Optional[int] = None, m2: Optional[int] = None,
+                 mode: str = "projection"):
+        if scheme == Scheme.MSQ:
+            raise ConfigurationError("use MixedSchemeQuantizer for MSQ")
+        if mode not in ("projection", "paper"):
+            raise ConfigurationError(f"unknown quantizer mode {mode!r}")
+        self.spec = SchemeSpec(scheme, bits, m1, m2)
+        self.alpha = alpha
+        self.mode = mode
+        self._levels = self.spec.unit_levels
+
+    # ------------------------------------------------------------------
+    @property
+    def unit_levels(self) -> np.ndarray:
+        return self._levels
+
+    def project_unit(self, x: np.ndarray) -> np.ndarray:
+        """Project values (already scaled to [-1, 1]) onto the unit levels."""
+        x = np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
+        if self.mode == "projection":
+            return project_to_levels(x, self._levels)
+        if self.spec.scheme == Scheme.FIXED:
+            return self._paper_fixed(x)
+        if self.spec.scheme == Scheme.P2:
+            return self._paper_p2(x)
+        # No closed form is given for SP2 in the paper; nearest projection
+        # *is* the definition of proj onto Q_SP2.
+        return project_to_levels(x, self._levels)
+
+    def quantize(self, w: np.ndarray, alpha: Optional[AlphaSpec] = None) -> QuantResult:
+        """Quantize ``w``; returns dequantized values, unit levels and alpha."""
+        w = np.asarray(w, dtype=np.float64)
+        alpha_value = _resolve_alpha(w, alpha if alpha is not None else self.alpha,
+                                     self._levels)
+        unit = self.project_unit(w / alpha_value)
+        return QuantResult(values=(alpha_value * unit).astype(np.float64),
+                           unit_values=unit, alpha=alpha_value, spec=self.spec)
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        return self.quantize(w).values
+
+    # ------------------------------------------------------------------
+    # Paper's closed-form variants
+    # ------------------------------------------------------------------
+    def _paper_fixed(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (2) with the affine h(v) = v/2 + 1/2 (the choice that projects
+        exactly onto Eq. (1)'s uniform level set)."""
+        m = self.spec.bits
+        steps = 2 ** (m - 1) - 1
+        return np.round(x * steps) / steps
+
+    def _paper_p2(self, x: np.ndarray) -> np.ndarray:
+        """Eq. (5): round log2 of the magnitude; underflow maps to zero.
+
+        Log-domain rounding differs from Euclidean projection on the
+        geometric mid-points; both project onto the same level set.
+        """
+        m = self.spec.bits
+        min_exp = -(2 ** (m - 1) - 2)
+        magnitude = np.abs(x)
+        out = np.zeros_like(x)
+        nonzero = magnitude > 2.0 ** (min_exp - 1)
+        exps = np.round(np.log2(magnitude, where=nonzero,
+                                out=np.full_like(x, min_exp, dtype=np.float64)))
+        exps = np.clip(exps, min_exp, 0)
+        out[nonzero] = np.sign(x[nonzero]) * 2.0 ** exps[nonzero]
+        return out
+
+    def __repr__(self) -> str:
+        return f"SchemeQuantizer({self.spec.describe()}, alpha={self.alpha!r})"
+
+
+def make_quantizer(scheme: Union[Scheme, str], bits: int,
+                   alpha: AlphaSpec = "fit", **kwargs) -> SchemeQuantizer:
+    """Convenience factory accepting scheme names as strings."""
+    scheme = Scheme(scheme) if isinstance(scheme, str) else scheme
+    return SchemeQuantizer(scheme, bits, alpha=alpha, **kwargs)
+
+
+def verify_on_levels(result: QuantResult, atol: float = 1e-12) -> None:
+    """Raise :class:`QuantizationError` unless every value is a valid level."""
+    levels = result.spec.unit_levels
+    unit = result.unit_values.reshape(-1)
+    projected = project_to_levels(unit, levels)
+    if not np.allclose(unit, projected, atol=atol):
+        worst = float(np.max(np.abs(unit - projected)))
+        raise QuantizationError(
+            f"values deviate from {result.spec.describe()} levels by {worst:.3e}"
+        )

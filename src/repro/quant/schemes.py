@@ -1,0 +1,140 @@
+"""Quantization level sets (paper §II-A and §III-A).
+
+Three weight-number systems are defined, all symmetric around zero and
+expressed as a scaling factor ``alpha`` times *unit levels* in [-1, 1]:
+
+- **Fixed-point** (Eq. 1): uniformly spaced levels
+  ``±{0, 1, 2, ...} / (2^(m-1) - 1)``.
+- **Power-of-2** (Eq. 4): ``±{0} ∪ ±2^-e`` for ``e = 0 .. 2^(m-1)-2`` —
+  dense near zero, sparse at the tails.
+- **Sum-of-power-of-2 (SP2)** (Eq. 8, the paper's contribution):
+  ``±(q1 + q2)`` with ``q1 ∈ {0} ∪ 2^-{1..2^m1-1}`` and
+  ``q2 ∈ {0} ∪ 2^-{1..2^m2-1}``, where ``m1 + m2 + 1 = m`` and ``m1 >= m2``.
+
+Note on level counts: the paper states SP2 yields ``2^m - 1`` levels; the sum
+``q1 + q2`` has collisions (e.g. ``1/2 + 0 == 0 + 1/2``), so the number of
+*distinct* levels is at most ``2^m - 1`` (13 of 15 for m=4). We expose the
+exact distinct set, which matches the levels plotted in the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Scheme(enum.Enum):
+    """Weight quantization scheme identifiers."""
+
+    FIXED = "fixed"
+    P2 = "p2"
+    SP2 = "sp2"
+    MSQ = "msq"  # intra-layer mix of FIXED and SP2 (§IV)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def default_sp2_split(bits: int) -> Tuple[int, int]:
+    """Split ``bits - 1`` magnitude bits into (m1, m2) with m1 >= m2 (Eq. 8)."""
+    if bits < 3:
+        raise ConfigurationError(f"SP2 needs >= 3 bits (1 sign + m1 + m2), got {bits}")
+    m1 = (bits - 1 + 1) // 2
+    m2 = bits - 1 - m1
+    return m1, m2
+
+
+def _validate_bits(bits: int, minimum: int = 2) -> None:
+    if not isinstance(bits, (int, np.integer)) or bits < minimum:
+        raise ConfigurationError(f"bit-width must be an int >= {minimum}, got {bits!r}")
+
+
+def fixed_point_levels(bits: int) -> np.ndarray:
+    """Unit levels of the m-bit fixed-point scheme, Eq. (1). Sorted, distinct."""
+    _validate_bits(bits)
+    magnitudes = np.arange(2 ** (bits - 1), dtype=np.float64) / (2 ** (bits - 1) - 1)
+    return np.unique(np.concatenate([-magnitudes, magnitudes]))
+
+
+def power_of_2_levels(bits: int) -> np.ndarray:
+    """Unit levels of the m-bit power-of-2 scheme, Eq. (4). Sorted, distinct.
+
+    Exponents run from ``-(2^(m-1) - 2)`` to ``0`` giving ``2^(m-1) - 1``
+    magnitudes; with signs and zero that is ``2^m - 1`` levels.
+    """
+    _validate_bits(bits)
+    exponents = np.arange(-(2 ** (bits - 1) - 2), 1, dtype=np.float64)
+    magnitudes = np.concatenate([[0.0], 2.0 ** exponents])
+    return np.unique(np.concatenate([-magnitudes, magnitudes]))
+
+
+def sp2_magnitude_terms(field_bits: int) -> np.ndarray:
+    """The set ``{0} ∪ {2^-c : c = 1 .. 2^field_bits - 1}`` from Eq. (8)."""
+    _validate_bits(field_bits, minimum=1)
+    shifts = np.arange(1, 2 ** field_bits, dtype=np.float64)
+    return np.concatenate([[0.0], 2.0 ** (-shifts)])
+
+
+def sp2_levels(bits: int, m1: Optional[int] = None,
+               m2: Optional[int] = None) -> np.ndarray:
+    """Unit levels of the m-bit SP2 scheme, Eq. (8). Sorted, distinct."""
+    if m1 is None or m2 is None:
+        m1, m2 = default_sp2_split(bits)
+    if m1 + m2 + 1 != bits:
+        raise ConfigurationError(
+            f"SP2 requires m1 + m2 + 1 == bits, got {m1}+{m2}+1 != {bits}"
+        )
+    if m1 < m2:
+        raise ConfigurationError(f"SP2 requires m1 >= m2, got m1={m1} < m2={m2}")
+    q1 = sp2_magnitude_terms(m1)
+    q2 = sp2_magnitude_terms(m2)
+    sums = np.unique((q1[:, None] + q2[None, :]).reshape(-1))
+    return np.unique(np.concatenate([-sums, sums]))
+
+
+def levels_for(scheme: Scheme, bits: int, m1: Optional[int] = None,
+               m2: Optional[int] = None) -> np.ndarray:
+    """Dispatch to the unit level set of ``scheme``."""
+    if scheme == Scheme.FIXED:
+        return fixed_point_levels(bits)
+    if scheme == Scheme.P2:
+        return power_of_2_levels(bits)
+    if scheme == Scheme.SP2:
+        return sp2_levels(bits, m1, m2)
+    raise ConfigurationError(f"no single level set for scheme {scheme}")
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Fully resolved scheme description (scheme + bit allocation)."""
+
+    scheme: Scheme
+    bits: int
+    m1: Optional[int] = None
+    m2: Optional[int] = None
+
+    def __post_init__(self):
+        if self.scheme == Scheme.SP2:
+            m1, m2 = self.m1, self.m2
+            if m1 is None or m2 is None:
+                m1, m2 = default_sp2_split(self.bits)
+                object.__setattr__(self, "m1", m1)
+                object.__setattr__(self, "m2", m2)
+
+    @property
+    def unit_levels(self) -> np.ndarray:
+        return levels_for(self.scheme, self.bits, self.m1, self.m2)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.unit_levels)
+
+    def describe(self) -> str:
+        if self.scheme == Scheme.SP2:
+            return f"SP2(m={self.bits}, m1={self.m1}, m2={self.m2})"
+        return f"{self.scheme.value.upper()}(m={self.bits})"

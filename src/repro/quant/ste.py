@@ -1,0 +1,123 @@
+"""Straight-through estimators (paper §II-B, Eq. 7).
+
+Activations are quantized with n-bit fixed-point STE in every experiment
+(Alg. 1 applies ``proj_S`` to the input inside the batch loop). Weights are
+quantized with STE only by the baseline methods; the paper's own training
+uses ADMM for weights.
+
+The STE trick on our autograd: ``y = pass_through + const(q - pass_through)``
+makes the forward value exactly ``q`` while the gradient flows through
+``pass_through`` (the clipped input), i.e. gradient 1 inside the clipping
+range and 0 outside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.tensor import Tensor
+
+
+def fake_quant_ste(x: Tensor, quantized: np.ndarray,
+                   pass_through: Optional[Tensor] = None) -> Tensor:
+    """Forward ``quantized``, backward identity through ``pass_through``."""
+    base = pass_through if pass_through is not None else x
+    correction = Tensor(np.asarray(quantized, dtype=base.data.dtype) - base.data)
+    return base + correction
+
+
+class ActivationQuantizer:
+    """n-bit fixed-point activation fake-quantizer with running-range
+    calibration.
+
+    Unsigned mode (default; post-ReLU feature maps) uses levels
+    ``k * alpha / (2^n - 1)``; signed mode (RNN hidden states) uses the
+    symmetric fixed-point levels of Eq. (1).
+
+    The clipping range ``alpha`` tracks the running max-abs with momentum
+    while ``calibrating`` is True and freezes afterwards (the trainer flips
+    this at ``finalize()``).
+    """
+
+    def __init__(self, bits: int, signed: bool = False, momentum: float = 0.9,
+                 alpha: Optional[float] = None):
+        if bits < 2:
+            raise ConfigurationError(f"activation bits must be >= 2, got {bits}")
+        self.bits = bits
+        self.signed = signed
+        self.momentum = momentum
+        self.alpha = alpha
+        self.calibrating = True
+
+    def observe(self, x: np.ndarray) -> None:
+        peak = float(np.max(np.abs(x))) if x.size else 0.0
+        if peak == 0.0:
+            return
+        if self.alpha is None:
+            self.alpha = peak
+        else:
+            self.alpha = self.momentum * self.alpha + (1.0 - self.momentum) * peak
+
+    def quantize_array(self, x: np.ndarray) -> np.ndarray:
+        """Pure-numpy quantization (used at export/bit-exact checking)."""
+        if self.alpha is None or self.alpha == 0.0:
+            return np.asarray(x)
+        alpha = self.alpha
+        if self.signed:
+            steps = 2 ** (self.bits - 1) - 1
+            clipped = np.clip(x, -alpha, alpha)
+        else:
+            steps = 2 ** self.bits - 1
+            clipped = np.clip(x, 0.0, alpha)
+        return np.round(clipped / alpha * steps) / steps * alpha
+
+    def to_codes(self, x: np.ndarray) -> np.ndarray:
+        """Integer activation codes for the bit-exact hardware kernels."""
+        if self.alpha is None:
+            raise ConfigurationError("quantizer not calibrated")
+        alpha = self.alpha
+        if self.signed:
+            steps = 2 ** (self.bits - 1) - 1
+            return np.round(np.clip(x, -alpha, alpha) / alpha * steps).astype(np.int64)
+        steps = 2 ** self.bits - 1
+        return np.round(np.clip(x, 0.0, alpha) / alpha * steps).astype(np.int64)
+
+    @property
+    def scale(self) -> float:
+        """Value of one activation code unit."""
+        steps = (2 ** (self.bits - 1) - 1) if self.signed else (2 ** self.bits - 1)
+        return (self.alpha or 0.0) / steps
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self.observe(x.data)
+        if self.alpha is None or self.alpha == 0.0:
+            return x
+        low = -self.alpha if self.signed else 0.0
+        clipped = x.clip(low, self.alpha)
+        return fake_quant_ste(x, self.quantize_array(x.data), pass_through=clipped)
+
+    def __repr__(self) -> str:
+        kind = "signed" if self.signed else "unsigned"
+        return f"ActivationQuantizer(bits={self.bits}, {kind}, alpha={self.alpha})"
+
+
+class WeightSTEQuantizer:
+    """Weight fake-quantizer with STE backward, for the baseline methods.
+
+    ``projection`` is any callable mapping a float array to its quantized
+    counterpart (a :class:`~repro.quant.quantizers.SchemeQuantizer`, an MSQ
+    quantizer, or a baseline-specific function).
+    """
+
+    def __init__(self, projection: Callable[[np.ndarray], np.ndarray]):
+        self.projection = projection
+
+    def __call__(self, w: Tensor) -> Tensor:
+        return fake_quant_ste(w, self.projection(w.data))
+
+    def __repr__(self) -> str:
+        return f"WeightSTEQuantizer({self.projection!r})"

@@ -1,0 +1,198 @@
+"""Convolution and pooling kernels (im2col based) with autograd support.
+
+``conv2d`` supports stride, symmetric zero padding, and grouped convolution
+(``groups == in_channels`` gives the depthwise convolutions MobileNet-v2
+needs). The backward pass scatters column gradients back with a small loop
+over kernel positions, which is both simple and fast for the 3x3/1x1 kernels
+used throughout the paper's workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor
+
+
+def _output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
+            padding: int) -> Tuple[np.ndarray, int, int]:
+    """Extract sliding patches: returns (N, C*kh*kw, OH*OW)."""
+    n, c, h, w = x.shape
+    oh = _output_size(h, kh, stride, padding)
+    ow = _output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.reshape(n, c * kh * kw, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(cols: np.ndarray, x_shape: Tuple[int, int, int, int], kh: int,
+            kw: int, stride: int, padding: int, oh: int, ow: int) -> np.ndarray:
+    """Scatter column gradients back to input gradient (reverse of im2col)."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2-D convolution over an NCHW tensor.
+
+    ``weight`` has shape ``(out_channels, in_channels // groups, kh, kw)``.
+    """
+    n, c, h, w = x.shape
+    oc, cg, kh, kw = weight.shape
+    if c != cg * groups:
+        raise ShapeError(
+            f"conv2d: input channels {c} != weight channels {cg} * groups {groups}"
+        )
+    if oc % groups != 0:
+        raise ShapeError(f"conv2d: out_channels {oc} not divisible by groups {groups}")
+
+    cols, oh, ow = _im2col(x.data, kh, kw, stride, padding)
+    ocg = oc // groups
+    w_mat = weight.data.reshape(oc, cg * kh * kw)
+
+    if groups == 1:
+        out = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+    else:
+        cols_g = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+        w_g = w_mat.reshape(groups, ocg, cg * kh * kw)
+        out = np.einsum("gof,ngfp->ngop", w_g, cols_g, optimize=True)
+        out = out.reshape(n, oc, oh * ow)
+    out = out.reshape(n, oc, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, oc, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(n, oc, oh * ow)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 2)))
+        if groups == 1:
+            if weight.requires_grad:
+                dw = np.einsum("nop,nfp->of", grad_mat, cols, optimize=True)
+                weight._accumulate(dw.reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.einsum("of,nop->nfp", w_mat, grad_mat, optimize=True)
+                x._accumulate(
+                    _col2im(dcols, x.shape, kh, kw, stride, padding, oh, ow)
+                )
+        else:
+            grad_g = grad_mat.reshape(n, groups, ocg, oh * ow)
+            cols_g = cols.reshape(n, groups, cg * kh * kw, oh * ow)
+            w_g = w_mat.reshape(groups, ocg, cg * kh * kw)
+            if weight.requires_grad:
+                dw = np.einsum("ngop,ngfp->gof", grad_g, cols_g, optimize=True)
+                weight._accumulate(dw.reshape(weight.shape))
+            if x.requires_grad:
+                dcols = np.einsum("gof,ngop->ngfp", w_g, grad_g, optimize=True)
+                dcols = dcols.reshape(n, c * kh * kw, oh * ow)
+                x._accumulate(
+                    _col2im(dcols, x.shape, kh, kw, stride, padding, oh, ow)
+                )
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None,
+               padding: int = 0) -> Tensor:
+    """Max pooling over NCHW; gradient flows to the (first) argmax."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    data = x.data
+    if padding > 0:
+        data = np.pad(
+            x.data,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            constant_values=-np.inf,
+        )
+    oh = _output_size(h, kernel, stride, padding)
+    ow = _output_size(w, kernel, stride, padding)
+    shape = (n, c, oh, ow, kernel, kernel)
+    strides = (
+        data.strides[0],
+        data.strides[1],
+        data.strides[2] * stride,
+        data.strides[3] * stride,
+        data.strides[2],
+        data.strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(data, shape=shape, strides=strides)
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        dpadded = np.zeros_like(data)
+        ki, kj = np.divmod(argmax, kernel)
+        n_idx, c_idx, i_idx, j_idx = np.indices((n, c, oh, ow))
+        rows = i_idx * stride + ki
+        cols = j_idx * stride + kj
+        np.add.at(dpadded, (n_idx, c_idx, rows, cols), grad)
+        if padding > 0:
+            dpadded = dpadded[:, :, padding:-padding, padding:-padding]
+        x._accumulate(dpadded)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
+    """Average pooling (no padding) over NCHW."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = _output_size(h, kernel, stride, 0)
+    ow = _output_size(w, kernel, stride, 0)
+    shape = (n, c, oh, ow, kernel, kernel)
+    strides = (
+        x.data.strides[0],
+        x.data.strides[1],
+        x.data.strides[2] * stride,
+        x.data.strides[3] * stride,
+        x.data.strides[2],
+        x.data.strides[3],
+    )
+    windows = np.lib.stride_tricks.as_strided(x.data, shape=shape, strides=strides)
+    out = windows.mean(axis=(-1, -2))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        g = grad * scale
+        for i in range(kernel):
+            for j in range(kernel):
+                dx[:, :, i:i + stride * oh:stride, j:j + stride * ow:stride] += g
+        x._accumulate(dx)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning (N, C)."""
+    return x.mean(axis=(2, 3))

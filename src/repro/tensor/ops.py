@@ -1,0 +1,98 @@
+"""Free-function tensor operations that combine multiple tensors.
+
+These complement the methods on :class:`~repro.tensor.tensor.Tensor` for
+operations that do not naturally live on a single operand (concatenation,
+stacking, elementwise selection).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor, _unbroadcast
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(start, stop)
+            tensor._accumulate(grad[tuple(slicer)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select: ``a`` where condition, else ``b``."""
+    condition = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * condition, a.shape))
+        b._accumulate(_unbroadcast(grad * (~condition), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum; ties send gradient to the first operand."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    pick_a = a.data >= b.data
+    out_data = np.where(pick_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * pick_a, a.shape))
+        b._accumulate(_unbroadcast(grad * (~pick_a), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def minimum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise minimum; ties send gradient to the first operand."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    pick_a = a.data <= b.data
+    out_data = np.where(pick_a, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        a._accumulate(_unbroadcast(grad * pick_a, a.shape))
+        b._accumulate(_unbroadcast(grad * (~pick_a), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the two trailing spatial axes of an NCHW tensor."""
+    if padding == 0:
+        return x
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    out_data = np.pad(x.data, pad_width)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[:, :, padding:-padding, padding:-padding])
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Heavy artifacts (a trained tiny classifier, a finished QAT run) are session-
+scoped so the many tests that inspect them pay the training cost once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+def make_mlp(seed: int = 7) -> nn.Module:
+    gen = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(12, 24, rng=gen), nn.ReLU(),
+        nn.Linear(24, 24, rng=gen), nn.ReLU(),
+        nn.Linear(24, 3, rng=gen),
+    )
+
+
+def make_toy_task(n: int = 256, seed: int = 1):
+    gen = np.random.default_rng(seed)
+    x = gen.normal(size=(n, 12)).astype(np.float32)
+    y = ((x[:, 0] + x[:, 1] * x[:, 2] > 0).astype(np.int64)
+         + (x[:, 3] > 1.0).astype(np.int64))
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def toy_task():
+    return make_toy_task()
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(toy_task):
+    """An MLP trained to high accuracy on the toy task (FP baseline)."""
+    x, y = toy_task
+    model = make_mlp()
+    optimizer = nn.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    for _ in range(150):
+        loss = nn.cross_entropy(model(Tensor(x)), y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def qat_result(toy_task, trained_mlp):
+    """A finished MSQ quantization run starting from the FP baseline."""
+    from repro.quant import QATConfig, Scheme, quantize_model
+
+    x, y = toy_task
+    model = make_mlp()
+    model.load_state_dict(trained_mlp.state_dict())
+
+    def make_batches(epoch):
+        order = np.random.default_rng(50 + epoch).permutation(len(x))
+        for start in range(0, len(order), 64):
+            idx = order[start:start + 64]
+            yield x[idx], y[idx]
+
+    def loss_fn(m, batch):
+        xb, yb = batch
+        return nn.cross_entropy(m(Tensor(xb)), yb)
+
+    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
+                       ratio="2:1", epochs=6, lr=0.05)
+    result = quantize_model(model, make_batches, loss_fn, config)
+    return result
+
+
+def accuracy_of(model, x, y) -> float:
+    was_training = model.training
+    model.eval()
+    acc = float((model(Tensor(x)).data.argmax(1) == y).mean())
+    model.train(was_training)
+    return acc

@@ -1,0 +1,169 @@
+"""Synthetic dataset generators: shapes, determinism, learnable signal."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    cifar10_like,
+    cifar100_like,
+    coco_like,
+    imagenet_like,
+    imdb_like,
+    ptb_like,
+    timit_like,
+)
+
+
+class TestVision:
+    def test_shapes_and_dtypes(self):
+        data = cifar10_like(n_train=64, n_test=16, image_size=12)
+        assert data.x_train.shape == (64, 3, 12, 12)
+        assert data.x_train.dtype == np.float32
+        assert data.y_train.dtype == np.int64
+        assert data.num_classes == 10
+
+    def test_deterministic(self):
+        a = cifar10_like(n_train=32, n_test=8)
+        b = cifar10_like(n_train=32, n_test=8)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_class_signal_present(self):
+        """Same-class images correlate more than cross-class images."""
+        data = cifar10_like(n_train=256, n_test=8)
+        flattened = data.x_train.reshape(len(data.x_train), -1)
+        same, cross = [], []
+        for cls in range(3):
+            members = flattened[data.y_train == cls][:8]
+            others = flattened[data.y_train != cls][:8]
+            for i in range(len(members) - 1):
+                same.append(np.corrcoef(members[i], members[i + 1])[0, 1])
+                cross.append(np.corrcoef(members[i], others[i])[0, 1])
+        assert np.mean(same) > np.mean(cross) + 0.1
+
+    def test_batches_cover_all_samples(self):
+        data = cifar10_like(n_train=50, n_test=8)
+        seen = sum(len(y) for _, y in data.batches(16, epoch=0))
+        assert seen == 50
+
+    def test_batches_differ_across_epochs(self):
+        data = cifar10_like(n_train=64, n_test=8)
+        first = next(iter(data.batches(16, epoch=0)))[1]
+        second = next(iter(data.batches(16, epoch=1)))[1]
+        assert not np.array_equal(first, second)
+
+    def test_variants(self):
+        assert cifar100_like(n_train=16, n_test=4).num_classes == 20
+        assert imagenet_like(n_train=16, n_test=4,
+                             image_size=20).x_train.shape[-1] == 20
+
+
+class TestDetection:
+    def test_target_format(self):
+        data = coco_like(n_train=16, n_test=4)
+        for target in data.targets_train:
+            assert target.ndim == 2 and target.shape[1] == 5
+            assert np.all(target[:, 0] < data.num_classes)
+            # Boxes inside the unit square.
+            assert np.all(target[:, 1:3] >= 0) and np.all(target[:, 1:3] <= 1)
+
+    def test_object_count_bounds(self):
+        data = coco_like(n_train=32, n_test=4, max_objects=2)
+        counts = [len(t) for t in data.targets_train]
+        assert min(counts) >= 1 and max(counts) <= 2
+
+    def test_shapes_are_drawn_brighter_than_background(self):
+        data = coco_like(n_train=8, n_test=2)
+        image = data.images_train[0]
+        target = data.targets_train[0][0]
+        _, cx, cy, w, h = target
+        size = image.shape[-1]
+        x1, x2 = int((cx - w / 2) * size), int((cx + w / 2) * size)
+        y1, y2 = int((cy - h / 2) * size), int((cy + h / 2) * size)
+        inside = np.abs(image[:, y1:y2, x1:x2]).mean()
+        overall = np.abs(image).mean()
+        assert inside > overall
+
+    def test_class_color_coding(self):
+        """Class k objects are dominated by channel k."""
+        data = coco_like(n_train=64, n_test=2)
+        for image, targets in zip(data.images_train[:16],
+                                  data.targets_train[:16]):
+            for cls, cx, cy, w, h in targets:
+                size = image.shape[-1]
+                x = int(cx * size)
+                y = int(cy * size)
+                center = image[:, y, x]
+                if cls == 0:  # squares are filled at the center
+                    assert center.argmax() == 0
+
+
+class TestLanguage:
+    def test_lm_shapes(self):
+        data = ptb_like(n_train=16, n_test=4, seq_len=8)
+        assert data.inputs_train.shape == (16, 8)
+        assert data.targets_train.shape == (16, 8)
+
+    def test_targets_are_shifted_inputs(self):
+        data = ptb_like(n_train=4, n_test=2, seq_len=6)
+        assert np.array_equal(data.inputs_train[:, 1:],
+                              data.targets_train[:, :-1])
+
+    def test_markov_structure_learnable(self):
+        """Bigram statistics beat unigram: the chain has real structure."""
+        data = ptb_like(n_train=256, n_test=16, seq_len=12, vocab_size=12)
+        tokens = data.inputs_train
+        vocab = data.vocab_size
+        bigram = np.ones((vocab, vocab))
+        for row in tokens:
+            for a, b in zip(row[:-1], row[1:]):
+                bigram[a, b] += 1
+        bigram /= bigram.sum(axis=1, keepdims=True)
+        nll = []
+        for row in data.inputs_test[:32]:
+            for a, b in zip(row[:-1], row[1:]):
+                nll.append(-np.log(bigram[a, b]))
+        assert np.exp(np.mean(nll)) < vocab * 0.7
+
+    def test_sentiment_labels_balanced(self):
+        data = imdb_like(n_train=256, n_test=16)
+        positives = data.labels_train.mean()
+        assert 0.35 < positives < 0.65
+
+    def test_sentiment_lexicon_signal(self):
+        """Positive sequences contain more low-id (positive-lexicon) tokens."""
+        data = imdb_like(n_train=256, n_test=16, vocab_size=48)
+        third = 48 // 3
+        pos_rate = (data.inputs_train[data.labels_train == 1] < third).mean()
+        neg_rate = (data.inputs_train[data.labels_train == 0] < third).mean()
+        assert pos_rate > neg_rate + 0.2
+
+
+class TestSpeech:
+    def test_shapes(self):
+        data = timit_like(n_train=8, n_test=4, num_frames=10)
+        assert data.frames_train.shape == (8, 10, 13)
+        assert data.frame_labels_train.shape == (8, 10)
+        assert len(data.phonemes_train) == 8
+
+    def test_phoneme_sequences_collapsed(self):
+        data = timit_like(n_train=16, n_test=4)
+        for sequence in data.phonemes_train:
+            assert np.all(np.diff(sequence) != 0)
+
+    def test_frame_labels_match_sequence(self):
+        data = timit_like(n_train=8, n_test=2)
+        from repro.metrics import collapse_repeats
+
+        for labels, sequence in zip(data.frame_labels_train,
+                                    data.phonemes_train):
+            assert np.array_equal(collapse_repeats(labels), sequence)
+
+    def test_emissions_cluster_by_phoneme(self):
+        data = timit_like(n_train=32, n_test=4, noise=0.3)
+        frames = data.frames_train.reshape(-1, 13)
+        labels = data.frame_labels_train.reshape(-1)
+        centroid_0 = frames[labels == 0].mean(axis=0)
+        centroid_1 = frames[labels == 1].mean(axis=0)
+        spread_0 = frames[labels == 0].std(axis=0).mean()
+        assert np.linalg.norm(centroid_0 - centroid_1) > spread_0

@@ -1,0 +1,102 @@
+"""Experiment registry and the fast (hardware-side) harnesses.
+
+Training-side harnesses (tables 2-6) are exercised end-to-end by the
+benchmark suite; here we run the sub-second ones and validate the registry
+contract for all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        artifacts = {e.artifact for e in EXPERIMENTS.values()}
+        for required in ("Table I", "Table II", "Table III", "Table IV",
+                         "Table V", "Table VI", "Table VII", "Table VIII",
+                         "Table IX", "Figure 1", "Figure 2", "Figure 4"):
+            assert required in artifacts
+
+    def test_lookup(self):
+        assert get_experiment("table7").artifact == "Table VII"
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_listing(self):
+        assert "table8" in list_experiments()
+
+    def test_modules_expose_contract(self):
+        for experiment in EXPERIMENTS.values():
+            assert callable(experiment.module.run)
+            assert callable(experiment.module.format_result)
+
+
+class TestTable1:
+    def test_run_and_format(self):
+        experiment = get_experiment("table1")
+        result = experiment.run()
+        assert result["shift_add_exact"] is True
+        text = experiment.format(result)
+        assert "sp2" in text and "fixed" in text
+
+
+class TestFigure2:
+    def test_ratios_match_paper_tightly(self):
+        result = get_experiment("figure2").run()
+        assert result["max_abs_error"] < 0.1
+
+
+class TestTable7:
+    def test_designs_and_search(self):
+        result = get_experiment("table7").run()
+        for name, row in result["designs"].items():
+            assert row["peak_gops"] == pytest.approx(row["paper_peak_gops"],
+                                                     rel=0.005)
+        for device, char in result["characterized"].items():
+            assert char["ratio"] == char["paper_ratio"]
+
+
+class TestFigure4:
+    def test_worst_gap_small(self):
+        result = get_experiment("figure4").run()
+        assert result["worst_gap_percent"] <= 2.5
+
+
+class TestTable8:
+    def test_within_paper_envelope(self):
+        result = get_experiment("table8").run()
+        ratios = []
+        for per_network in result["table"].values():
+            for record in per_network.values():
+                ratios.append(record["gops"] / record["paper_gops"])
+        ratios = np.asarray(ratios)
+        # Every cell within 40% of the paper; most much closer.
+        assert ratios.min() > 0.6 and ratios.max() < 1.45
+        assert np.median(np.abs(ratios - 1.0)) < 0.10
+
+    def test_speedups_match_claims(self):
+        result = get_experiment("table8").run()
+        for device, speedups in result["speedups"].items():
+            for network, speedup in speedups.items():
+                assert 1.9 <= speedup <= 4.2, (device, network)
+
+
+class TestTable9:
+    def test_ours_rows_and_gpu_note(self):
+        result = get_experiment("table9").run()
+        assert len(result["ours"]) == 4
+        for record in result["ours"]:
+            assert record["gops"] == pytest.approx(record["paper_gops"],
+                                                   rel=0.35)
+        gpu = result["gpu_comparison"]
+        assert gpu["efficiency_ratio"] > 2.0  # ">3x" in the paper
+
+    def test_efficiency_metrics_comparable_to_prior(self):
+        result = get_experiment("table9").run()
+        ours_resnet_z045 = next(
+            record for record in result["ours"]
+            if record["device"] == "XC7Z045" and "resnet" in record["impl"])
+        assert 0.2 < ours_resnet_z045["gops_per_dsp"] < 0.6
+        assert 1.5 < ours_resnet_z045["gops_per_klut"] < 3.5

@@ -1,0 +1,70 @@
+"""Characterization search (§V-A, §VI-A): must rediscover the paper's
+optimal ratios and respect the budget constraints."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.characterize import characterize_device
+from repro.fpga.resources import design_utilization
+
+
+class TestOptimaRediscovery:
+    def test_xc7z020_finds_1_to_1_5(self):
+        result = characterize_device("XC7Z020", batch=1)
+        assert result.ratio_string == "1:1.5"
+        assert result.design.block_out_sp2 == 24
+
+    def test_xc7z045_finds_1_to_2(self):
+        result = characterize_device("XC7Z045", batch=4)
+        assert result.ratio_string == "1:2"
+        assert result.design.block_out_sp2 == 32
+
+    def test_peak_matches_table7(self):
+        assert characterize_device("XC7Z020", batch=1).peak_gops == \
+            pytest.approx(132.0, rel=0.01)
+        assert characterize_device("XC7Z045", batch=4).peak_gops == \
+            pytest.approx(624.0, rel=0.01)
+
+
+class TestConstraints:
+    def test_lut_under_cap(self):
+        result = characterize_device("XC7Z020", batch=1, lut_cap=0.8)
+        assert result.utilization["lut"] <= 0.8
+
+    def test_dsp_always_full(self):
+        result = characterize_device("XC7Z045", batch=4)
+        assert result.utilization["dsp"] == 1.0
+
+    def test_tighter_cap_smaller_sp2(self):
+        loose = characterize_device("XC7Z020", batch=1, lut_cap=0.85)
+        tight = characterize_device("XC7Z020", batch=1, lut_cap=0.55)
+        assert tight.design.block_out_sp2 < loose.design.block_out_sp2
+
+    def test_candidates_trajectory_monotone(self):
+        result = characterize_device("XC7Z020", batch=1)
+        luts = [c["lut_utilization"] for c in result.candidates]
+        assert all(b > a for a, b in zip(luts, luts[1:]))
+        # The last examined candidate is the first that does not fit.
+        assert not result.candidates[-1]["fits"]
+
+    def test_partition_ratio_matches_design(self):
+        result = characterize_device("XC7Z045", batch=4)
+        assert result.partition_ratio.sp2_fraction == pytest.approx(2 / 3)
+
+    def test_low_lut_devices_get_smaller_ratio(self):
+        """ZU5CG has ~94 LUT/DSP (vs 242): characterization must choose a
+        much smaller SP2 share — Fig. 2's motivating argument."""
+        rich = characterize_device("XC7Z020", batch=1)
+        poor = characterize_device("XCZU5CG", batch=1)
+        rich_ratio = rich.design.block_out_sp2 / rich.design.block_out_fixed
+        poor_ratio = poor.design.block_out_sp2 / max(
+            poor.design.block_out_fixed, 1)
+        assert poor_ratio < rich_ratio
+
+    def test_invalid_cap(self):
+        with pytest.raises(ConfigurationError):
+            characterize_device("XC7Z020", lut_cap=0.0)
+
+    def test_8bit_characterization_runs(self):
+        result = characterize_device("XC7Z020", batch=1, weight_bits=8)
+        assert result.design.block_out_fixed == 8

@@ -1,0 +1,131 @@
+"""Device catalog (Fig. 2) and calibrated resource model (Tables VII/VIII,
+Fig. 4). These tests pin the model to the paper's published numbers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.fpga.devices import get_device, list_devices, resource_ratios
+from repro.fpga.resources import (
+    GemmDesign,
+    check_fits,
+    design_resources,
+    design_utilization,
+    dsp_per_mac,
+    max_block_out_fixed,
+    peak_throughput_gops,
+    reference_designs,
+)
+
+PAPER_PEAKS = {"D1-1": 52.8, "D1-2": 105.6, "D1-3": 132.0,
+               "D2-1": 208.0, "D2-2": 416.0, "D2-3": 624.0}
+PAPER_LUT = {"D1-1": 12_160, "D1-2": 22_912, "D1-3": 28_288,
+             "D2-1": 41_830, "D2-2": 93_440, "D2-3": 145_049}
+PAPER_FIG4_LUT = {"D1-1": 0.46, "D1-2": 0.66, "D1-3": 0.77,
+                  "D2-1": 0.24, "D2-2": 0.48, "D2-3": 0.72}
+
+
+class TestDeviceCatalog:
+    def test_lookup_and_aliases(self):
+        assert get_device("XC7Z020").dsp == 220
+        assert get_device("7z045").lut == 218_600
+
+    def test_unknown_device(self):
+        with pytest.raises(ConfigurationError):
+            get_device("XC7Z999")
+
+    def test_figure2_ratios_match_paper(self):
+        paper = {
+            "XC7Z045": (242.9, 485.8, 21.8),
+            "XC7Z020": (241.8, 483.6, 22.9),
+            "XCZU2CG": (196.8, 393.6, 22.5),
+            "XCZU3CG": (196.0, 392.0, 21.6),
+            "XCZU4CG": (120.7, 241.3, 6.3),
+            "XCZU5CG": (93.8, 187.7, 4.2),
+        }
+        ratios = resource_ratios()
+        for device, (lut, ff, bram) in paper.items():
+            assert ratios[device]["lut_per_dsp"] == pytest.approx(lut, abs=0.1)
+            assert ratios[device]["ff_per_dsp"] == pytest.approx(ff, abs=0.1)
+            assert ratios[device]["bram_kb_per_dsp"] == pytest.approx(
+                bram, abs=0.1)
+
+    def test_catalog_size(self):
+        assert len(list_devices()) >= 6
+
+
+class TestPeakThroughput:
+    @pytest.mark.parametrize("name", list(PAPER_PEAKS))
+    def test_matches_table7(self, name):
+        design = reference_designs()[name]
+        assert peak_throughput_gops(design) == pytest.approx(
+            PAPER_PEAKS[name], rel=0.005)
+
+    def test_scales_with_frequency(self):
+        design = reference_designs()["D1-1"]
+        doubled = GemmDesign(design.device, design.batch, design.block_in,
+                             design.block_out_fixed, design.block_out_sp2,
+                             freq_mhz=200.0)
+        assert peak_throughput_gops(doubled) == pytest.approx(
+            2 * peak_throughput_gops(design))
+
+
+class TestResourceModel:
+    @pytest.mark.parametrize("name", list(PAPER_LUT))
+    def test_lut_matches_table8(self, name):
+        design = reference_designs()[name]
+        assert design_resources(design).lut == pytest.approx(
+            PAPER_LUT[name], rel=0.002)
+
+    @pytest.mark.parametrize("name", list(PAPER_FIG4_LUT))
+    def test_figure4_lut_within_2_points(self, name):
+        design = reference_designs()[name]
+        util = design_utilization(design)
+        assert util["lut"] == pytest.approx(PAPER_FIG4_LUT[name], abs=0.02)
+
+    @pytest.mark.parametrize("name", list(PAPER_LUT))
+    def test_dsp_pinned_at_100(self, name):
+        design = reference_designs()[name]
+        assert design_utilization(design)["dsp"] == 1.0
+
+    def test_ff_bram_within_tolerance(self):
+        paper_ff = {"D1-1": 9_403, "D1-2": 14_523, "D1-3": 17_083}
+        for name, ff in paper_ff.items():
+            design = reference_designs()[name]
+            assert design_resources(design).ff == pytest.approx(ff, rel=0.1)
+
+    def test_sp2_columns_cost_no_dsp(self):
+        base = reference_designs()["D1-1"]
+        grown = GemmDesign(base.device, 1, 16, 16, 32)
+        assert design_resources(grown).dsp == design_resources(base).dsp
+
+    def test_8bit_weights_double_dsp_cost(self):
+        assert dsp_per_mac(8) == pytest.approx(2 * dsp_per_mac(4))
+
+    def test_max_block_out_fixed_reproduces_16(self):
+        assert max_block_out_fixed(get_device("XC7Z020"), 1, 16) == 16
+        assert max_block_out_fixed(get_device("XC7Z045"), 4, 16) == 16
+
+    def test_max_block_out_halves_at_8bit(self):
+        assert max_block_out_fixed(get_device("XC7Z020"), 1, 16,
+                                   weight_bits=8) == 8
+
+    def test_check_fits_raises_on_oversized(self):
+        device = get_device("XC7Z020")
+        with pytest.raises(ResourceError):
+            check_fits(GemmDesign(device, 1, 16, 16, 200))
+
+    def test_invalid_design_dimensions(self):
+        device = get_device("XC7Z020")
+        with pytest.raises(ConfigurationError):
+            GemmDesign(device, 0, 16, 16, 0)
+        with pytest.raises(ConfigurationError):
+            GemmDesign(device, 1, 16, 0, 0)
+
+    def test_ratio_string(self):
+        designs = reference_designs()
+        assert designs["D1-3"].ratio_string == "1:1.5"
+        assert designs["D2-3"].ratio_string == "1:2"
+
+    def test_sp2_fraction_feeds_algorithm2(self):
+        assert reference_designs()["D2-3"].sp2_fraction == pytest.approx(2 / 3)

@@ -1,0 +1,210 @@
+"""GEMM tile model, ISA generator, and the network performance simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.accelerator import (
+    AcceleratorSim,
+    recurrent_efficiency,
+    simulate_network,
+)
+from repro.fpga.gemm import GemmWorkload, simulate_gemm
+from repro.fpga.isa import Opcode, generate_layer_program, program_summary
+from repro.fpga.resources import GemmDesign, peak_throughput_gops, reference_designs
+from repro.fpga.workloads import (
+    WORKLOADS,
+    lstm_ptb,
+    mobilenet_v2_imagenet,
+    resnet18_imagenet,
+    total_gops,
+    yolov3_coco,
+)
+
+
+class TestGemmWorkload:
+    def test_ops_is_2x_macs(self):
+        workload = GemmWorkload("w", rows=8, reduction=16, columns=10)
+        assert workload.ops == 2 * 8 * 16 * 10
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            GemmWorkload("w", rows=0, reduction=1)
+
+
+class TestTileModel:
+    def _design(self, bs=16):
+        return reference_designs()["D1-2" if bs else "D1-1"]
+
+    def test_aligned_dims_full_utilization(self):
+        design = reference_designs()["D1-1"]
+        workload = GemmWorkload("w", rows=64, reduction=64, columns=128)
+        stats = simulate_gemm(workload, design, sp2_fraction=0.0)
+        assert stats.pe_utilization == pytest.approx(
+            design.block_out_fixed / design.block_out_total, rel=1e-6)
+
+    def test_thin_reduction_starves_lanes(self):
+        """3 input channels on 16 lanes -> at most 3/16 utilization."""
+        design = reference_designs()["D1-1"]
+        workload = GemmWorkload("conv1", rows=64, reduction=3,
+                                kernel_positions=49, columns=100)
+        stats = simulate_gemm(workload, design, sp2_fraction=0.0)
+        assert stats.pe_utilization == pytest.approx(3 / 16, rel=1e-6)
+
+    def test_rows_split_by_fraction(self):
+        design = reference_designs()["D2-3"]
+        workload = GemmWorkload("w", rows=96, reduction=32, columns=64)
+        stats = simulate_gemm(workload, design)  # default 2/3 SP2
+        assert stats.rows_sp2 == 64 and stats.rows_fixed == 32
+
+    def test_cores_run_in_parallel(self):
+        design = reference_designs()["D1-2"]  # 16 + 16 columns
+        workload = GemmWorkload("w", rows=32, reduction=16, columns=10)
+        stats = simulate_gemm(workload, design, sp2_fraction=0.5)
+        assert stats.cycles == max(stats.cycles_fixed, stats.cycles_sp2)
+        assert stats.cycles_fixed == stats.cycles_sp2
+
+    def test_imbalanced_split_wastes_cycles(self):
+        """All rows on one core while the other idles doubles the time."""
+        design = reference_designs()["D1-2"]
+        workload = GemmWorkload("w", rows=32, reduction=16, columns=10)
+        balanced = simulate_gemm(workload, design, sp2_fraction=0.5)
+        skewed = simulate_gemm(workload, design, sp2_fraction=1.0)
+        assert skewed.cycles == 2 * balanced.cycles
+
+    def test_dsp_only_design_forces_fixed(self):
+        design = reference_designs()["D1-1"]  # no SP2 core
+        workload = GemmWorkload("w", rows=32, reduction=16, columns=10)
+        stats = simulate_gemm(workload, design, sp2_fraction=0.9)
+        assert stats.rows_sp2 == 0
+
+
+class TestIsa:
+    def test_program_gemm_cycles_match_tile_model(self):
+        design = reference_designs()["D1-3"]
+        workload = GemmWorkload("w", rows=64, reduction=32,
+                                kernel_positions=9, columns=49)
+        stats = simulate_gemm(workload, design)
+        summary = program_summary(generate_layer_program(workload, design))
+        assert summary["gemm_cycles"]["gemm_fixed"] == stats.cycles_fixed
+        assert summary["gemm_cycles"]["gemm_sp2"] == stats.cycles_sp2
+
+    def test_every_output_tile_stored(self):
+        design = reference_designs()["D1-2"]
+        workload = GemmWorkload("w", rows=48, reduction=16, columns=8)
+        program = generate_layer_program(workload, design)
+        stores = [i for i in program if i.opcode == Opcode.STORE]
+        loads = [i for i in program if i.opcode == Opcode.LOAD_WEIGHT]
+        assert len(stores) == len(loads)
+
+    def test_gemm_depends_on_load(self):
+        design = reference_designs()["D1-1"]
+        workload = GemmWorkload("w", rows=16, reduction=16, columns=4)
+        program = generate_layer_program(workload, design)
+        gemms = [i for i in program if i.opcode == Opcode.GEMM_FIXED]
+        assert gemms and all(i.depends_on_load for i in gemms)
+
+
+class TestWorkloadShapes:
+    def test_resnet18_total_ops(self):
+        assert total_gops(resnet18_imagenet()) == pytest.approx(3.63, rel=0.03)
+
+    def test_mobilenet_total_ops(self):
+        assert total_gops(mobilenet_v2_imagenet()) == pytest.approx(
+            0.60, rel=0.05)
+
+    def test_yolov3_total_ops(self):
+        assert total_gops(yolov3_coco()) == pytest.approx(39.0, rel=0.05)
+
+    def test_rnn_workloads_sequential_flag(self):
+        workloads = lstm_ptb()
+        hh = [w for w in workloads if w.name.endswith(".hh")]
+        ih = [w for w in workloads if w.name.endswith(".ih")]
+        assert all(w.sequential_columns for w in hh)
+        assert all(not w.sequential_columns for w in ih)
+
+    def test_lstm_gate_stacking(self):
+        workloads = lstm_ptb()
+        assert workloads[0].rows == 4 * 256
+
+    def test_gru_gate_stacking(self):
+        from repro.fpga.workloads import gru_timit
+
+        assert gru_timit()[0].rows == 3 * 1024
+
+    def test_registry_complete(self):
+        assert set(WORKLOADS) == {"resnet18", "mobilenet_v2", "yolov3",
+                                  "lstm_ptb", "gru_timit", "lstm_imdb"}
+
+
+class TestAcceleratorSim:
+    def test_throughput_below_peak(self):
+        for design in reference_designs().values():
+            perf = simulate_network(WORKLOADS["resnet18"](), design)
+            assert perf.throughput_gops < peak_throughput_gops(design)
+
+    def test_resnet_d1_1_matches_paper_within_10pct(self):
+        perf = simulate_network(WORKLOADS["resnet18"](),
+                                reference_designs()["D1-1"])
+        assert perf.throughput_gops == pytest.approx(36.0, rel=0.10)
+
+    def test_resnet_latency_points(self):
+        designs = reference_designs()
+        d11 = simulate_network(WORKLOADS["resnet18"](), designs["D1-1"])
+        d13 = simulate_network(WORKLOADS["resnet18"](), designs["D1-3"])
+        d23 = simulate_network(WORKLOADS["resnet18"](), designs["D2-3"])
+        assert d11.latency_ms == pytest.approx(100.7, rel=0.10)
+        assert d13.latency_ms == pytest.approx(47.1, rel=0.10)
+        assert d23.latency_ms == pytest.approx(10.1, rel=0.15)
+
+    def test_headline_speedups_in_range(self):
+        """Optimal-ratio over DSP-only: the paper claims 2.1x-2.5x for CNNs
+        and 2.4x-4.1x for RNNs."""
+        designs = reference_designs()
+        for network in ("resnet18", "mobilenet_v2", "yolov3"):
+            workload = WORKLOADS[network]()
+            base = simulate_network(workload, designs["D1-1"]).throughput_gops
+            opt = simulate_network(workload, designs["D1-3"]).throughput_gops
+            assert 1.9 <= opt / base <= 2.6, network
+        for network in ("lstm_ptb", "gru_timit", "lstm_imdb"):
+            workload = WORKLOADS[network]()
+            base = simulate_network(workload, designs["D2-1"]).throughput_gops
+            opt = simulate_network(workload, designs["D2-3"]).throughput_gops
+            assert 2.0 <= opt / base <= 4.2, network
+
+    def test_mobilenet_utilization_lowest_of_cnns(self):
+        design = reference_designs()["D2-3"]
+        utils = {net: simulate_network(WORKLOADS[net](), design).pe_utilization
+                 for net in ("resnet18", "mobilenet_v2", "yolov3")}
+        assert utils["mobilenet_v2"] == min(utils.values())
+
+    def test_rnn_efficiency_rises_with_batch(self):
+        assert recurrent_efficiency(4) > recurrent_efficiency(1)
+
+    def test_fps_consistent_with_latency(self):
+        perf = simulate_network(WORKLOADS["mobilenet_v2"](),
+                                reference_designs()["D1-3"])
+        assert perf.fps == pytest.approx(1000.0 / perf.latency_ms)
+
+    def test_memory_bound_flag(self):
+        design = reference_designs()["D1-1"]
+        sim = AcceleratorSim(design, dram_gbps=0.01)
+        layer = sim.simulate_layer(GemmWorkload("fat", rows=512,
+                                                reduction=512, columns=4))
+        assert layer.memory_bound
+
+    def test_8bit_design_roughly_halves_throughput(self):
+        """§VI-B: the 4-bit optimal design beats the 8-bit DSP-only design
+        by ~3.8x (181.3 ms vs 47.1 ms)."""
+        from repro.fpga.devices import get_device
+        from repro.fpga.resources import max_block_out_fixed
+
+        device = get_device("XC7Z020")
+        eight = GemmDesign(device, 1, 16,
+                           max_block_out_fixed(device, 1, 16, 8), 0,
+                           weight_bits=8, act_bits=8)
+        four_opt = reference_designs()["D1-3"]
+        workload = WORKLOADS["resnet18"]()
+        t8 = simulate_network(workload, eight).latency_ms
+        t4 = simulate_network(workload, four_opt).latency_ms
+        assert 3.0 <= t8 / t4 <= 4.8

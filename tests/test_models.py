@@ -1,0 +1,201 @@
+"""Workload models: structure, shapes, losses, detection decoding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    GRUSpeechModel,
+    LSTMLanguageModel,
+    LSTMSentimentClassifier,
+    MobileNetV2,
+    ResNet,
+    mobilenet_v2_tiny,
+    resnet18_cifar,
+    resnet_tiny,
+    yolo_lite,
+)
+from repro.models.yolo import box_iou, _nms
+from repro.quant import collect_quantizable
+from repro.tensor import Tensor
+
+
+class TestResNet:
+    def test_forward_shape(self, rng):
+        model = resnet_tiny(num_classes=7)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 7)
+
+    def test_resnet18_layout_has_8_blocks(self):
+        model = resnet18_cifar(base_width=8)
+        from repro.models.resnet import BasicBlock
+
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert len(blocks) == 8  # [2, 2, 2, 2]
+
+    def test_downsample_only_on_stride_or_width_change(self):
+        model = resnet_tiny(base_width=8)
+        from repro.models.resnet import BasicBlock
+
+        blocks = [m for m in model.modules() if isinstance(m, BasicBlock)]
+        assert isinstance(blocks[0].downsample, nn.Identity)
+        assert not isinstance(blocks[1].downsample, nn.Identity)
+
+    def test_gradients_flow_everywhere(self, rng):
+        model = resnet_tiny()
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        nn.cross_entropy(out, np.array([0, 1])).backward()
+        for name, param in model.named_parameters():
+            assert param.grad is not None, name
+
+    def test_quantizable_layer_inventory(self):
+        model = resnet_tiny()
+        names = [name for name, _ in collect_quantizable(model)]
+        assert "conv1.weight" in names
+        assert "fc.weight" in names
+
+
+class TestMobileNet:
+    def test_forward_shape(self, rng):
+        model = mobilenet_v2_tiny(num_classes=5)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16)).astype(np.float32)))
+        assert out.shape == (2, 5)
+
+    def test_has_depthwise_convs(self):
+        model = mobilenet_v2_tiny()
+        depthwise = [m for m in model.modules()
+                     if isinstance(m, nn.Conv2d) and m.groups > 1]
+        assert len(depthwise) >= 4
+        for conv in depthwise:
+            assert conv.groups == conv.in_channels
+
+    def test_residual_only_when_shapes_match(self):
+        from repro.models.mobilenet import InvertedResidual
+
+        model = mobilenet_v2_tiny()
+        blocks = [m for m in model.modules()
+                  if isinstance(m, InvertedResidual)]
+        assert any(b.use_residual for b in blocks)
+        assert any(not b.use_residual for b in blocks)
+
+    def test_projection_layer_is_linear(self):
+        """The bottleneck projection has no activation (linear bottleneck)."""
+        from repro.models.mobilenet import InvertedResidual
+
+        block = InvertedResidual(8, 8, 1, 4)
+        kinds = [type(m).__name__ for m in block.project.children()]
+        assert "ReLU6" not in kinds
+
+
+class TestYolo:
+    def _data(self, rng, n=4):
+        images = rng.normal(size=(n, 3, 32, 32)).astype(np.float32)
+        targets = [np.array([[0, 0.5, 0.5, 0.3, 0.3]]) for _ in range(n)]
+        return images, targets
+
+    def test_head_channels(self):
+        model = yolo_lite(num_classes=3)
+        assert model.head.out_channels == 2 * (5 + 3)
+
+    def test_grid_downsample_by_8(self, rng):
+        model = yolo_lite()
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32)).astype(np.float32)))
+        assert out.shape[-1] == 4
+        out = model(Tensor(rng.normal(size=(1, 3, 64, 64)).astype(np.float32)))
+        assert out.shape[-1] == 8
+
+    def test_loss_finite_and_differentiable(self, rng):
+        model = yolo_lite()
+        images, targets = self._data(rng)
+        loss = model.loss(Tensor(images), targets)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert model.head.weight.grad is not None
+
+    def test_loss_with_no_objects(self, rng):
+        model = yolo_lite()
+        images = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        loss = model.loss(Tensor(images), [np.zeros((0, 5))] * 2)
+        assert np.isfinite(loss.item())
+
+    def test_build_targets_assignment(self):
+        model = yolo_lite()
+        built = model.build_targets(
+            [np.array([[1, 0.55, 0.3, 0.4, 0.4]])], grid=4, batch=1)
+        assert built["obj"].sum() == 1
+        assert built["class_targets"][0] == 1
+        # Anchor 1 (0.45, 0.45) is the best match for a 0.4 box.
+        k = built["assigned_idx"][0]
+        anchor = (k // (4 * 4)) % 2
+        assert anchor == 1
+
+    def test_detect_returns_normalized_boxes(self, rng):
+        model = yolo_lite()
+        images, _ = self._data(rng, n=2)
+        detections = model.detect(Tensor(images), conf_threshold=0.0,
+                                  max_detections=5)
+        assert len(detections) == 2
+        for det in detections:
+            assert det["boxes"].shape[1] == 4
+            assert len(det["scores"]) <= 5
+
+
+class TestBoxOps:
+    def test_iou_identity(self):
+        box = np.array([[0.0, 0.0, 1.0, 1.0]])
+        assert box_iou(box, box)[0, 0] == pytest.approx(1.0)
+
+    def test_iou_disjoint(self):
+        a = np.array([[0.0, 0.0, 0.4, 0.4]])
+        b = np.array([[0.6, 0.6, 1.0, 1.0]])
+        assert box_iou(a, b)[0, 0] == 0.0
+
+    def test_iou_half_overlap(self):
+        a = np.array([[0.0, 0.0, 1.0, 1.0]])
+        b = np.array([[0.5, 0.0, 1.5, 1.0]])
+        assert box_iou(a, b)[0, 0] == pytest.approx(1 / 3)
+
+    def test_iou_symmetry(self, rng):
+        a = np.sort(rng.uniform(0, 1, size=(5, 4)), axis=1)
+        b = np.sort(rng.uniform(0, 1, size=(7, 4)), axis=1)
+        assert np.allclose(box_iou(a, b), box_iou(b, a).T)
+
+    def test_nms_suppresses_duplicates(self):
+        boxes = np.array([[0, 0, 1, 1], [0.05, 0, 1, 1], [2, 2, 3, 3]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = _nms(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [0, 2]
+
+    def test_nms_keeps_order_by_score(self):
+        boxes = np.array([[0, 0, 1, 1], [2, 2, 3, 3]])
+        scores = np.array([0.2, 0.9])
+        keep = _nms(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [1, 0]
+
+
+class TestRNNModels:
+    def test_language_model_shapes(self, rng):
+        model = LSTMLanguageModel(vocab_size=20, embed_dim=8, hidden_size=12)
+        tokens = rng.integers(0, 20, size=(3, 5))
+        out = model(tokens)
+        assert out.shape == (15, 20)
+
+    def test_speech_model_shapes(self, rng):
+        model = GRUSpeechModel(input_dim=13, hidden_size=12, num_phonemes=9)
+        frames = Tensor(rng.normal(size=(2, 6, 13)).astype(np.float32))
+        assert model(frames).shape == (12, 9)
+        assert model.frame_predictions(frames).shape == (2, 6)
+
+    def test_sentiment_model_shapes(self, rng):
+        model = LSTMSentimentClassifier(vocab_size=30, embed_dim=8,
+                                        hidden_size=12, num_layers=2)
+        tokens = rng.integers(0, 30, size=(4, 7))
+        assert model(tokens).shape == (4, 2)
+
+    def test_rnn_models_are_quantizable(self):
+        model = LSTMLanguageModel(vocab_size=10, embed_dim=4, hidden_size=6)
+        names = [name for name, _ in collect_quantizable(model)]
+        # LSTM gate matrices + decoder, but NOT the embedding.
+        assert any("weight_ih" in name for name in names)
+        assert "decoder.weight" in names
+        assert not any("embedding" in name for name in names)

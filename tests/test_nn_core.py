@@ -1,0 +1,264 @@
+"""Module system, layers, losses, optimizers, schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.tensor import Tensor
+from repro.tensor.tensor import gradcheck
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        layer = nn.Linear(3, 4)
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]
+
+    def test_nested_module_names(self):
+        model = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Linear(4, 5), nn.BatchNorm1d(5))
+        b = nn.Sequential(nn.Linear(4, 5, rng=np.random.default_rng(99)),
+                          nn.BatchNorm1d(5))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(),
+                                    b.named_parameters()):
+            assert np.array_equal(pa.data, pb.data)
+
+    def test_load_missing_key_raises(self):
+        model = nn.Linear(2, 2)
+        with pytest.raises(KeyError):
+            model.load_state_dict({})
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Sequential(nn.Dropout(0.5)))
+        model.eval()
+        assert not model[0][0].training
+
+    def test_zero_grad(self):
+        model = nn.Linear(3, 2)
+        out = model(Tensor(np.ones((1, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_num_parameters(self):
+        model = nn.Linear(3, 4)
+        assert model.num_parameters() == 3 * 4 + 4
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(4)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+
+class TestLayers:
+    def test_linear_matches_manual(self, rng):
+        layer = nn.Linear(4, 3)
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        ref = x @ layer.weight.data.T + layer.bias.data
+        assert np.allclose(layer(Tensor(x)).data, ref, atol=1e-5)
+
+    def test_batchnorm2d_normalizes_in_training(self, rng):
+        bn = nn.BatchNorm2d(3)
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 3, 5, 5)).astype(np.float32))
+        out = bn(x)
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        assert np.allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_batchnorm2d_running_stats_used_in_eval(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = rng.normal(1.0, 2.0, size=(16, 2, 4, 4)).astype(np.float32)
+        for _ in range(50):
+            bn(Tensor(x))
+        bn.eval()
+        out = bn(Tensor(x))
+        assert np.allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=0.2)
+
+    def test_batchnorm_gradcheck(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(lambda x: (bn(x) ** 2).sum(), [x])
+
+    def test_relu6_clips(self):
+        layer = nn.ReLU6()
+        out = layer(Tensor(np.array([-1.0, 3.0, 9.0])))
+        assert np.allclose(out.data, [0.0, 3.0, 6.0])
+
+    def test_dropout_eval_is_identity(self, rng):
+        layer = nn.Dropout(0.5)
+        layer.eval()
+        x = rng.normal(size=(4, 4)).astype(np.float32)
+        assert np.array_equal(layer(Tensor(x)).data, x)
+
+    def test_dropout_scales_expectation(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = layer(x)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            nn.Dropout(1.0)
+
+    def test_embedding_lookup_and_grad(self):
+        emb = nn.Embedding(5, 3)
+        out = emb(np.array([[0, 1], [1, 4]]))
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        # Token 1 appears twice -> gradient 2, token 2 never -> 0.
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+    def test_conv_layer_groups_validation(self):
+        with pytest.raises(ConfigurationError):
+            nn.Conv2d(3, 6, 3, groups=2)
+
+    def test_flatten_layer(self, rng):
+        layer = nn.Flatten()
+        assert layer(Tensor(rng.normal(size=(2, 3, 4)))).shape == (2, 12)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        loss = nn.cross_entropy(Tensor(logits), targets)
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        manual = -np.log(probs[np.arange(6), targets]).mean()
+        assert np.isclose(loss.item(), manual, atol=1e-6)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        targets = rng.integers(0, 3, size=5)
+        assert gradcheck(lambda l: nn.cross_entropy(l, targets), [logits])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = nn.softmax(Tensor(rng.normal(size=(4, 7))))
+        assert np.allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_log_softmax_consistent(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert np.allclose(nn.log_softmax(x).data,
+                           np.log(nn.softmax(x).data), atol=1e-6)
+
+    def test_mse_l1(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        target = np.array([0.0, 4.0])
+        assert np.isclose(nn.mse_loss(pred, target).item(), 2.5)
+        assert np.isclose(nn.l1_loss(pred, target).item(), 1.5)
+
+    def test_bce_with_logits_stable_and_correct(self):
+        logits = Tensor(np.array([-100.0, 0.0, 100.0]))
+        targets = np.array([0.0, 1.0, 1.0])
+        loss = nn.bce_with_logits(logits, targets)
+        assert np.isfinite(loss.item())
+        assert np.isclose(loss.item(), np.log(2.0) / 3.0, atol=1e-6)
+
+
+class TestOptimizers:
+    def test_sgd_converges_quadratic(self):
+        w = nn.Parameter(np.array([5.0], dtype=np.float64))
+        opt = nn.SGD([w], lr=0.1)
+        for _ in range(100):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert abs(w.data[0]) < 1e-3
+
+    def test_sgd_momentum_faster_than_plain(self):
+        def run(momentum):
+            w = nn.Parameter(np.array([5.0], dtype=np.float64))
+            opt = nn.SGD([w], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                loss = (w * w).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return abs(w.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        def run(weight_decay):
+            w = nn.Parameter(np.array([1.0], dtype=np.float64))
+            opt = nn.SGD([w], lr=0.1, weight_decay=weight_decay)
+            for _ in range(10):
+                loss = (w * 0.0).sum()  # zero task gradient, grad exists
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return w.data[0]
+
+        assert run(0.1) < run(0.0) == 1.0
+
+    def test_params_without_grad_skipped(self):
+        w = nn.Parameter(np.array([1.0], dtype=np.float64))
+        used = nn.Parameter(np.array([1.0], dtype=np.float64))
+        opt = nn.SGD([w, used], lr=0.1, weight_decay=0.1)
+        loss = (used * used).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert w.data[0] == 1.0  # never received a gradient
+        assert used.data[0] < 1.0
+
+    def test_adam_converges(self):
+        w = nn.Parameter(np.array([3.0, -3.0], dtype=np.float64))
+        opt = nn.Adam([w], lr=0.1)
+        for _ in range(200):
+            loss = (w * w).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.all(np.abs(w.data) < 1e-2)
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestSchedulers:
+    def _opt(self):
+        return nn.SGD([nn.Parameter(np.zeros(1))], lr=1.0)
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = nn.StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        opt = self._opt()
+        sched = nn.MultiStepLR(opt, milestones=[1, 3], gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert np.allclose(lrs, [0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_endpoints(self):
+        opt = self._opt()
+        sched = nn.CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert np.isclose(opt.lr, 0.1, atol=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._opt()
+        sched = nn.CosineAnnealingLR(opt, t_max=8)
+        previous = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr

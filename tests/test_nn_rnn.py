@@ -1,0 +1,122 @@
+"""RNN cells and sequence wrappers."""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_output_shapes(self, rng):
+        cell = nn.LSTMCell(5, 7)
+        h = Tensor(np.zeros((3, 7), dtype=np.float32))
+        c = Tensor(np.zeros((3, 7), dtype=np.float32))
+        x = Tensor(rng.normal(size=(3, 5)).astype(np.float32))
+        h2, c2 = cell(x, (h, c))
+        assert h2.shape == (3, 7) and c2.shape == (3, 7)
+
+    def test_gate_stacked_weight_shapes(self):
+        cell = nn.LSTMCell(5, 7)
+        assert cell.weight_ih.shape == (28, 5)
+        assert cell.weight_hh.shape == (28, 7)
+
+    def test_forget_gate_bias_behaviour(self, rng):
+        """With saturated forget gate the cell state persists."""
+        cell = nn.LSTMCell(2, 3)
+        cell.bias_ih.data = np.zeros(12, dtype=np.float32)
+        cell.bias_hh.data = np.zeros(12, dtype=np.float32)
+        cell.bias_ih.data[3:6] = 100.0   # forget gate -> 1
+        cell.bias_ih.data[0:3] = -100.0  # input gate -> 0
+        cell.weight_ih.data *= 0
+        cell.weight_hh.data *= 0
+        c0 = Tensor(np.ones((1, 3), dtype=np.float32))
+        h0 = Tensor(np.zeros((1, 3), dtype=np.float32))
+        x = Tensor(rng.normal(size=(1, 2)).astype(np.float32))
+        _, c1 = cell(x, (h0, c0))
+        assert np.allclose(c1.data, 1.0, atol=1e-5)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        cell = nn.LSTMCell(4, 6)
+        h = Tensor(np.zeros((2, 6), dtype=np.float32))
+        c = Tensor(np.zeros((2, 6), dtype=np.float32))
+        x = Tensor(rng.normal(size=(2, 4)).astype(np.float32))
+        h2, c2 = cell(x, (h, c))
+        (h2.sum() + c2.sum()).backward()
+        for param in cell.parameters():
+            assert param.grad is not None
+
+
+class TestGRUCell:
+    def test_output_shape_and_range(self, rng):
+        cell = nn.GRUCell(5, 7)
+        h = Tensor(np.zeros((3, 7), dtype=np.float32))
+        x = Tensor(rng.normal(size=(3, 5)).astype(np.float32))
+        out = cell(x, h)
+        assert out.shape == (3, 7)
+        # GRU output is a convex combination of tanh output and prev state.
+        assert np.all(np.abs(out.data) <= 1.0 + 1e-5)
+
+    def test_weight_shapes(self):
+        cell = nn.GRUCell(5, 7)
+        assert cell.weight_ih.shape == (21, 5)
+        assert cell.weight_hh.shape == (21, 7)
+
+
+class TestSequenceWrappers:
+    def test_lstm_output_shape(self, rng):
+        lstm = nn.LSTM(5, 8, num_layers=2)
+        x = Tensor(rng.normal(size=(3, 6, 5)).astype(np.float32))
+        out, state = lstm(x)
+        assert out.shape == (3, 6, 8)
+        assert len(state) == 2
+        assert state[0][0].shape == (3, 8)
+
+    def test_lstm_state_threading(self, rng):
+        """Running two halves with carried state == running the whole."""
+        lstm = nn.LSTM(3, 4)
+        x = rng.normal(size=(2, 6, 3)).astype(np.float32)
+        full, _ = lstm(Tensor(x))
+        first, state = lstm(Tensor(x[:, :3]))
+        second, _ = lstm(Tensor(x[:, 3:]), state)
+        joined = np.concatenate([first.data, second.data], axis=1)
+        assert np.allclose(joined, full.data, atol=1e-5)
+
+    def test_gru_output_shape(self, rng):
+        gru = nn.GRU(5, 8, num_layers=2)
+        x = Tensor(rng.normal(size=(3, 4, 5)).astype(np.float32))
+        out, state = gru(x)
+        assert out.shape == (3, 4, 8)
+        assert len(state) == 2
+
+    def test_bptt_gradient_flow(self, rng):
+        lstm = nn.LSTM(3, 4)
+        x = Tensor(rng.normal(size=(2, 5, 3)).astype(np.float32),
+                   requires_grad=True)
+        out, _ = lstm(x)
+        out.sum().backward()
+        assert x.grad is not None
+        assert lstm._cell(0).weight_hh.grad is not None
+        # Early timesteps must receive gradient (no truncation).
+        assert np.abs(x.grad[:, 0]).sum() > 0
+
+    def test_lstm_learns_memory_task(self):
+        """Classify by the FIRST token — requires carrying state."""
+        gen = np.random.default_rng(3)
+        n, steps = 128, 6
+        first = gen.integers(0, 2, size=n)
+        x = gen.normal(0, 0.1, size=(n, steps, 2)).astype(np.float32)
+        x[:, 0, 0] = first * 2.0 - 1.0
+        lstm = nn.LSTM(2, 8, rng=gen)
+        head = nn.Linear(8, 2, rng=gen)
+        params = lstm.parameters() + head.parameters()
+        opt = nn.SGD(params, lr=0.3, momentum=0.9)
+        for _ in range(60):
+            out, _ = lstm(Tensor(x))
+            logits = head(out[:, steps - 1])
+            loss = nn.cross_entropy(logits, first)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        out, _ = lstm(Tensor(x))
+        acc = (head(out[:, steps - 1]).data.argmax(1) == first).mean()
+        assert acc > 0.95

@@ -1,0 +1,114 @@
+"""Shift-add arithmetic (Eq. 6, Table I): exactness and op budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.quant import (
+    Scheme,
+    SchemeQuantizer,
+    encode_sp2,
+    fixed_multiply,
+    ops_fixed_point,
+    ops_sp2,
+    shift_add_multiply,
+    sp2_frac_bits,
+    table1_rows,
+)
+from repro.quant.arithmetic import lut_cost_per_multiply
+from repro.quant.schemes import sp2_levels
+
+
+class TestShiftAddExactness:
+    def test_exact_on_all_levels(self):
+        levels = sp2_levels(4)
+        code = encode_sp2(levels, 2, 1)
+        activations = np.arange(16, dtype=np.int64)
+        for i, level in enumerate(levels):
+            sub = type(code)(sign=code.sign[i:i + 1], c1=code.c1[i:i + 1],
+                             c2=code.c2[i:i + 1], m1=2, m2=1)
+            product = shift_add_multiply(activations, sub)
+            expected = activations * level * 2 ** sp2_frac_bits(2)
+            assert np.allclose(product, expected), level
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           act_bits=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_random(self, seed, act_bits):
+        rng = np.random.default_rng(seed)
+        quantizer = SchemeQuantizer(Scheme.SP2, 4)
+        result = quantizer.quantize(rng.normal(0, 0.3, size=64))
+        code = encode_sp2(result.unit_values, 2, 1)
+        activations = rng.integers(0, 2 ** act_bits, size=64)
+        product = shift_add_multiply(activations, code)
+        expected = activations * result.unit_values * 2 ** sp2_frac_bits(2)
+        assert np.allclose(product, expected, atol=0)
+
+    def test_wider_split_exact(self, rng):
+        quantizer = SchemeQuantizer(Scheme.SP2, 6, m1=3, m2=2)
+        result = quantizer.quantize(rng.normal(0, 0.3, size=128))
+        code = encode_sp2(result.unit_values, 3, 2)
+        activations = rng.integers(0, 256, size=128)
+        product = shift_add_multiply(activations, code)
+        expected = activations * result.unit_values * 2 ** sp2_frac_bits(3)
+        assert np.allclose(product, expected, atol=0)
+
+    def test_rejects_float_activations(self):
+        code = encode_sp2(np.array([0.5]), 2, 1)
+        with pytest.raises(QuantizationError):
+            shift_add_multiply(np.array([0.5]), code)
+
+    def test_rejects_negative_activations(self):
+        code = encode_sp2(np.array([0.5]), 2, 1)
+        with pytest.raises(QuantizationError):
+            shift_add_multiply(np.array([-1]), code)
+
+    def test_fixed_multiply_is_plain_product(self):
+        out = fixed_multiply(np.array([3, 4]), np.array([-2, 5]))
+        assert np.array_equal(out, [-6, 20])
+
+    def test_fixed_multiply_rejects_floats(self):
+        with pytest.raises(QuantizationError):
+            fixed_multiply(np.array([0.5]), np.array([1]))
+
+
+class TestOpCounts:
+    def test_fixed_4bit_matches_table(self):
+        ops = ops_fixed_point(4, 4)
+        assert ops.additions == 2        # m - 2
+        assert ops.addition_bits == 4    # n
+
+    def test_fixed_dsp_mode(self):
+        assert ops_fixed_point(4, 4, use_dsp=True).dsp_multiplies == 1
+
+    def test_sp2_4bit_matches_table(self):
+        ops = ops_sp2(4, 4, 2, 1)
+        assert ops.shifts == 2
+        assert ops.additions == 1
+        assert ops.addition_bits == 4 + (2 ** 2 - 1)  # n + 2^m1 - 1
+
+    def test_sp2_invalid_split(self):
+        with pytest.raises(ConfigurationError):
+            ops_sp2(4, 4, 2, 2)
+
+    def test_table1_rows_structure(self):
+        rows = table1_rows(4, 4)
+        assert [r["scheme"] for r in rows] == ["fixed", "sp2"]
+        assert rows[0]["weight_operand"] == "3-bit integer"
+
+    def test_sp2_needs_single_addition_regardless_of_bits(self):
+        """SP2's structural advantage: one addition per multiply vs m-2 for
+        a soft-logic fixed-point multiplier — the gap widens with m."""
+        for bits, (m1, m2) in ((4, (2, 1)), (6, (3, 2)), (8, (4, 3))):
+            assert ops_sp2(bits, bits, m1, m2).additions == 1
+            assert ops_fixed_point(bits, bits).additions == bits - 2
+
+    def test_lut_cost_model_returns_positive(self):
+        assert lut_cost_per_multiply("fixed", 4, 4) > 0
+        assert lut_cost_per_multiply("sp2", 4, 4) > 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lut_cost_per_multiply("ternary", 4, 4)

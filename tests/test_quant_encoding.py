@@ -1,0 +1,119 @@
+"""Hardware encodings: exact round trips and bit packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import (
+    Scheme,
+    SchemeQuantizer,
+    decode_fixed,
+    decode_p2,
+    decode_sp2,
+    encode_fixed,
+    encode_p2,
+    encode_sp2,
+    pack_sp2,
+    unpack_sp2,
+)
+from repro.quant.schemes import fixed_point_levels, power_of_2_levels, sp2_levels
+
+
+class TestFixedEncoding:
+    def test_roundtrip_all_levels(self):
+        levels = fixed_point_levels(4)
+        codes = encode_fixed(levels, 4)
+        assert np.allclose(decode_fixed(codes, 4), levels)
+
+    def test_codes_are_small_integers(self):
+        codes = encode_fixed(fixed_point_levels(4), 4)
+        assert codes.min() == -7 and codes.max() == 7
+
+    def test_alpha_scaling(self):
+        codes = encode_fixed(np.array([1.0]), 4)
+        assert decode_fixed(codes, 4, alpha=0.5)[0] == 0.5
+
+    def test_non_level_rejected(self):
+        with pytest.raises(QuantizationError):
+            encode_fixed(np.array([0.123456]), 4)
+
+    @given(bits=st.integers(min_value=2, max_value=8))
+    @settings(deadline=None)
+    def test_roundtrip_any_bitwidth(self, bits):
+        levels = fixed_point_levels(bits)
+        assert np.allclose(decode_fixed(encode_fixed(levels, bits), bits),
+                           levels)
+
+
+class TestP2Encoding:
+    def test_roundtrip_all_levels(self):
+        levels = power_of_2_levels(4)
+        sign, codes = encode_p2(levels, 4)
+        assert np.allclose(decode_p2(sign, codes), levels)
+
+    def test_zero_has_code_zero(self):
+        sign, codes = encode_p2(np.array([0.0]), 4)
+        assert codes[0] == 0
+
+    def test_non_power_rejected(self):
+        with pytest.raises(QuantizationError):
+            encode_p2(np.array([0.3]), 4)
+
+
+class TestSP2Encoding:
+    def test_roundtrip_all_levels(self):
+        levels = sp2_levels(4)
+        code = encode_sp2(levels, 2, 1)
+        assert np.allclose(decode_sp2(code), levels)
+
+    def test_roundtrip_quantized_tensor(self, rng):
+        quantizer = SchemeQuantizer(Scheme.SP2, 4)
+        result = quantizer.quantize(rng.normal(0, 0.2, size=(8, 16)))
+        code = encode_sp2(result.unit_values, 2, 1)
+        assert np.allclose(decode_sp2(code, alpha=result.alpha),
+                           result.values, atol=1e-12)
+
+    def test_shape_preserved(self, rng):
+        result = SchemeQuantizer(Scheme.SP2, 4).quantize(
+            rng.normal(size=(3, 5)))
+        code = encode_sp2(result.unit_values, 2, 1)
+        assert code.shape == (3, 5)
+
+    def test_codes_fit_field_widths(self):
+        code = encode_sp2(sp2_levels(4), 2, 1)
+        assert code.c1.max() < 2 ** 2
+        assert code.c2.max() < 2 ** 1
+
+    def test_non_level_rejected(self):
+        with pytest.raises(QuantizationError):
+            encode_sp2(np.array([0.3]), 2, 1)  # 0.3 not dyadic
+
+    def test_off_grid_dyadic_rejected(self):
+        with pytest.raises(QuantizationError):
+            encode_sp2(np.array([3 / 8]), 2, 1)  # dyadic but not reachable
+
+    def test_wider_split_roundtrip(self):
+        levels = sp2_levels(6, m1=3, m2=2)
+        code = encode_sp2(levels, 3, 2)
+        assert np.allclose(decode_sp2(code), levels)
+
+
+class TestSP2Packing:
+    def test_pack_unpack_roundtrip(self):
+        levels = sp2_levels(4)
+        code = encode_sp2(levels, 2, 1)
+        unpacked = unpack_sp2(pack_sp2(code), 2, 1)
+        assert np.allclose(decode_sp2(unpacked), decode_sp2(code))
+
+    def test_words_fit_in_m_bits(self):
+        code = encode_sp2(sp2_levels(4), 2, 1)
+        words = pack_sp2(code)
+        assert words.max() < 2 ** 4  # m = 1 + m1 + m2 = 4 bits
+
+    def test_sign_bit_position(self):
+        code = encode_sp2(np.array([-1.0, 1.0]), 2, 1)
+        words = pack_sp2(code)
+        assert (words[0] >> 3) & 1 == 1
+        assert (words[1] >> 3) & 1 == 0

@@ -1,0 +1,138 @@
+"""Mixed-scheme quantizer (the paper's core algorithm)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quant import (
+    MixedSchemeQuantizer,
+    PartitionRatio,
+    Scheme,
+    SchemeQuantizer,
+    partition_rows,
+    project_to_levels,
+)
+from repro.quant.partition import to_gemm_matrix
+from repro.quant.schemes import fixed_point_levels, sp2_levels
+
+
+class TestRatioCoercion:
+    def test_string(self):
+        assert MixedSchemeQuantizer(ratio="2:1").sp2_fraction == pytest.approx(2 / 3)
+
+    def test_float(self):
+        assert MixedSchemeQuantizer(ratio=0.6).sp2_fraction == pytest.approx(0.6)
+
+    def test_partition_ratio_object(self):
+        q = MixedSchemeQuantizer(ratio=PartitionRatio(3, 2))
+        assert q.sp2_fraction == pytest.approx(0.6)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MixedSchemeQuantizer(ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            MixedSchemeQuantizer(alpha_granularity="channel")
+
+
+class TestQuantization:
+    def test_row_assignment_respected(self, rng):
+        w = rng.normal(0, 0.2, size=(12, 32))
+        quantizer = MixedSchemeQuantizer(bits=4, ratio="1:1")
+        result = quantizer.quantize(w)
+        matrix = to_gemm_matrix(result.values)
+        sp2 = sp2_levels(4)
+        fixed = fixed_point_levels(4)
+        for row in range(12):
+            unit = matrix[row] / result.row_alphas[row]
+            levels = sp2 if result.partition.sp2_mask[row] else fixed
+            assert np.allclose(unit, project_to_levels(unit, levels),
+                               atol=1e-9)
+
+    def test_sp2_fraction_achieved(self, rng):
+        w = rng.normal(size=(30, 16))
+        result = MixedSchemeQuantizer(bits=4, ratio="2:1").quantize(w)
+        assert result.partition.num_sp2 == 20
+
+    def test_conv_shape_roundtrip(self, rng):
+        w = rng.normal(size=(16, 8, 3, 3))
+        result = MixedSchemeQuantizer(bits=4, ratio="1:1").quantize(w)
+        assert result.values.shape == w.shape
+
+    def test_external_partition_reused(self, rng):
+        w = rng.normal(size=(10, 8))
+        partition = partition_rows(w, 0.5)
+        quantizer = MixedSchemeQuantizer(bits=4, ratio="1:1")
+        result = quantizer.quantize(w, partition=partition)
+        assert np.array_equal(result.partition.sp2_mask, partition.sp2_mask)
+
+    def test_partition_size_mismatch(self, rng):
+        partition = partition_rows(rng.normal(size=(4, 8)), 0.5)
+        with pytest.raises(ConfigurationError):
+            MixedSchemeQuantizer().quantize(rng.normal(size=(10, 8)),
+                                            partition=partition)
+
+    def test_extreme_ratios_degenerate_to_single_scheme(self, rng):
+        w = rng.normal(0, 0.2, size=(8, 64))
+        all_fixed = MixedSchemeQuantizer(bits=4, ratio=0.0).quantize(w)
+        reference = np.stack([
+            SchemeQuantizer(Scheme.FIXED, 4).quantize(w[i]).values
+            for i in range(8)])
+        assert np.allclose(all_fixed.values, reference, atol=1e-12)
+
+    def test_layer_alpha_granularity(self, rng):
+        w = rng.normal(0, 0.2, size=(8, 32))
+        result = MixedSchemeQuantizer(bits=4, ratio="1:1",
+                                      alpha_granularity="layer").quantize(w)
+        sp2_alphas = result.row_alphas[result.partition.sp2_mask]
+        fixed_alphas = result.row_alphas[~result.partition.sp2_mask]
+        assert np.allclose(sp2_alphas, sp2_alphas[0])
+        assert np.allclose(fixed_alphas, fixed_alphas[0])
+
+    def test_row_alpha_granularity_varies(self, rng):
+        w = rng.normal(size=(8, 32)) * rng.uniform(0.5, 2.0, size=(8, 1))
+        result = MixedSchemeQuantizer(bits=4, ratio="1:1").quantize(w)
+        assert len(np.unique(np.round(result.row_alphas, 9))) > 1
+
+    def test_mse_between_pure_schemes(self, rng):
+        """MSQ error should not exceed the worse of the two pure schemes."""
+        w = rng.normal(0, 0.2, size=(16, 64))
+        def mse(values):
+            return float(np.mean((w - values) ** 2))
+
+        msq = mse(MixedSchemeQuantizer(bits=4, ratio="1:1").quantize(w).values)
+        pure = []
+        for scheme in (Scheme.FIXED, Scheme.SP2):
+            quantized = np.stack([
+                SchemeQuantizer(scheme, 4).quantize(w[i]).values
+                for i in range(16)])
+            pure.append(mse(quantized))
+        assert msq <= max(pure) + 1e-12
+
+
+class TestHardwareEncoding:
+    def test_encoding_partitions_rows(self, rng):
+        w = rng.normal(0, 0.2, size=(12, 16))
+        result = MixedSchemeQuantizer(bits=4, ratio="2:1").quantize(w)
+        enc = result.hardware_encoding()
+        together = np.sort(np.concatenate([enc["fixed_rows"],
+                                           enc["sp2_rows"]]))
+        assert np.array_equal(together, np.arange(12))
+
+    def test_encoding_decodes_back(self, rng):
+        from repro.quant.encoding import decode_sp2, decode_fixed
+
+        w = rng.normal(0, 0.2, size=(10, 16))
+        result = MixedSchemeQuantizer(bits=4, ratio="1:1").quantize(w)
+        enc = result.hardware_encoding()
+        matrix = to_gemm_matrix(result.values)
+        fixed_back = decode_fixed(enc["fixed_codes"], 4)
+        for local, row in enumerate(enc["fixed_rows"]):
+            assert np.allclose(fixed_back[local] * result.row_alphas[row],
+                               matrix[row], atol=1e-12)
+        sp2_back = decode_sp2(enc["sp2_codes"])
+        for local, row in enumerate(enc["sp2_rows"]):
+            assert np.allclose(sp2_back[local] * result.row_alphas[row],
+                               matrix[row], atol=1e-12)
+
+    def test_repr_mentions_ratio(self):
+        assert "2:1" in repr(MixedSchemeQuantizer(bits=4, ratio="2:1"))

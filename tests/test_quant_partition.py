@@ -1,0 +1,120 @@
+"""Row partitioning (Alg. 2) and ratio semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.quant import PartitionRatio, partition_rows, row_variances, to_gemm_matrix
+from repro.quant.partition import from_gemm_matrix, partition_summary
+
+
+class TestGemmMatrix:
+    def test_linear_passthrough(self, rng):
+        w = rng.normal(size=(8, 16))
+        assert to_gemm_matrix(w).shape == (8, 16)
+
+    def test_conv_flattens_filters(self, rng):
+        w = rng.normal(size=(8, 4, 3, 3))
+        matrix = to_gemm_matrix(w)
+        assert matrix.shape == (8, 36)
+        assert np.allclose(matrix[2], w[2].reshape(-1))
+
+    def test_roundtrip(self, rng):
+        w = rng.normal(size=(6, 2, 3, 3))
+        assert np.allclose(from_gemm_matrix(to_gemm_matrix(w), w.shape), w)
+
+    def test_bad_ndim(self, rng):
+        with pytest.raises(ShapeError):
+            to_gemm_matrix(rng.normal(size=(3,)))
+
+    def test_row_variances(self):
+        matrix = np.array([[1.0, 1.0], [0.0, 2.0]])
+        assert np.allclose(row_variances(matrix), [0.0, 1.0])
+
+
+class TestPartitionRatio:
+    def test_sp2_fraction(self):
+        assert PartitionRatio(2, 1).sp2_fraction == pytest.approx(2 / 3)
+        assert PartitionRatio(1, 1).sp2_fraction == 0.5
+
+    def test_from_string_default_order(self):
+        ratio = PartitionRatio.from_string("2:1")
+        assert ratio.sp2 == 2 and ratio.fixed == 1
+
+    def test_from_string_fixed_first(self):
+        ratio = PartitionRatio.from_string("1:1.5", order="fixed:sp2")
+        assert ratio.sp2_fraction == pytest.approx(0.6)
+
+    def test_invalid_strings(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRatio.from_string("abc")
+        with pytest.raises(ConfigurationError):
+            PartitionRatio.from_string("1:2", order="weird")
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRatio(0, 0)
+        with pytest.raises(ConfigurationError):
+            PartitionRatio(-1, 2)
+
+    def test_half_and_half(self):
+        assert PartitionRatio.half_and_half().sp2_fraction == 0.5
+
+
+class TestPartitionRows:
+    def test_low_variance_rows_to_sp2(self, rng):
+        tight = rng.normal(0, 0.01, size=(4, 32))
+        wide = rng.normal(0, 1.0, size=(4, 32))
+        matrix = np.concatenate([wide, tight])
+        partition = partition_rows(matrix, sp2_fraction=0.5)
+        # The four tight rows (indices 4-7) must be the SP2 rows.
+        assert np.array_equal(np.where(partition.sp2_mask)[0], [4, 5, 6, 7])
+
+    def test_exact_count(self, rng):
+        matrix = rng.normal(size=(30, 8))
+        partition = partition_rows(matrix, sp2_fraction=2 / 3)
+        assert partition.num_sp2 == 20
+        assert partition.num_fixed == 10
+
+    def test_threshold_separates(self, rng):
+        matrix = rng.normal(size=(16, 8)) * \
+            rng.uniform(0.1, 2.0, size=(16, 1))
+        partition = partition_rows(matrix, sp2_fraction=0.5)
+        assert np.all(partition.variances[partition.sp2_mask]
+                      <= partition.threshold)
+
+    def test_extremes(self, rng):
+        matrix = rng.normal(size=(8, 4))
+        assert partition_rows(matrix, 0.0).num_sp2 == 0
+        assert partition_rows(matrix, 1.0).num_sp2 == 8
+
+    def test_deterministic_under_ties(self):
+        matrix = np.ones((6, 4))  # all variances identical
+        a = partition_rows(matrix, 0.5)
+        b = partition_rows(matrix, 0.5)
+        assert np.array_equal(a.sp2_mask, b.sp2_mask)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            partition_rows(rng.normal(size=(4, 4)), 1.5)
+
+    def test_conv_weight_accepted(self, rng):
+        partition = partition_rows(rng.normal(size=(16, 3, 3, 3)), 0.5)
+        assert partition.sp2_mask.size == 16
+
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0),
+           rows=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_rounding(self, fraction, rows):
+        matrix = np.random.default_rng(0).normal(size=(rows, 4))
+        partition = partition_rows(matrix, fraction)
+        assert partition.num_sp2 == int(round(fraction * rows))
+
+    def test_summary_fields(self, rng):
+        summary = partition_summary(
+            partition_rows(rng.normal(size=(10, 6)), 0.3))
+        assert summary["rows"] == 10
+        assert summary["sp2_rows"] == 3
+        assert summary["mean_var_sp2"] <= summary["mean_var_fixed"]

@@ -1,0 +1,171 @@
+"""Projection quantizers: nearest-level correctness, idempotence, alpha."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.quant import (
+    Scheme,
+    SchemeQuantizer,
+    make_quantizer,
+    project_to_levels,
+    quantization_mse,
+    verify_on_levels,
+)
+
+SCHEMES = (Scheme.FIXED, Scheme.P2, Scheme.SP2)
+
+finite_weights = hnp.arrays(
+    np.float64, st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=-3.0, max_value=3.0,
+                       allow_nan=False, allow_infinity=False))
+
+
+class TestProjectToLevels:
+    def test_exact_nearest(self):
+        levels = np.array([-1.0, 0.0, 0.5, 1.0])
+        values = np.array([-2.0, -0.3, 0.2, 0.6, 0.76, 2.0])
+        out = project_to_levels(values, levels)
+        assert np.allclose(out, [-1.0, 0.0, 0.0, 0.5, 1.0, 1.0])
+
+    def test_tie_rounds_down(self):
+        levels = np.array([0.0, 1.0])
+        assert project_to_levels(np.array([0.5]), levels)[0] == 0.0
+
+    @given(values=finite_weights)
+    @settings(max_examples=50, deadline=None)
+    def test_projection_is_nearest_neighbour(self, values):
+        levels = np.linspace(-1, 1, 9)
+        out = project_to_levels(np.clip(values, -1, 1), levels)
+        brute = levels[np.argmin(
+            np.abs(np.clip(values, -1, 1)[:, None] - levels[None, :]),
+            axis=1)]
+        assert np.allclose(np.abs(out - np.clip(values, -1, 1)),
+                           np.abs(brute - np.clip(values, -1, 1)))
+
+
+class TestSchemeQuantizer:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_output_on_level_set(self, scheme, rng):
+        quantizer = SchemeQuantizer(scheme, 4)
+        result = quantizer.quantize(rng.normal(0, 0.3, size=(16, 8)))
+        verify_on_levels(result)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_idempotent(self, scheme, rng):
+        quantizer = SchemeQuantizer(scheme, 4, alpha="max")
+        first = quantizer.quantize(rng.normal(0, 0.3, size=128))
+        second = quantizer.quantize(first.values, alpha=first.alpha)
+        assert np.allclose(first.values, second.values, atol=1e-12)
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_shape_preserved(self, scheme, rng):
+        quantizer = SchemeQuantizer(scheme, 4)
+        w = rng.normal(size=(3, 4, 5))
+        assert quantizer.quantize(w).values.shape == (3, 4, 5)
+
+    def test_alpha_fit_not_worse_than_max(self, rng):
+        w = rng.normal(0, 0.2, size=4096)
+        for scheme in SCHEMES:
+            fit = SchemeQuantizer(scheme, 4, alpha="fit").quantize(w)
+            mx = SchemeQuantizer(scheme, 4, alpha="max").quantize(w)
+            assert quantization_mse(w, fit) <= quantization_mse(w, mx) + 1e-12
+
+    def test_explicit_alpha(self, rng):
+        quantizer = SchemeQuantizer(Scheme.FIXED, 4, alpha=2.0)
+        result = quantizer.quantize(rng.normal(size=64))
+        assert result.alpha == 2.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SchemeQuantizer(Scheme.FIXED, 4, alpha=-1.0).quantize(np.ones(4))
+
+    def test_zero_weights(self):
+        result = SchemeQuantizer(Scheme.SP2, 4).quantize(np.zeros(16))
+        assert np.allclose(result.values, 0.0)
+
+    def test_msq_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchemeQuantizer(Scheme.MSQ, 4)
+
+    def test_make_quantizer_accepts_strings(self):
+        quantizer = make_quantizer("sp2", 4)
+        assert quantizer.spec.scheme == Scheme.SP2
+
+    def test_callable_interface(self, rng):
+        quantizer = SchemeQuantizer(Scheme.FIXED, 4)
+        w = rng.normal(size=32)
+        assert np.allclose(quantizer(w), quantizer.quantize(w).values)
+
+    @given(values=finite_weights)
+    @settings(max_examples=30, deadline=None)
+    def test_projection_error_bounded_by_half_gap(self, values):
+        """|w - proj(w)| <= max_gap/2 for in-range values (fixed scheme)."""
+        quantizer = SchemeQuantizer(Scheme.FIXED, 4, alpha="max")
+        result = quantizer.quantize(values)
+        if np.max(np.abs(values)) == 0:
+            return
+        gap = result.alpha * np.diff(quantizer.unit_levels).max()
+        assert np.all(np.abs(values - result.values) <= gap / 2 + 1e-9)
+
+
+class TestPaperModeQuantizers:
+    def test_fixed_paper_mode_agrees_with_projection(self, rng):
+        w = rng.uniform(-1, 1, size=2048)
+        proj = SchemeQuantizer(Scheme.FIXED, 4, alpha="max",
+                               mode="projection").quantize(w)
+        paper = SchemeQuantizer(Scheme.FIXED, 4, alpha="max",
+                                mode="paper").quantize(w)
+        # Both project onto the same level set; agree except at exact ties.
+        disagree = np.mean(~np.isclose(proj.values, paper.values))
+        assert disagree < 0.01
+        verify_on_levels(paper)
+
+    def test_p2_paper_mode_on_level_set(self, rng):
+        w = rng.normal(0, 0.3, size=2048)
+        paper = SchemeQuantizer(Scheme.P2, 4, alpha="max",
+                                mode="paper").quantize(w)
+        verify_on_levels(paper)
+
+    def test_p2_log_rounding_differs_from_euclidean(self):
+        """Log-domain rounding picks the geometric midpoint: 0.35 between
+        0.25 and 0.5 rounds up in log space, down in linear space."""
+        value = np.array([0.34])
+        log_mode = SchemeQuantizer(Scheme.P2, 4, alpha=1.0, mode="paper")
+        lin_mode = SchemeQuantizer(Scheme.P2, 4, alpha=1.0, mode="projection")
+        assert log_mode.quantize(value, alpha=1.0).values[0] == 0.25
+        assert lin_mode.quantize(value, alpha=1.0).values[0] == 0.25
+        value = np.array([0.36])
+        assert log_mode.quantize(value, alpha=1.0).values[0] == 0.5
+        assert lin_mode.quantize(value, alpha=1.0).values[0] == 0.25
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SchemeQuantizer(Scheme.FIXED, 4, mode="magic")
+
+
+class TestSchemeErrorOrdering:
+    """The quantitative core of §III-B: P2 loses, SP2 ~ fixed."""
+
+    def test_gaussian_weights_p2_worst(self, rng):
+        w = rng.normal(0, 0.15, size=8192)
+        mse = {scheme: quantization_mse(
+            w, SchemeQuantizer(scheme, 4).quantize(w)) for scheme in SCHEMES}
+        assert mse[Scheme.P2] > mse[Scheme.SP2]
+        assert mse[Scheme.P2] > mse[Scheme.FIXED]
+
+    def test_uniform_weights_fixed_best(self, rng):
+        w = rng.uniform(-0.3, 0.3, size=8192)
+        mse = {scheme: quantization_mse(
+            w, SchemeQuantizer(scheme, 4).quantize(w)) for scheme in SCHEMES}
+        assert mse[Scheme.FIXED] <= mse[Scheme.SP2]
+        assert mse[Scheme.FIXED] < mse[Scheme.P2]
+
+    def test_sp2_within_2x_of_fixed_on_gaussian(self, rng):
+        w = rng.normal(0, 0.15, size=8192)
+        fixed = quantization_mse(w, SchemeQuantizer(Scheme.FIXED, 4).quantize(w))
+        sp2 = quantization_mse(w, SchemeQuantizer(Scheme.SP2, 4).quantize(w))
+        assert sp2 < 2.0 * fixed

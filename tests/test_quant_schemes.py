@@ -1,0 +1,138 @@
+"""Level sets of Eq. (1), (4), (8) — structure and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quant import (
+    Scheme,
+    SchemeSpec,
+    default_sp2_split,
+    fixed_point_levels,
+    levels_for,
+    power_of_2_levels,
+    sp2_levels,
+    sp2_magnitude_terms,
+)
+
+
+class TestFixedPointLevels:
+    def test_four_bit_count_and_extremes(self):
+        levels = fixed_point_levels(4)
+        assert len(levels) == 15  # 2^m - 1
+        assert levels[0] == -1.0 and levels[-1] == 1.0
+        assert 0.0 in levels
+
+    def test_uniform_spacing(self):
+        levels = fixed_point_levels(4)
+        gaps = np.diff(levels)
+        assert np.allclose(gaps, gaps[0])
+
+    @given(bits=st.integers(min_value=2, max_value=8))
+    def test_count_formula(self, bits):
+        assert len(fixed_point_levels(bits)) == 2 ** bits - 1
+
+    def test_symmetry(self):
+        levels = fixed_point_levels(5)
+        assert np.allclose(levels, -levels[::-1])
+
+
+class TestPowerOf2Levels:
+    def test_four_bit_values(self):
+        levels = power_of_2_levels(4)
+        positives = levels[levels > 0]
+        assert np.allclose(positives,
+                           [2.0 ** -e for e in range(6, -1, -1)])
+
+    @given(bits=st.integers(min_value=2, max_value=8))
+    def test_count_formula(self, bits):
+        assert len(power_of_2_levels(bits)) == 2 ** bits - 1
+
+    def test_density_concentrated_near_zero(self):
+        """More than half the positive levels sit below 1/8 — the tail
+        starvation that motivates SP2 (Fig. 1)."""
+        levels = power_of_2_levels(4)
+        positives = levels[levels > 0]
+        assert (positives <= 0.125).sum() >= len(positives) / 2
+
+
+class TestSP2Levels:
+    def test_default_split(self):
+        assert default_sp2_split(4) == (2, 1)
+        assert default_sp2_split(5) == (2, 2)
+        assert default_sp2_split(8) == (4, 3)
+
+    def test_split_too_few_bits(self):
+        with pytest.raises(ConfigurationError):
+            default_sp2_split(2)
+
+    def test_magnitude_terms(self):
+        # Order is code order (index c <-> 2^-c, index 0 <-> 0).
+        assert np.allclose(sorted(sp2_magnitude_terms(2)),
+                           [0, 1 / 8, 1 / 4, 1 / 2])
+        assert np.allclose(sorted(sp2_magnitude_terms(1)), [0, 1 / 2])
+
+    def test_four_bit_exact_level_set(self):
+        """m=4: q1+q2 sums with the documented duplicate collapse -> 13."""
+        levels = sp2_levels(4)
+        expected = sorted({a + b for a in (0, 1 / 8, 1 / 4, 1 / 2)
+                           for b in (0, 1 / 2)})
+        expected = sorted({-v for v in expected} | set(expected))
+        assert np.allclose(levels, expected)
+        assert len(levels) == 13
+
+    def test_level_count_at_most_2m_minus_1(self):
+        for bits in range(3, 9):
+            assert len(sp2_levels(bits)) <= 2 ** bits - 1
+
+    def test_all_levels_are_dyadic_sums(self):
+        levels = sp2_levels(6)
+        m1, m2 = default_sp2_split(6)
+        q1 = set(sp2_magnitude_terms(m1))
+        q2 = set(sp2_magnitude_terms(m2))
+        sums = {a + b for a in q1 for b in q2}
+        for level in levels:
+            assert abs(level) in sums or np.isclose(abs(level),
+                                                    min(sums, key=lambda s:
+                                                        abs(s - abs(level))))
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sp2_levels(4, m1=1, m2=2)   # m1 < m2
+        with pytest.raises(ConfigurationError):
+            sp2_levels(4, m1=3, m2=3)   # m1+m2+1 != bits
+
+    def test_symmetry(self):
+        levels = sp2_levels(5)
+        assert np.allclose(levels, -levels[::-1])
+
+    def test_spread_more_even_than_p2(self):
+        """SP2's largest gap in (0, 1] is smaller than P2's — the Fig. 1
+        tail argument, made quantitative."""
+        sp2_pos = sp2_levels(4)
+        sp2_pos = sp2_pos[sp2_pos >= 0]
+        p2_pos = power_of_2_levels(4)
+        p2_pos = p2_pos[p2_pos >= 0]
+        assert np.diff(sp2_pos).max() < np.diff(p2_pos).max()
+
+
+class TestSchemeSpec:
+    def test_sp2_spec_fills_split(self):
+        spec = SchemeSpec(Scheme.SP2, 4)
+        assert (spec.m1, spec.m2) == (2, 1)
+
+    def test_num_levels(self):
+        assert SchemeSpec(Scheme.FIXED, 4).num_levels == 15
+        assert SchemeSpec(Scheme.SP2, 4).num_levels == 13
+
+    def test_levels_for_dispatch(self):
+        assert np.allclose(levels_for(Scheme.FIXED, 4),
+                           fixed_point_levels(4))
+        with pytest.raises(ConfigurationError):
+            levels_for(Scheme.MSQ, 4)
+
+    def test_describe(self):
+        assert "SP2" in SchemeSpec(Scheme.SP2, 4).describe()
+        assert "m1=2" in SchemeSpec(Scheme.SP2, 4).describe()

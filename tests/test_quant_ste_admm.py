@@ -1,0 +1,220 @@
+"""STE fake-quantizers and the ADMM state machine (Alg. 1/2)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.quant import (
+    ActivationQuantizer,
+    ADMMQuantizer,
+    MixedSchemeQuantizer,
+    Scheme,
+    SchemeQuantizer,
+    WeightSTEQuantizer,
+    collect_quantizable,
+    fake_quant_ste,
+    verify_on_levels,
+)
+from repro.tensor import Tensor
+from tests.conftest import make_mlp
+
+
+class TestSTE:
+    def test_forward_is_quantized(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)).astype(np.float32),
+                   requires_grad=True)
+        q = np.round(x.data)
+        out = fake_quant_ste(x, q)
+        assert np.allclose(out.data, q)
+
+    def test_backward_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)).astype(np.float32),
+                   requires_grad=True)
+        out = fake_quant_ste(x, np.round(x.data))
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0)
+
+    def test_backward_through_clip_masks(self):
+        x = Tensor(np.array([-2.0, 0.3, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        clipped = x.clip(0.0, 1.0)
+        out = fake_quant_ste(x, np.round(clipped.data * 3) / 3,
+                             pass_through=clipped)
+        out.sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestActivationQuantizer:
+    def test_unsigned_levels(self, rng):
+        quantizer = ActivationQuantizer(bits=4, alpha=1.0)
+        x = rng.uniform(0, 1, size=1000)
+        q = quantizer.quantize_array(x)
+        codes = np.round(q * 15)
+        assert np.allclose(codes, q * 15, atol=1e-9)
+        assert q.min() >= 0 and q.max() <= 1.0
+
+    def test_signed_levels(self):
+        quantizer = ActivationQuantizer(bits=4, signed=True, alpha=1.0)
+        q = quantizer.quantize_array(np.array([-2.0, -0.5, 0.5, 2.0]))
+        assert q[0] == -1.0 and q[-1] == 1.0
+
+    def test_calibration_tracks_running_max(self):
+        quantizer = ActivationQuantizer(bits=4, momentum=0.5)
+        quantizer.observe(np.array([2.0]))
+        quantizer.observe(np.array([4.0]))
+        assert quantizer.alpha == pytest.approx(3.0)
+
+    def test_freeze_stops_calibration(self, rng):
+        quantizer = ActivationQuantizer(bits=4)
+        x = Tensor(rng.uniform(0, 1, size=8).astype(np.float32))
+        quantizer(x)
+        quantizer.calibrating = False
+        alpha = quantizer.alpha
+        quantizer(Tensor(np.full(8, 100.0, dtype=np.float32)))
+        assert quantizer.alpha == alpha
+
+    def test_codes_roundtrip(self, rng):
+        quantizer = ActivationQuantizer(bits=4, alpha=2.0)
+        x = rng.uniform(0, 2, size=64)
+        codes = quantizer.to_codes(x)
+        assert np.allclose(codes * quantizer.scale,
+                           quantizer.quantize_array(x), atol=1e-12)
+
+    def test_min_bits(self):
+        with pytest.raises(ConfigurationError):
+            ActivationQuantizer(bits=1)
+
+    def test_uncalibrated_passthrough(self, rng):
+        quantizer = ActivationQuantizer(bits=4)
+        quantizer.calibrating = False
+        x = Tensor(rng.normal(size=4).astype(np.float32))
+        assert np.allclose(quantizer(x).data, x.data)
+
+
+class TestCollectQuantizable:
+    def test_mlp_weights_only(self):
+        model = make_mlp()
+        names = [name for name, _ in collect_quantizable(model)]
+        assert names == ["0.weight", "2.weight", "4.weight"]
+
+    def test_rnn_cells_both_matrices(self):
+        model = nn.LSTM(4, 6)
+        names = [name for name, _ in collect_quantizable(model)]
+        assert "cell0.weight_ih" in names and "cell0.weight_hh" in names
+
+    def test_skip_filter(self):
+        model = make_mlp()
+        names = [name for name, _ in collect_quantizable(model, skip=("0",))]
+        assert "0.weight" not in names
+
+    def test_no_quantizable_raises(self):
+        with pytest.raises(ConfigurationError):
+            collect_quantizable(nn.Sequential(nn.ReLU()))
+
+
+class TestADMM:
+    def _admm(self, model, scheme=Scheme.FIXED):
+        factory = lambda name, w: SchemeQuantizer(scheme, 4)
+        return ADMMQuantizer(model, factory, rho=1e-2)
+
+    def test_initial_state(self):
+        model = make_mlp()
+        admm = self._admm(model)
+        for entry in admm.entries:
+            assert np.allclose(entry.z, entry.param.data)  # Z0 = W
+            assert np.allclose(entry.u, 0.0)               # U0 = 0
+
+    def test_epoch_update_invariant(self):
+        """After the update, U = W - Z + U_prev (Alg. 1 line 4)."""
+        model = make_mlp()
+        admm = self._admm(model)
+        u_prev = [entry.u.copy() for entry in admm.entries]
+        admm.epoch_update()
+        for entry, u0 in zip(admm.entries, u_prev):
+            w = entry.param.data.astype(np.float64)
+            assert np.allclose(entry.u, w - entry.z + u0)
+
+    def test_z_on_level_set(self):
+        model = make_mlp()
+        admm = self._admm(model)
+        admm.epoch_update()
+        quantizer = SchemeQuantizer(Scheme.FIXED, 4)
+        for entry in admm.entries:
+            reprojected = quantizer.quantize(entry.z).values
+            assert np.allclose(entry.z, reprojected, atol=1e-9)
+
+    def test_penalty_positive_and_differentiable(self):
+        model = make_mlp()
+        admm = self._admm(model)
+        admm.epoch_update()
+        penalty = admm.penalty_loss()
+        assert penalty.item() >= 0
+        penalty.backward()
+        assert admm.entries[0].param.grad is not None
+
+    def test_penalty_pulls_weights_toward_levels(self, toy_task):
+        """Training with only the proximal term must shrink ||W - Z||."""
+        model = make_mlp()
+        admm = self._admm(model)
+        admm.epoch_update()
+
+        def distance():
+            return float(np.mean([
+                np.abs(entry.param.data - entry.z).mean()
+                for entry in admm.entries]))
+
+        before = distance()
+        optimizer = nn.SGD(model.parameters(), lr=1.0)
+        for _ in range(40):
+            loss = admm.penalty_loss()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert distance() < before * 0.8
+
+    def test_finalize_projects_weights(self):
+        model = make_mlp()
+        admm = self._admm(model)
+        results = admm.finalize()
+        for result in results.values():
+            verify_on_levels(result)
+
+    def test_msq_partition_refreshed_per_epoch(self):
+        model = make_mlp()
+        factory = lambda name, w: MixedSchemeQuantizer(bits=4, ratio="1:1")
+        admm = ADMMQuantizer(model, factory)
+        admm.epoch_update()
+        assert admm.entries[0].partition is not None
+        fraction = admm.entries[0].partition.sp2_fraction
+        assert fraction == pytest.approx(0.5, abs=0.1)
+
+    def test_factory_none_disables_layer(self):
+        model = make_mlp()
+        factory = lambda name, w: (SchemeQuantizer(Scheme.FIXED, 4)
+                                   if "0" in name else None)
+        admm = ADMMQuantizer(model, factory)
+        assert admm.layer_names == ["0.weight"]
+
+    def test_all_disabled_raises(self):
+        model = make_mlp()
+        with pytest.raises(ConfigurationError):
+            ADMMQuantizer(model, lambda name, w: None)
+
+    def test_invalid_rho(self):
+        model = make_mlp()
+        with pytest.raises(ConfigurationError):
+            ADMMQuantizer(model, lambda n, w: SchemeQuantizer(Scheme.FIXED, 4),
+                          rho=0.0)
+
+
+class TestWeightSTEQuantizer:
+    def test_hook_applies_projection(self, rng):
+        layer = nn.Linear(4, 3)
+        quantizer = SchemeQuantizer(Scheme.FIXED, 4)
+        layer.weight_quant = WeightSTEQuantizer(quantizer)
+        x = Tensor(rng.normal(size=(2, 4)).astype(np.float32))
+        out_quant = layer(x)
+        layer.weight_quant = None
+        out_fp = layer(x)
+        assert not np.allclose(out_quant.data, out_fp.data)

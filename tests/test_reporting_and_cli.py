@@ -1,0 +1,91 @@
+"""Report formatting, the GPU reference point, and the experiment CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.common import get_scale, optimal_ratio_string
+from repro.errors import ConfigurationError
+from repro.fpga.gpu_reference import gpu_vs_fpga, jetson_agx_reference
+from repro.fpga.report import (
+    efficiency_metrics,
+    format_table,
+    utilization_bar,
+)
+from repro.fpga.resources import reference_designs
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "long_header"], [["x", 1], ["yy", 22]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[1]
+        # All data rows have equal width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_empty_rows(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+
+class TestEfficiencyMetrics:
+    def test_table9_style_numbers(self):
+        design = reference_designs()["D2-3"]
+        metrics = efficiency_metrics(design, gops=359.2)
+        assert metrics["gops_per_dsp"] == pytest.approx(359.2 / 880, rel=0.01)
+        assert metrics["gops_per_klut"] == pytest.approx(
+            359.2 / 145.049, rel=0.01)
+
+    def test_utilization_bar_format(self):
+        bar = utilization_bar({"lut": 0.76, "dsp": 1.0})
+        assert "LUT=76%" in bar and "DSP=100%" in bar
+
+
+class TestGpuReference:
+    def test_published_numbers(self):
+        gpu = jetson_agx_reference()
+        assert gpu.fps == 78.0
+        assert gpu.fps_per_watt == pytest.approx(78.0 / 12.5)
+
+    def test_efficiency_ratio_matches_paper_claim(self):
+        """99.1 FPS at 4 W vs 78 FPS at 12.5 W -> ~4x ('more than 3x')."""
+        comparison = gpu_vs_fpga(fpga_fps=99.1)
+        assert comparison["efficiency_ratio"] > 3.0
+        assert comparison["fps_ratio"] == pytest.approx(99.1 / 78.0)
+
+
+class TestCommonHelpers:
+    def test_scales(self):
+        assert get_scale("ci").is_ci
+        assert not get_scale("full").is_ci
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_scale_passthrough(self):
+        scale = get_scale("ci")
+        assert get_scale(scale) is scale
+
+    def test_optimal_ratio_is_papers(self):
+        """32:16 PE columns == the paper's 2:1 SP2:fixed optimum."""
+        from repro.quant import PartitionRatio
+
+        ratio = PartitionRatio.from_string(optimal_ratio_string())
+        assert ratio.sp2_fraction == pytest.approx(2 / 3)
+
+
+class TestRunnerCli:
+    def test_list_mode(self, capsys):
+        assert runner.main([]) == 0
+        out = capsys.readouterr().out
+        assert "table8" in out and "Figure 2" in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert runner.main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "XC7Z045" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            runner.main(["table42"])

@@ -1,0 +1,229 @@
+"""Autograd engine: gradients of every op, broadcasting, graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import (
+    Tensor,
+    concatenate,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+from repro.tensor.tensor import gradcheck
+
+
+def t(shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestElementwiseGradients:
+    def test_add_mul_sub_div(self):
+        a, b = t((3, 4), 1), t((3, 4), 2)
+        assert gradcheck(lambda a, b: ((a + b) * (a - b) / (b * b + 2)).sum(),
+                         [a, b])
+
+    def test_pow(self):
+        a = t((5,), 3)
+        assert gradcheck(lambda a: ((a * a + 1.0) ** 1.5).sum(), [a])
+
+    def test_exp_log(self):
+        a = t((4, 2), 4)
+        assert gradcheck(lambda a: ((a * a + 0.5).log() + a.exp()).sum(), [a])
+
+    def test_sqrt(self):
+        a = t((6,), 5)
+        assert gradcheck(lambda a: (a * a + 1.0).sqrt().sum(), [a])
+
+    def test_tanh_sigmoid(self):
+        a = t((3, 3), 6)
+        assert gradcheck(lambda a: (a.tanh() + a.sigmoid()).sum(), [a])
+
+    def test_relu_masks_gradient(self):
+        a = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+        a.relu().sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0, 1.0])
+
+    def test_abs(self):
+        a = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        a.abs().sum().backward()
+        assert np.allclose(a.grad, [-1.0, 1.0])
+
+    def test_clip_gradient_zero_outside(self):
+        a = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        a.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_neg(self):
+        a = t((4,), 7)
+        assert gradcheck(lambda a: (-a * 3.0).sum(), [a])
+
+
+class TestBroadcasting:
+    def test_add_broadcast_scalar_and_row(self):
+        a, b = t((3, 4), 1), t((4,), 2)
+        assert gradcheck(lambda a, b: (a + b + 2.0).sum(), [a, b])
+
+    def test_mul_broadcast_column(self):
+        a, b = t((3, 4), 1), t((3, 1), 2)
+        assert gradcheck(lambda a, b: (a * b).sum(), [a, b])
+
+    def test_div_broadcast(self):
+        a, b = t((2, 3, 4), 1), t((1, 3, 1), 2)
+        assert gradcheck(lambda a, b: (a / (b * b + 1.0)).sum(), [a, b])
+
+    def test_unbroadcast_shapes(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2.0, 2.0, 2.0])
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        a, b = t((3, 4), 1), t((4, 5), 2)
+        assert gradcheck(lambda a, b: (a @ b).sum(), [a, b])
+
+    def test_matmul_chain(self):
+        a, b, c = t((2, 3), 1), t((3, 4), 2), t((4, 2), 3)
+        assert gradcheck(lambda a, b, c: ((a @ b).tanh() @ c).sum(),
+                         [a, b, c])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = t((3, 4, 2), 1)
+        assert gradcheck(lambda a: a.sum(axis=1).sum(), [a])
+        assert gradcheck(lambda a: (a.sum(axis=(0, 2), keepdims=True)
+                                    * 2.0).sum(), [a])
+
+    def test_mean(self):
+        a = t((4, 6), 2)
+        assert gradcheck(lambda a: (a.mean(axis=0) * a.mean()).sum(), [a])
+
+    def test_var_matches_numpy(self):
+        a = t((5, 7), 3)
+        assert np.allclose(a.var(axis=1).data, a.data.var(axis=1), atol=1e-6)
+
+    def test_max_gradient_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_tie_splits_gradient(self):
+        a = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.isclose(a.grad.sum(), 1.0)
+
+
+class TestShapeOps:
+    def test_reshape_transpose(self):
+        a = t((2, 3, 4), 1)
+        assert gradcheck(
+            lambda a: (a.reshape(6, 4).transpose() * 1.5).sum(), [a])
+
+    def test_transpose_axes(self):
+        a = t((2, 3, 4), 2)
+        out = a.transpose(2, 0, 1)
+        assert out.shape == (4, 2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+
+    def test_getitem_slice_and_int(self):
+        a = t((4, 5), 1)
+        m = Tensor(np.random.default_rng(9).normal(size=(2, 3)))
+        assert gradcheck(lambda a: (a[1:3, :3] * m).sum(), [a])
+
+    def test_getitem_integer_array_accumulates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        assert np.allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_flatten(self):
+        a = t((2, 3, 4), 3)
+        assert a.flatten().shape == (2, 12)
+
+    def test_expand_squeeze(self):
+        a = t((3, 4), 4)
+        assert a.expand_dims(1).shape == (3, 1, 4)
+        assert a.expand_dims(0).squeeze(0).shape == (3, 4)
+
+
+class TestCombinators:
+    def test_concatenate(self):
+        a, b = t((2, 3), 1), t((4, 3), 2)
+        m = Tensor(np.random.default_rng(8).normal(size=(6, 3)))
+        assert gradcheck(lambda a, b: (concatenate([a, b], axis=0) * m).sum(),
+                         [a, b])
+
+    def test_stack(self):
+        a, b = t((3,), 1), t((3,), 2)
+        m = Tensor(np.random.default_rng(8).normal(size=(2, 3)))
+        assert gradcheck(lambda a, b: (stack([a, b]) * m).sum(), [a, b])
+
+    def test_where(self):
+        a, b = t((4,), 1), t((4,), 2)
+        cond = np.array([True, False, True, False])
+        out = where(cond, a, b)
+        out.sum().backward()
+        assert np.allclose(a.grad, cond.astype(float))
+        assert np.allclose(b.grad, (~cond).astype(float))
+
+    def test_maximum_minimum(self):
+        a, b = t((5,), 3), t((5,), 4)
+        assert gradcheck(lambda a, b: (maximum(a, b) + minimum(a, b)).sum(),
+                         [a, b])
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_across_uses(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a + a * 3.0).backward()
+        assert np.allclose(a.grad, [7.0])  # 2x + 3
+
+    def test_no_grad_context(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        out = (a.detach() * 2.0)
+        assert not out.requires_grad
+
+    def test_backward_shape_mismatch_raises(self):
+        a = t((3,), 1)
+        out = a * 2.0
+        with pytest.raises(ShapeError):
+            out.backward(np.ones((4,)))
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_deep_graph_no_recursion_error(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        assert np.allclose(a.grad, np.ones(4))
+
+    def test_comparison_returns_ndarray(self):
+        a = Tensor(np.array([1.0, -1.0]))
+        assert isinstance(a > 0, np.ndarray)
+
+    def test_float32_default_for_lists(self):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+
+    def test_ndarray_dtype_preserved(self):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64

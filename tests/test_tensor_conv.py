@@ -1,0 +1,131 @@
+"""Convolution/pooling kernels: reference forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
+from repro.tensor.tensor import gradcheck
+
+
+def brute_force_conv(x, w, stride=1, padding=0):
+    n, c, h, width = x.shape
+    oc, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    for b in range(n):
+        for o in range(oc):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[b, :, i * stride:i * stride + kh,
+                              j * stride:j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_brute_force(self, rng, stride, padding):
+        x = rng.normal(size=(2, 3, 7, 7))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), stride=stride, padding=padding)
+        ref = brute_force_conv(x, w, stride, padding)
+        assert np.allclose(out.data, ref, atol=1e-10)
+
+    def test_bias_added_per_channel(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        w = rng.normal(size=(3, 2, 1, 1))
+        b = np.array([1.0, -2.0, 0.5])
+        out = conv2d(Tensor(x), Tensor(w), Tensor(b))
+        no_bias = conv2d(Tensor(x), Tensor(w))
+        assert np.allclose(out.data - no_bias.data,
+                           b.reshape(1, 3, 1, 1), atol=1e-12)
+
+    def test_grouped_equals_blockwise(self, rng):
+        x = rng.normal(size=(2, 4, 5, 5))
+        w = rng.normal(size=(6, 2, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1, groups=2)
+        ref_a = brute_force_conv(x[:, :2], w[:3], padding=1)
+        ref_b = brute_force_conv(x[:, 2:], w[3:], padding=1)
+        assert np.allclose(out.data, np.concatenate([ref_a, ref_b], axis=1),
+                           atol=1e-10)
+
+    def test_depthwise_shape(self, rng):
+        x = rng.normal(size=(1, 8, 6, 6))
+        w = rng.normal(size=(8, 1, 3, 3))
+        out = conv2d(Tensor(x), Tensor(w), padding=1, groups=8)
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ShapeError):
+            conv2d(x, w)
+
+
+class TestConvGradients:
+    def test_gradcheck_basic(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w, b: conv2d(x, w, b, stride=2, padding=1).sum(),
+            [x, w, b])
+
+    def test_gradcheck_grouped(self, rng):
+        x = Tensor(rng.normal(size=(2, 4, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(6, 2, 3, 3)), requires_grad=True)
+        assert gradcheck(
+            lambda x, w: conv2d(x, w, padding=1, groups=2).sum(), [x, w])
+
+    def test_gradcheck_1x1(self, rng):
+        x = Tensor(rng.normal(size=(2, 5, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 5, 1, 1)), requires_grad=True)
+        assert gradcheck(lambda x, w: conv2d(x, w).sum(), [x, w])
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = max_pool2d(x, 2)
+        assert np.allclose(out.data.reshape(-1), [5, 7, 13, 15])
+
+    def test_max_pool_gradient_to_max_only(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        assert np.allclose(x.grad.reshape(4, 4), expected)
+
+    def test_max_pool_padding_ignores_pad_values(self, rng):
+        x = Tensor(-np.abs(rng.normal(size=(1, 1, 4, 4))) - 1.0)
+        out = max_pool2d(x, 3, stride=2, padding=1)
+        # All inputs are negative; -inf padding must never win.
+        assert np.all(np.isfinite(out.data))
+        assert np.all(out.data < 0)
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4))
+        out = avg_pool2d(x, 2)
+        assert np.allclose(out.data.reshape(-1), [2.5, 4.5, 10.5, 12.5])
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 6, 6)), requires_grad=True)
+        m = Tensor(rng.normal(size=(2, 3, 3, 3)))
+        assert gradcheck(lambda x: (avg_pool2d(x, 2) * m).sum(), [x])
+
+    def test_max_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)), requires_grad=True)
+        m = Tensor(rng.normal(size=(2, 2, 3, 3)))
+        assert gradcheck(lambda x: (max_pool2d(x, 2) * m).sum(), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 5, 3, 3))
+        out = global_avg_pool2d(Tensor(x))
+        assert out.shape == (2, 5)
+        assert np.allclose(out.data, x.mean(axis=(2, 3)), atol=1e-6)
