@@ -25,3 +25,7 @@ class ResourceError(ReproError):
 
 class ShapeError(ReproError, ValueError):
     """Tensor/layer shapes are inconsistent."""
+
+
+class ExportError(ReproError):
+    """A model could not be exported to (or loaded from) a serving artifact."""

@@ -1,4 +1,12 @@
-"""Registry mapping paper artifacts to their runnable harnesses."""
+"""Registry mapping paper artifacts to their runnable harnesses.
+
+Each :class:`Experiment` ties one published artifact to the module that
+regenerates it: Table I (§III-A op budgets) through Table IX (§VI-B
+cross-design comparison), Figures 1/2/4, plus the reproduction's own
+ablation suite. ``python -m repro.experiments.runner`` is the CLI front
+end; :func:`get_experiment`/:func:`list_experiments` are the programmatic
+entry points used by the benchmark suite.
+"""
 
 from __future__ import annotations
 
@@ -21,6 +29,13 @@ from repro.experiments import (
     table8_performance,
     table9_comparison,
 )
+
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,12 @@ heterogeneous-GEMM accelerator analytically:
 - :mod:`repro.fpga.bitexact` — integer shift-add kernels proving the SP2
   datapath computes exactly what the float model does;
 - :mod:`repro.fpga.workloads` — ImageNet/COCO-scale layer shape tables.
+
+The serving engine (:mod:`repro.serve`) closes the loop at deployment time:
+an exported model's execution plan re-emits its layers as
+:class:`~repro.fpga.gemm.GemmWorkload` records, so every served micro-batch
+is priced by :class:`~repro.fpga.accelerator.AcceleratorSim` and reported
+as simulated FPGA latency next to wall-clock numbers.
 """
 
 from repro.fpga.devices import Device, get_device, list_devices, resource_ratios

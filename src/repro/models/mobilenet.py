@@ -50,6 +50,12 @@ class InvertedResidual(nn.Module):
             out = out + x
         return out
 
+    def export_structure(self):
+        main = [self.expand, self.depthwise, self.project]
+        if self.use_residual:
+            return ("residual", main, None, None)
+        return ("chain", main)
+
 
 class MobileNetV2(nn.Module):
     """MobileNet-v2 with a configurable inverted-residual plan.
@@ -90,6 +96,11 @@ class MobileNetV2(nn.Module):
     def forward(self, x: Tensor) -> Tensor:
         out = self.head(self.blocks(self.stem(x)))
         return self.classifier(self.pool(out))
+
+    def export_structure(self):
+        return ("chain",
+                [self.stem, self.blocks, self.head, self.pool,
+                 self.classifier])
 
 
 def mobilenet_v2_tiny(num_classes: int = 10,

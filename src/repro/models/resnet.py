@@ -45,6 +45,11 @@ class BasicBlock(nn.Module):
         out = self.bn2(self.conv2(out))
         return (out + identity).relu()
 
+    def export_structure(self):
+        return ("residual",
+                [self.conv1, self.bn1, "relu", self.conv2, self.bn2],
+                [self.downsample], "relu")
+
 
 class ResNet(nn.Module):
     """Configurable basic-block ResNet for 32x32-ish inputs."""
@@ -77,6 +82,11 @@ class ResNet(nn.Module):
         out = self.bn1(self.conv1(x)).relu()
         out = self.stages(out)
         return self.fc(self.pool(out))
+
+    def export_structure(self):
+        return ("chain",
+                [self.conv1, self.bn1, "relu", self.stages, self.pool,
+                 self.fc])
 
 
 def resnet18_cifar(num_classes: int = 10, base_width: int = 16,

@@ -39,6 +39,10 @@ class LSTMLanguageModel(nn.Module):
         n, t, h = outputs.shape
         return self.decoder(outputs.reshape(n * t, h))
 
+    def export_structure(self):
+        return ("chain",
+                [self.embedding, self.lstm, "merge_time", self.decoder])
+
 
 class GRUSpeechModel(nn.Module):
     """Multi-layer GRU over acoustic frames -> per-frame phoneme logits.
@@ -59,6 +63,9 @@ class GRUSpeechModel(nn.Module):
         outputs, _ = self.gru(frames)
         n, t, h = outputs.shape
         return self.classifier(outputs.reshape(n * t, h))
+
+    def export_structure(self):
+        return ("chain", [self.gru, "merge_time", self.classifier])
 
     def frame_predictions(self, frames: Tensor) -> np.ndarray:
         """(N, T) argmax phoneme ids per frame."""
@@ -89,3 +96,7 @@ class LSTMSentimentClassifier(nn.Module):
         outputs, _ = self.lstm(embedded)
         last = outputs[:, outputs.shape[1] - 1]
         return self.classifier(last)
+
+    def export_structure(self):
+        return ("chain",
+                [self.embedding, self.lstm, "take_last", self.classifier])

@@ -122,6 +122,28 @@ class Module:
             module.load_state_dict(state, prefix=f"{prefix}{key}.")
 
     # ------------------------------------------------------------------
+    # Serving export
+    # ------------------------------------------------------------------
+    def export_structure(self):
+        """Describe this module's eval-mode forward for the serving compiler.
+
+        Composite modules whose ``forward`` is not a plain child chain (e.g.
+        residual blocks) override this to return a structure spec consumed by
+        :mod:`repro.serve.compile`:
+
+        - ``("chain", items)`` — apply ``items`` in order; each item is a
+          child :class:`Module` or an opcode string (``"relu"``,
+          ``"merge_time"``, ``"take_last"``);
+        - ``("residual", main_items, shortcut_items, post)`` — run both
+          branches on the input, add, then apply ``post`` (``"relu"`` or
+          ``None``). ``shortcut_items`` of ``None`` means identity.
+
+        Returning ``None`` (the default) lets the compiler handle the module
+        as a leaf layer, which fails for unknown composite types.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):
@@ -156,6 +178,9 @@ class Sequential(Module):
         for module in self._modules.values():
             x = module(x)
         return x
+
+    def export_structure(self):
+        return ("chain", list(self._modules.values()))
 
     def __getitem__(self, index: int) -> Module:
         return list(self._modules.values())[index]

@@ -1,6 +1,20 @@
 """The paper's contribution: SP2 quantization, mixed-scheme quantization
 (MSQ), and the ADMM+STE quantization-aware training algorithms.
 
+Module map against the paper's sections:
+
+- :mod:`~repro.quant.schemes` / :mod:`~repro.quant.quantizers` — the three
+  weight number systems and their projections (§II-A, §III-A, Eqs. 1-8);
+- :mod:`~repro.quant.encoding` — the integer hardware words of Table I,
+  including the ``pack_*`` export hooks the serving artifact
+  (:mod:`repro.serve`) stores weights with;
+- :mod:`~repro.quant.partition` — row-variance SP2/fixed partitioning
+  (§IV-A/B, Alg. 2) plus array (de)serialization of partitions;
+- :mod:`~repro.quant.msq` — intra-layer mixed-scheme quantization (§IV);
+- :mod:`~repro.quant.ste` / :mod:`~repro.quant.admm` /
+  :mod:`~repro.quant.trainer` — Alg. 1's ADMM+STE training loop;
+- :mod:`~repro.quant.baselines` — the published methods of Tables III-VI.
+
 Typical use::
 
     from repro.quant import QATConfig, quantize_model, Scheme
@@ -8,6 +22,9 @@ Typical use::
     config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
                        ratio="2:1")           # SP2:fixed from FPGA charact.
     result = quantize_model(model, make_batches, loss_fn, config)
+
+The finished ``result.layer_results`` feed straight into
+:func:`repro.serve.export_model` for deployment.
 """
 
 from repro.quant.schemes import (
@@ -36,8 +53,13 @@ from repro.quant.encoding import (
     decode_p2,
     encode_sp2,
     decode_sp2,
+    pack_fixed,
+    unpack_fixed,
+    pack_p2,
+    unpack_p2,
     pack_sp2,
     unpack_sp2,
+    storage_dtype,
 )
 from repro.quant.arithmetic import (
     OpCount,
@@ -52,8 +74,12 @@ from repro.quant.partition import (
     PartitionRatio,
     RowPartition,
     partition_rows,
+    partition_summary,
+    partition_to_arrays,
+    partition_from_arrays,
     row_variances,
     to_gemm_matrix,
+    from_gemm_matrix,
 )
 from repro.quant.msq import MixedSchemeQuantizer, MSQResult
 from repro.quant.ste import ActivationQuantizer, WeightSTEQuantizer, fake_quant_ste
@@ -88,8 +114,13 @@ __all__ = [
     "decode_p2",
     "encode_sp2",
     "decode_sp2",
+    "pack_fixed",
+    "unpack_fixed",
+    "pack_p2",
+    "unpack_p2",
     "pack_sp2",
     "unpack_sp2",
+    "storage_dtype",
     "OpCount",
     "ops_fixed_point",
     "ops_sp2",
@@ -100,8 +131,12 @@ __all__ = [
     "PartitionRatio",
     "RowPartition",
     "partition_rows",
+    "partition_summary",
+    "partition_to_arrays",
+    "partition_from_arrays",
     "row_variances",
     "to_gemm_matrix",
+    "from_gemm_matrix",
     "MixedSchemeQuantizer",
     "MSQResult",
     "ActivationQuantizer",

@@ -12,7 +12,9 @@ These encodings are what the FPGA datapath actually stores and computes on:
 
 ``pack_sp2``/``unpack_sp2`` produce the literal m-bit words
 ``[sign | c1 | c2]``, used by the storage tests and the accelerator's weight
-buffer model.
+buffer model. ``pack_fixed``/``pack_p2`` produce the analogous
+``[sign | magnitude]`` and ``[sign | shift]`` words; together they are the
+export hooks the serving artifact (:mod:`repro.serve`) stores weights with.
 """
 
 from __future__ import annotations
@@ -47,6 +49,36 @@ def decode_fixed(codes: np.ndarray, bits: int, alpha: float = 1.0) -> np.ndarray
     return alpha * codes.astype(np.float64) / steps
 
 
+def storage_dtype(bits: int):
+    """Smallest unsigned dtype holding an m-bit hardware word."""
+    if bits <= 8:
+        return np.uint8
+    if bits <= 16:
+        return np.uint16
+    return np.uint32
+
+
+def pack_fixed(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack signed magnitude integers into literal m-bit [sign | magnitude]
+    words — the layout of the DSP core's weight buffer and the serving
+    artifact (:mod:`repro.serve.artifact`)."""
+    codes = np.asarray(codes)
+    steps = 2 ** (bits - 1) - 1
+    if np.any(np.abs(codes) > steps):
+        raise QuantizationError(f"fixed-point code out of {bits}-bit range")
+    sign_bit = (codes < 0).astype(np.uint32)
+    words = (sign_bit << (bits - 1)) | np.abs(codes).astype(np.uint32)
+    return words.astype(storage_dtype(bits))
+
+
+def unpack_fixed(words: np.ndarray, bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_fixed` (sign of zero decodes as +)."""
+    words = np.asarray(words, dtype=np.uint32)
+    magnitude = (words & ((1 << (bits - 1)) - 1)).astype(np.int32)
+    sign = np.where((words >> (bits - 1)) & 1, -1, 1).astype(np.int32)
+    return sign * magnitude
+
+
 # ----------------------------------------------------------------------
 # Power-of-2
 # ----------------------------------------------------------------------
@@ -72,6 +104,25 @@ def encode_p2(unit_values: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarra
 def decode_p2(sign: np.ndarray, codes: np.ndarray, alpha: float = 1.0) -> np.ndarray:
     magnitude = np.where(codes > 0, 2.0 ** (1 - codes.astype(np.float64)), 0.0)
     return alpha * sign * magnitude
+
+
+def pack_p2(sign: np.ndarray, codes: np.ndarray, bits: int) -> np.ndarray:
+    """Pack (sign, shift_code) into literal m-bit [sign | code] words."""
+    codes = np.asarray(codes)
+    if np.any(codes >= 1 << (bits - 1)):
+        raise QuantizationError(f"P2 shift code out of {bits}-bit range")
+    sign_bit = (np.asarray(sign) < 0).astype(np.uint32)
+    words = (sign_bit << (bits - 1)) | codes.astype(np.uint32)
+    return words.astype(storage_dtype(bits))
+
+
+def unpack_p2(words: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_p2` (sign of zero decodes as +)."""
+    words = np.asarray(words, dtype=np.uint32)
+    codes = (words & ((1 << (bits - 1)) - 1)).astype(np.int32)
+    sign = np.where((words >> (bits - 1)) & 1, -1, 1).astype(np.int8)
+    sign = np.where(codes == 0, 0, sign).astype(np.int8)
+    return sign, codes
 
 
 # ----------------------------------------------------------------------

@@ -137,6 +137,29 @@ def partition_rows(matrix: np.ndarray, sp2_fraction: float) -> RowPartition:
     return RowPartition(sp2_mask=mask, threshold=threshold, variances=variances)
 
 
+def partition_to_arrays(partition: RowPartition) -> dict:
+    """Serialize a :class:`RowPartition` to plain numpy arrays.
+
+    Used by the serving artifact (:mod:`repro.serve.artifact`) so a frozen
+    model carries the exact row→scheme assignment the weights were trained
+    with; round-trips through :func:`partition_from_arrays`.
+    """
+    return {
+        "sp2_mask": partition.sp2_mask.astype(np.bool_),
+        "threshold": np.float64(partition.threshold),
+        "variances": partition.variances.astype(np.float64),
+    }
+
+
+def partition_from_arrays(arrays: dict) -> RowPartition:
+    """Inverse of :func:`partition_to_arrays`."""
+    return RowPartition(
+        sp2_mask=np.asarray(arrays["sp2_mask"], dtype=bool),
+        threshold=float(arrays["threshold"]),
+        variances=np.asarray(arrays["variances"], dtype=np.float64),
+    )
+
+
 def partition_summary(partition: RowPartition) -> dict:
     """Small JSON-friendly summary used in reports and tests."""
     return {

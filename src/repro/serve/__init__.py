@@ -1,0 +1,46 @@
+"""Batched quantized-inference serving (the deployment layer, paper §V).
+
+Where :mod:`repro.quant` produces a quantized model and :mod:`repro.fpga`
+prices it on an accelerator, this package actually *serves* it: a trained
+model is frozen into a packed-weight artifact, loaded into a precomputed
+execution plan, and driven by a micro-batching scheduler whose reports pair
+wall-clock numbers with the accelerator cycle model's simulated latency.
+
+Pipeline and the module implementing each stage::
+
+    quantize_model / post_training_quantize      (repro.quant / serve.ptq)
+        -> export_model  -> ServeArtifact (.npz) (serve.export / serve.artifact)
+        -> ExecutionPlan                         (serve.plan)
+        -> InferenceEngine                       (serve.engine)
+        -> BatchScheduler -> ServeStats          (serve.scheduler)
+
+The artifact stores exactly what the FPGA datapath would: packed integer
+weight words (Table I encodings via :mod:`repro.quant.encoding`), the
+SP2/fixed row partition of every MSQ layer (:mod:`repro.quant.partition`),
+per-row scales, and frozen activation clipping ranges. Loading dequantizes
+once; per-request work is pure batched numpy GEMMs, bit-identical to the
+eager quantized model (enforced at export).
+
+``python -m repro.serve`` exposes the export/info/run loop on the command
+line; see :mod:`repro.serve.cli`.
+"""
+
+from repro.serve.artifact import ServeArtifact
+from repro.serve.engine import EngineStats, InferenceEngine
+from repro.serve.export import eager_forward, export_model
+from repro.serve.plan import ExecutionPlan
+from repro.serve.ptq import post_training_quantize
+from repro.serve.scheduler import BatchScheduler, ServedRequest, ServeStats
+
+__all__ = [
+    "ServeArtifact",
+    "EngineStats",
+    "InferenceEngine",
+    "eager_forward",
+    "export_model",
+    "ExecutionPlan",
+    "post_training_quantize",
+    "BatchScheduler",
+    "ServedRequest",
+    "ServeStats",
+]

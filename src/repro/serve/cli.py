@@ -1,0 +1,215 @@
+"""Command-line entry point: ``python -m repro.serve <command>``.
+
+Three subcommands cover the export → inspect → serve loop end to end with
+synthetic data, so the whole serving path can be exercised without training:
+
+- ``export`` — build a model from the small zoo, post-training-quantize it
+  (MSQ weights + calibrated activation ranges), and write a verified
+  artifact;
+- ``info`` — print an artifact's manifest summary and GEMM workloads;
+- ``run`` — load an artifact, push synthetic requests through the
+  :class:`~repro.serve.scheduler.BatchScheduler`, and report wall-clock and
+  simulated-FPGA serving statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+
+
+def _resnet_tiny(rng):
+    from repro.models import resnet_tiny
+
+    return resnet_tiny(num_classes=10, rng=rng), _image_sampler(3, 16)
+
+
+def _resnet18(rng):
+    from repro.models import resnet18_cifar
+
+    return resnet18_cifar(num_classes=10, rng=rng), _image_sampler(3, 16)
+
+
+def _mobilenet(rng):
+    from repro.models import mobilenet_v2_tiny
+
+    return mobilenet_v2_tiny(num_classes=10, rng=rng), _image_sampler(3, 16)
+
+
+def _lstm_lm(rng):
+    from repro.models import LSTMLanguageModel
+
+    model = LSTMLanguageModel(vocab_size=40, embed_dim=16, hidden_size=24,
+                              num_layers=2, rng=rng)
+    return model, _token_sampler(vocab=40, timesteps=12)
+
+
+def _gru_speech(rng):
+    from repro.models import GRUSpeechModel
+
+    model = GRUSpeechModel(input_dim=13, hidden_size=24, num_layers=2,
+                           rng=rng)
+    return model, _frame_sampler(timesteps=12, features=13)
+
+
+def _lstm_sentiment(rng):
+    from repro.models import LSTMSentimentClassifier
+
+    model = LSTMSentimentClassifier(vocab_size=40, embed_dim=16,
+                                    hidden_size=24, num_layers=2, rng=rng)
+    return model, _token_sampler(vocab=40, timesteps=12)
+
+
+def _image_sampler(channels, size):
+    def sample(rng, n):
+        return rng.normal(size=(n, channels, size, size)).astype(np.float32)
+
+    return sample
+
+
+def _token_sampler(vocab, timesteps):
+    def sample(rng, n):
+        return rng.integers(0, vocab, size=(n, timesteps), dtype=np.int64)
+
+    return sample
+
+
+def _frame_sampler(timesteps, features):
+    def sample(rng, n):
+        return rng.normal(size=(n, timesteps, features)).astype(np.float32)
+
+    return sample
+
+
+MODEL_ZOO: Dict[str, Callable] = {
+    "resnet_tiny": _resnet_tiny,
+    "resnet18_cifar": _resnet18,
+    "mobilenet_v2": _mobilenet,
+    "lstm_lm": _lstm_lm,
+    "gru_speech": _gru_speech,
+    "lstm_sentiment": _lstm_sentiment,
+}
+
+
+def build_model(name: str, seed: int = 0):
+    """Instantiate a zoo model and its synthetic input sampler."""
+    if name not in MODEL_ZOO:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[name](np.random.default_rng(seed))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_export(args) -> int:
+    from repro.serve.export import export_model
+    from repro.serve.ptq import post_training_quantize
+
+    model, sample = build_model(args.model, seed=args.seed)
+    rng = np.random.default_rng(args.seed + 1)
+    calibration = [sample(rng, 8) for _ in range(args.calibration_batches)]
+    results = post_training_quantize(
+        model, calibration, weight_bits=args.bits, ratio=args.ratio)
+    artifact = export_model(model, sample(rng, 4), layer_results=results,
+                            name=args.model, path=args.out)
+    print(f"exported {args.model} -> {args.out}")
+    print(artifact.summary())
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.serve.plan import ExecutionPlan
+
+    plan = ExecutionPlan.load(args.artifact)
+    print(plan.describe())
+    performance = plan.simulate(batch=1)
+    print(f"FPGA (D2-3):  {performance.latency_ms:.3f} ms/request, "
+          f"{performance.throughput_gops:.1f} GOPS")
+    return 0
+
+
+def _token_bound(plan) -> int:
+    """Valid synthetic-token range: the smallest embedding table's size."""
+    bounds = []
+
+    def walk(ops):
+        for spec in ops:
+            if spec["kind"] == "residual":
+                walk(spec["main"])
+                walk(spec["shortcut"])
+            elif spec["kind"] == "embedding":
+                bounds.append(plan.artifact.arrays[spec["weight"]].shape[0])
+
+    walk(plan.artifact.manifest["ops"])
+    return min(bounds) if bounds else 16
+
+
+def cmd_run(args) -> int:
+    from repro.serve.engine import InferenceEngine
+    from repro.serve.scheduler import BatchScheduler
+
+    engine = InferenceEngine.load(args.artifact)
+    scheduler = BatchScheduler(engine, max_batch=args.batch)
+    rng = np.random.default_rng(args.seed)
+    shape = engine.plan.input_shape
+    dtype = engine.plan.input_dtype
+    token_bound = _token_bound(engine.plan)
+    for _ in range(args.requests):
+        if np.issubdtype(dtype, np.floating):
+            payload = rng.normal(size=shape).astype(dtype)
+        else:
+            payload = rng.integers(0, token_bound, size=shape).astype(dtype)
+        scheduler.submit(payload)
+    stats = scheduler.run()
+    print(f"served {args.requests} synthetic requests "
+          f"(max_batch={args.batch})")
+    print(stats.format())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Export, inspect and serve quantized-model artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    export = sub.add_parser("export",
+                            help="quantize a zoo model and write an artifact")
+    export.add_argument("--model", default="resnet_tiny",
+                        choices=sorted(MODEL_ZOO))
+    export.add_argument("--out", required=True, help="output .npz path")
+    export.add_argument("--bits", type=int, default=4)
+    export.add_argument("--ratio", default="2:1",
+                        help="SP2:fixed row ratio (FPGA characterization)")
+    export.add_argument("--calibration-batches", type=int, default=2)
+    export.add_argument("--seed", type=int, default=0)
+    export.set_defaults(func=cmd_export)
+
+    info = sub.add_parser("info", help="describe an artifact")
+    info.add_argument("artifact")
+    info.set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run",
+                         help="serve synthetic requests from an artifact")
+    run.add_argument("artifact")
+    run.add_argument("--requests", type=int, default=64)
+    run.add_argument("--batch", type=int, default=16)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

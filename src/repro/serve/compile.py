@@ -1,0 +1,241 @@
+"""Compile an eval-mode module tree into frozen serving op specs.
+
+The compiler walks a :class:`~repro.nn.module.Module` tree and emits the
+JSON-able op list stored in a :class:`~repro.serve.artifact.ServeArtifact`.
+Leaf layers (``Conv2d``, ``Linear``, batch norm, pooling, RNNs, ...) map
+directly to ops; composite modules describe their forward through the
+``export_structure`` protocol (see :meth:`repro.nn.module.Module.export_structure`),
+which ``Sequential``, the ResNet/MobileNet blocks and the RNN task models
+implement.
+
+Quantized layers are looked up by parameter name in the ``layer_results``
+mapping produced by ADMM training (:func:`repro.quant.quantize_model`) or
+post-training quantization (:func:`repro.serve.ptq.post_training_quantize`);
+their weights are stored as packed hardware words. Layers without a result
+are stored as raw float32. Activation quantizers attached to modules are
+frozen (calibration stops) and their clipping ranges recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ExportError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.module import Module
+from repro.nn.rnn import GRU, LSTM
+from repro.quant.ste import ActivationQuantizer
+from repro.serve.artifact import ServeArtifact, encode_weight_record
+
+_OPCODES = ("relu", "relu6", "merge_time", "take_last")
+
+
+def freeze_activation_quantizers(model: Module) -> None:
+    """Stop range calibration on every attached activation quantizer."""
+    for module in model.modules():
+        quant = getattr(module, "act_quant", None)
+        if isinstance(quant, ActivationQuantizer):
+            quant.calibrating = False
+
+
+def compile_model(model: Module, layer_results: Dict[str, object],
+                  artifact: ServeArtifact) -> List[dict]:
+    """Emit the op-spec list for ``model``, filling ``artifact``'s arrays."""
+    names = {id(module): name for name, module in model.named_modules()}
+    compiler = _Compiler(names, layer_results, artifact)
+    return compiler.convert_module(model)
+
+
+class _Compiler:
+    def __init__(self, names: Dict[int, str],
+                 layer_results: Dict[str, object], artifact: ServeArtifact):
+        self.names = names
+        self.results = layer_results
+        self.artifact = artifact
+
+    # ------------------------------------------------------------------
+    def name_of(self, module: Module) -> str:
+        try:
+            return self.names[id(module)]
+        except KeyError:
+            raise ExportError(
+                f"{type(module).__name__} returned by export_structure is "
+                "not a registered child of the exported model")
+
+    def convert_module(self, module: Module) -> List[dict]:
+        structure = module.export_structure()
+        if structure is not None:
+            return self.convert_structure(structure)
+        return self.convert_leaf(module)
+
+    def convert_structure(self, structure) -> List[dict]:
+        tag = structure[0]
+        if tag == "chain":
+            ops: List[dict] = []
+            for item in structure[1]:
+                ops.extend(self.convert_item(item))
+            return ops
+        if tag == "residual":
+            _, main, shortcut, post = structure
+            if post not in (None, "relu"):
+                raise ExportError(f"unsupported residual post-op {post!r}")
+            main_ops: List[dict] = []
+            for item in main:
+                main_ops.extend(self.convert_item(item))
+            shortcut_ops: List[dict] = []
+            for item in shortcut or []:
+                shortcut_ops.extend(self.convert_item(item))
+            return [{"kind": "residual", "main": main_ops,
+                     "shortcut": shortcut_ops, "post": post}]
+        raise ExportError(f"unknown export structure tag {tag!r}")
+
+    def convert_item(self, item) -> List[dict]:
+        if isinstance(item, str):
+            if item not in _OPCODES:
+                raise ExportError(f"unknown structure opcode {item!r}")
+            return [{"kind": item}]
+        if isinstance(item, Module):
+            return self.convert_module(item)
+        raise ExportError(f"cannot convert structure item {item!r}")
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def convert_leaf(self, module: Module) -> List[dict]:
+        if isinstance(module, (Identity, Dropout)):
+            return []  # eval-mode no-ops
+        if isinstance(module, Conv2d):
+            return [self._conv(module)]
+        if isinstance(module, Linear):
+            return [self._linear(module)]
+        if isinstance(module, (BatchNorm2d, BatchNorm1d)):
+            return [self._batchnorm(module)]
+        if isinstance(module, ReLU):
+            return [{"kind": "relu"}]
+        if isinstance(module, ReLU6):
+            return [{"kind": "relu6"}]
+        if isinstance(module, Flatten):
+            return [{"kind": "flatten"}]
+        if isinstance(module, GlobalAvgPool2d):
+            return [{"kind": "globalavgpool"}]
+        if isinstance(module, MaxPool2d):
+            return [{"kind": "maxpool", "kernel": module.kernel_size,
+                     "stride": module.stride, "padding": module.padding}]
+        if isinstance(module, AvgPool2d):
+            return [{"kind": "avgpool", "kernel": module.kernel_size,
+                     "stride": module.stride}]
+        if isinstance(module, Embedding):
+            name = self.name_of(module)
+            ref = self.artifact.add_array(
+                f"{name}.weight",
+                module.weight.data.astype(np.float32))
+            return [{"kind": "embedding", "name": name, "weight": ref}]
+        if isinstance(module, (LSTM, GRU)):
+            return [self._rnn(module)]
+        raise ExportError(
+            f"no serving converter for {type(module).__name__}; implement "
+            "export_structure() on the composite module")
+
+    # ------------------------------------------------------------------
+    def _act_spec(self, module: Module) -> Optional[dict]:
+        quant = getattr(module, "act_quant", None)
+        if not isinstance(quant, ActivationQuantizer):
+            return None
+        if quant.alpha is None or quant.alpha == 0.0:
+            return None  # uncalibrated quantizers are identity in eager mode
+        return {"bits": quant.bits, "signed": quant.signed,
+                "alpha": float(quant.alpha)}
+
+    def _weight(self, name: str, param_key: str, weight) -> dict:
+        return encode_weight_record(
+            self.artifact, param_key, weight.data,
+            self.results.get(param_key))
+
+    def _bias(self, name: str, bias) -> Optional[str]:
+        if bias is None:
+            return None
+        return self.artifact.add_array(
+            f"{name}.bias", bias.data.astype(np.float32))
+
+    def _conv(self, module: Conv2d) -> dict:
+        name = self.name_of(module)
+        return {
+            "kind": "conv",
+            "name": name,
+            "in_channels": module.in_channels,
+            "out_channels": module.out_channels,
+            "kernel": module.kernel_size,
+            "stride": module.stride,
+            "padding": module.padding,
+            "groups": module.groups,
+            "weight": self._weight(name, f"{name}.weight", module.weight),
+            "bias": self._bias(name, module.bias),
+            "act_quant": self._act_spec(module),
+        }
+
+    def _linear(self, module: Linear) -> dict:
+        name = self.name_of(module)
+        return {
+            "kind": "linear",
+            "name": name,
+            "in_features": module.in_features,
+            "out_features": module.out_features,
+            "weight": self._weight(name, f"{name}.weight", module.weight),
+            "bias": self._bias(name, module.bias),
+            "act_quant": self._act_spec(module),
+        }
+
+    def _batchnorm(self, module) -> dict:
+        name = self.name_of(module)
+        kind = ("batchnorm2d" if isinstance(module, BatchNorm2d)
+                else "batchnorm1d")
+        add = self.artifact.add_array
+        return {
+            "kind": kind,
+            "name": name,
+            "features": module.num_features,
+            "eps": module.eps,
+            "gamma": add(f"{name}.gamma", module.gamma.data.astype(np.float32)),
+            "beta": add(f"{name}.beta", module.beta.data.astype(np.float32)),
+            "mean": add(f"{name}.mean",
+                        np.asarray(module.running_mean, dtype=np.float32)),
+            "var": add(f"{name}.var",
+                       np.asarray(module.running_var, dtype=np.float32)),
+        }
+
+    def _rnn(self, module) -> dict:
+        name = self.name_of(module)
+        kind = "lstm" if isinstance(module, LSTM) else "gru"
+        cells = []
+        for layer in range(module.num_layers):
+            cell = module._cell(layer)
+            cell_name = f"{name}.cell{layer}"
+            cells.append({
+                "input_size": cell.input_size,
+                "hidden_size": cell.hidden_size,
+                "weight_ih": self._weight(
+                    cell_name, f"{cell_name}.weight_ih", cell.weight_ih),
+                "weight_hh": self._weight(
+                    cell_name, f"{cell_name}.weight_hh", cell.weight_hh),
+                "bias_ih": self._bias(f"{cell_name}.ih", cell.bias_ih),
+                "bias_hh": self._bias(f"{cell_name}.hh", cell.bias_hh),
+                "act_quant": self._act_spec(cell),
+            })
+        return {"kind": "rnn", "cell": kind, "name": name,
+                "hidden_size": module.hidden_size, "cells": cells}

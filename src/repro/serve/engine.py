@@ -1,0 +1,83 @@
+"""Inference engine: an execution plan plus serving instrumentation.
+
+``InferenceEngine`` is the unit the batch scheduler drives: it runs
+micro-batches through a loaded :class:`~repro.serve.plan.ExecutionPlan`,
+keeps wall-clock counters, and prices every batch size it sees on the
+configured accelerator design (cached — the cycle model runs once per
+distinct batch size, not per request).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fpga.resources import GemmDesign, reference_designs
+from repro.serve.plan import ExecutionPlan
+
+
+@dataclass
+class EngineStats:
+    """Lifetime counters of one engine."""
+
+    requests: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+    fpga_ms: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return (self.requests / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+
+class InferenceEngine:
+    """Batched quantized inference over a frozen artifact."""
+
+    def __init__(self, plan: ExecutionPlan,
+                 design: Optional[GemmDesign] = None,
+                 clock=time.perf_counter):
+        self.plan = plan
+        # The paper's best published design point (D2-3: XC7Z045, 1:2
+        # fixed:SP2) prices the simulated-FPGA latency numbers by default.
+        self.design = design if design is not None \
+            else reference_designs()["D2-3"]
+        self.stats = EngineStats()
+        self._clock = clock
+        self._fpga_latency_cache: Dict[int, float] = {}
+
+    @classmethod
+    def load(cls, path, **kwargs) -> "InferenceEngine":
+        return cls(ExecutionPlan.load(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    def infer(self, batch: np.ndarray) -> np.ndarray:
+        """Run one (N, ...) micro-batch; updates counters."""
+        batch = np.asarray(batch)
+        started = self._clock()
+        outputs = self.plan.forward(batch)
+        elapsed = self._clock() - started
+        self.stats.requests += batch.shape[0]
+        self.stats.batches += 1
+        self.stats.wall_seconds += elapsed
+        self.stats.fpga_ms += self.fpga_latency_ms(batch.shape[0])
+        return outputs
+
+    def infer_one(self, request: np.ndarray) -> np.ndarray:
+        """Single-request convenience path (adds and strips the batch dim)."""
+        return self.infer(np.asarray(request)[None])[0]
+
+    # ------------------------------------------------------------------
+    def fpga_latency_ms(self, batch_size: int) -> float:
+        """Simulated accelerator latency of one micro-batch of this size."""
+        if batch_size not in self._fpga_latency_cache:
+            performance = self.plan.simulate(self.design, batch=batch_size)
+            self._fpga_latency_cache[batch_size] = performance.latency_ms
+        return self._fpga_latency_cache[batch_size]

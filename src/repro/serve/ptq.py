@@ -1,0 +1,62 @@
+"""Post-training quantization: a training-free path to a servable model.
+
+The paper's accuracy numbers come from ADMM quantization-aware training
+(:func:`repro.quant.quantize_model`), which is what production exports
+should use. For serving demos, CLI smoke tests and benchmarks we also need
+a fast path that makes *any* model exportable in milliseconds:
+
+1. calibrate activation clipping ranges on a few batches (running max-abs,
+   exactly like QAT's calibration phase, Alg. 1);
+2. project every quantizable weight onto the MSQ level sets
+   (:class:`~repro.quant.msq.MixedSchemeQuantizer`, Alg. 2) in one shot.
+
+The result dict has the same shape as ``QATResult.layer_results``, so
+:func:`repro.serve.export.export_model` accepts either interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.admm import collect_quantizable
+from repro.quant.msq import MixedSchemeQuantizer, MSQResult
+from repro.quant.partition import PartitionRatio
+from repro.quant.trainer import install_activation_quantizers
+from repro.tensor import Tensor, no_grad
+
+
+def post_training_quantize(
+        model: Module, calibration_batches: Iterable,
+        weight_bits: int = 4, act_bits: int = 4,
+        ratio: Union[str, float, PartitionRatio] = "2:1",
+        skip_first: bool = True) -> Dict[str, MSQResult]:
+    """Quantize ``model`` in place without training; returns layer results.
+
+    ``calibration_batches`` yields model inputs (numpy arrays are wrapped in
+    :class:`Tensor` for float inputs; integer token ids pass through raw).
+    ``ratio`` is the SP2:fixed row ratio from FPGA characterization — the
+    default 2:1 is the paper's XC7Z045 optimum.
+    """
+    model.eval()
+    act_quantizers = install_activation_quantizers(
+        model, act_bits, skip_first=skip_first)
+    with no_grad():
+        for batch in calibration_batches:
+            batch = np.asarray(batch)
+            if np.issubdtype(batch.dtype, np.floating):
+                model(Tensor(batch))
+            else:
+                model(batch)
+    for quantizer in act_quantizers.values():
+        quantizer.calibrating = False
+
+    quantizer = MixedSchemeQuantizer(bits=weight_bits, ratio=ratio)
+    results: Dict[str, MSQResult] = {}
+    for param_name, param in collect_quantizable(model):
+        result = quantizer.quantize(param.data.astype(np.float64))
+        param.data = result.values.astype(param.data.dtype)
+        results[param_name] = result
+    return results

@@ -1,0 +1,182 @@
+"""Micro-batching request scheduler with latency/throughput accounting.
+
+``BatchScheduler`` coalesces queued single requests into micro-batches of at
+most ``max_batch`` and runs each batch through an
+:class:`~repro.serve.engine.InferenceEngine` in one plan pass. Requests are
+served strictly FIFO; an artifact fixes one input shape, so ``submit``
+validates each payload against it up front (shape mismatch is an immediate
+error, not a deferred batch failure) and coerces the dtype to the plan's.
+
+Accounting reports both clocks the ROADMAP cares about:
+
+- **wall-clock** — numpy time actually spent, per-request queue+service
+  latency percentiles, requests/sec;
+- **simulated FPGA** — the accelerator cycle model's latency for each
+  micro-batch (:meth:`ExecutionPlan.simulate`), showing how batching fills
+  the GEMM cores' output-position lanes.
+
+The scheduler is deliberately synchronous and deterministic: ``submit`` only
+enqueues; ``step`` serves exactly one micro-batch; ``run`` drains the queue.
+An injectable ``clock`` makes the latency accounting unit-testable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serve.engine import InferenceEngine
+
+
+@dataclass
+class ServedRequest:
+    """One enqueued inference request and, once served, its result."""
+
+    id: int
+    payload: np.ndarray
+    enqueued_at: float
+    completed_at: Optional[float] = None
+    result: Optional[np.ndarray] = None
+    batch_id: Optional[int] = None
+    batch_size: Optional[int] = None
+    fpga_ms: Optional[float] = None   # batch FPGA latency / batch size
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency_ms(self) -> float:
+        if not self.done:
+            raise ConfigurationError(f"request {self.id} not served yet")
+        return (self.completed_at - self.enqueued_at) * 1e3
+
+
+@dataclass
+class ServeStats:
+    """Aggregate statistics of one scheduler drain."""
+
+    requests: int
+    batches: int
+    wall_seconds: float
+    latencies_ms: List[float]
+    fpga_ms_total: float
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    @property
+    def requests_per_second(self) -> float:
+        return (self.requests / self.wall_seconds
+                if self.wall_seconds > 0 else 0.0)
+
+    @property
+    def latency_ms_mean(self) -> float:
+        return float(np.mean(self.latencies_ms)) if self.latencies_ms else 0.0
+
+    @property
+    def latency_ms_p95(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(self.latencies_ms, 95))
+
+    @property
+    def fpga_ms_per_request(self) -> float:
+        return self.fpga_ms_total / self.requests if self.requests else 0.0
+
+    def format(self) -> str:
+        return "\n".join([
+            f"requests:            {self.requests}",
+            f"micro-batches:       {self.batches} "
+            f"(mean size {self.mean_batch_size:.1f})",
+            f"wall-clock:          {self.wall_seconds * 1e3:.1f} ms total, "
+            f"{self.requests_per_second:.1f} req/s",
+            f"request latency:     mean {self.latency_ms_mean:.2f} ms, "
+            f"p95 {self.latency_ms_p95:.2f} ms",
+            f"simulated FPGA:      {self.fpga_ms_total:.2f} ms total, "
+            f"{self.fpga_ms_per_request:.3f} ms/request",
+        ])
+
+
+class BatchScheduler:
+    """Coalesce queued requests into micro-batches and serve them."""
+
+    def __init__(self, engine: InferenceEngine, max_batch: int = 16,
+                 clock=time.perf_counter):
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        self.engine = engine
+        self.max_batch = max_batch
+        self._clock = clock
+        self._queue: Deque[ServedRequest] = deque()
+        self._next_id = 0
+        self._batches_served = 0
+        self._served: List[ServedRequest] = []
+        self._serve_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def submit(self, payload: np.ndarray) -> ServedRequest:
+        """Enqueue one request (a single input, no batch dimension)."""
+        payload = np.asarray(payload)
+        expected = self.engine.plan.input_shape
+        if tuple(payload.shape) != expected:
+            raise ConfigurationError(
+                f"request shape {tuple(payload.shape)} != plan input "
+                f"shape {expected}")
+        payload = payload.astype(self.engine.plan.input_dtype, copy=False)
+        request = ServedRequest(id=self._next_id, payload=payload,
+                                enqueued_at=self._clock())
+        self._next_id += 1
+        self._queue.append(request)
+        return request
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    def step(self) -> List[ServedRequest]:
+        """Serve one micro-batch: the next ``max_batch`` queued requests."""
+        if not self._queue:
+            return []
+        batch = [self._queue.popleft()
+                 for _ in range(min(self.max_batch, len(self._queue)))]
+
+        # Price the batch size first: a cycle-model cache miss must not
+        # count against the wall-clock/latency numbers below.
+        fpga_ms = self.engine.fpga_latency_ms(len(batch))
+        started = self._clock()
+        outputs = self.engine.infer(np.stack([r.payload for r in batch]))
+        completed = self._clock()
+        for index, request in enumerate(batch):
+            request.result = outputs[index]
+            request.completed_at = completed
+            request.batch_id = self._batches_served
+            request.batch_size = len(batch)
+            request.fpga_ms = fpga_ms / len(batch)
+        self._batches_served += 1
+        self._serve_seconds += completed - started
+        self._served.extend(batch)
+        return batch
+
+    def run(self) -> ServeStats:
+        """Drain the queue and return the aggregate statistics."""
+        while self._queue:
+            self.step()
+        return self.stats()
+
+    def stats(self) -> ServeStats:
+        served = self._served
+        return ServeStats(
+            requests=len(served),
+            batches=self._batches_served,
+            wall_seconds=self._serve_seconds,
+            latencies_ms=[r.latency_ms for r in served],
+            fpga_ms_total=sum(r.fpga_ms for r in served),
+        )

@@ -21,6 +21,26 @@ def _output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
+def pool_windows(data: np.ndarray, kernel: int, stride: int, oh: int,
+                 ow: int) -> np.ndarray:
+    """(N, C, OH, OW, k, k) sliding pooling-window view of an NCHW array.
+
+    Shared by the eager pooling kernels below and the serving plan's
+    pooling ops (:mod:`repro.serve.plan`), so the two paths cannot drift.
+    """
+    n, c = data.shape[:2]
+    shape = (n, c, oh, ow, kernel, kernel)
+    strides = (
+        data.strides[0],
+        data.strides[1],
+        data.strides[2] * stride,
+        data.strides[3] * stride,
+        data.strides[2],
+        data.strides[3],
+    )
+    return np.lib.stride_tricks.as_strided(data, shape=shape, strides=strides)
+
+
 def _im2col(x: np.ndarray, kh: int, kw: int, stride: int,
             padding: int) -> Tuple[np.ndarray, int, int]:
     """Extract sliding patches: returns (N, C*kh*kw, OH*OW)."""
@@ -135,16 +155,7 @@ def max_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None,
         )
     oh = _output_size(h, kernel, stride, padding)
     ow = _output_size(w, kernel, stride, padding)
-    shape = (n, c, oh, ow, kernel, kernel)
-    strides = (
-        data.strides[0],
-        data.strides[1],
-        data.strides[2] * stride,
-        data.strides[3] * stride,
-        data.strides[2],
-        data.strides[3],
-    )
-    windows = np.lib.stride_tricks.as_strided(data, shape=shape, strides=strides)
+    windows = pool_windows(data, kernel, stride, oh, ow)
     flat = windows.reshape(n, c, oh, ow, kernel * kernel)
     argmax = flat.argmax(axis=-1)
     out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
@@ -169,16 +180,7 @@ def avg_pool2d(x: Tensor, kernel: int, stride: Optional[int] = None) -> Tensor:
     n, c, h, w = x.shape
     oh = _output_size(h, kernel, stride, 0)
     ow = _output_size(w, kernel, stride, 0)
-    shape = (n, c, oh, ow, kernel, kernel)
-    strides = (
-        x.data.strides[0],
-        x.data.strides[1],
-        x.data.strides[2] * stride,
-        x.data.strides[3] * stride,
-        x.data.strides[2],
-        x.data.strides[3],
-    )
-    windows = np.lib.stride_tricks.as_strided(x.data, shape=shape, strides=strides)
+    windows = pool_windows(x.data, kernel, stride, oh, ow)
     out = windows.mean(axis=(-1, -2))
     scale = 1.0 / (kernel * kernel)
 
