@@ -11,12 +11,8 @@ import time
 
 import numpy as np
 
-from repro.serve import (
-    BatchScheduler,
-    InferenceEngine,
-    export_model,
-    post_training_quantize,
-)
+from repro.api import Pipeline, PipelineConfig
+from repro.serve import BatchScheduler, InferenceEngine
 from repro.serve.cli import build_model
 from repro.serve.export import eager_forward
 
@@ -27,9 +23,10 @@ REQUESTS = 64
 def _quantized_engine(tmp_path):
     model, sample = build_model("resnet_tiny", seed=0)
     rng = np.random.default_rng(1)
-    results = post_training_quantize(model, [sample(rng, 8)])
+    pipeline = Pipeline(PipelineConfig(), model=model)
+    pipeline.calibrate([sample(rng, 8)])
     path = tmp_path / "resnet_tiny.npz"
-    export_model(model, sample(rng, 4), layer_results=results, path=path)
+    pipeline.result.export(sample(rng, 4), path=path)
     payloads = [sample(rng, 1)[0] for _ in range(REQUESTS)]
     return model, InferenceEngine.load(path), payloads
 

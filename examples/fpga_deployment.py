@@ -19,7 +19,8 @@ from repro.fpga import characterize_device, simulate_network
 from repro.fpga.report import efficiency_metrics, format_table, utilization_bar
 from repro.fpga.workloads import WORKLOADS
 from repro.models import resnet_tiny
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+from repro.api import Pipeline, PipelineConfig
+from repro.quant import train_fp
 
 
 def main() -> None:
@@ -47,11 +48,11 @@ def main() -> None:
     train_fp(model, data.make_batches_fn(64), classification_loss,
              epochs=8, lr=1e-2)
     fp_acc = eval_classifier(model, data.x_test, data.y_test)
-    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                       ratio=f"{ratio.sp2:g}:{ratio.fixed:g}",
-                       epochs=4, lr=4e-3)
-    quantize_model(model, data.make_batches_fn(64), classification_loss,
-                   config)
+    config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                            ratio=f"{ratio.sp2:g}:{ratio.fixed:g}",
+                            epochs=4, lr=4e-3)
+    Pipeline(config, model=model).fit(data.make_batches_fn(64),
+                                      classification_loss)
     msq_acc = eval_classifier(model, data.x_test, data.y_test)
     print(f"\naccuracy: FP {fp_acc:.2%} -> MSQ {msq_acc:.2%}")
 

@@ -14,12 +14,13 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+from repro.api import Pipeline, PipelineConfig
 from repro.data import cifar10_like
 from repro.experiments.common import classification_loss, eval_classifier
 from repro.fpga import characterize_device
 from repro.fpga.bitexact import float_reference, mixed_gemm_bitexact
 from repro.models import resnet_tiny
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+from repro.quant import train_fp
 from repro.quant.msq import MixedSchemeQuantizer
 from repro.quant.ste import ActivationQuantizer
 
@@ -39,11 +40,11 @@ def main() -> None:
     fp_acc = eval_classifier(model, data.x_test, data.y_test)
 
     ratio = char.partition_ratio
-    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                       ratio=f"{ratio.sp2:g}:{ratio.fixed:g}", epochs=5,
-                       lr=4e-3)
-    result = quantize_model(model, data.make_batches_fn(64),
-                            classification_loss, config)
+    config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                            ratio=f"{ratio.sp2:g}:{ratio.fixed:g}", epochs=5,
+                            lr=4e-3)
+    result = Pipeline(config, model=model).fit(data.make_batches_fn(64),
+                                               classification_loss)
     msq_acc = eval_classifier(model, data.x_test, data.y_test)
     print(f"[2] top-1: FP {fp_acc:.2%} -> MSQ 4/4-bit {msq_acc:.2%} "
           f"(delta {100 * (msq_acc - fp_acc):+.2f} points)")

@@ -1,18 +1,17 @@
-"""Serving: export a quantized model and serve batched requests.
+"""Serving through the front door: one pipeline from config to requests.
 
 Walks the deployment path the paper's hardware sections imply but never
-spell out:
+spell out, entirely through :mod:`repro.api`:
 
-1. quantize a ResNet with MSQ at the FPGA-characterized ratio (here the
-   fast post-training path; ADMM training from examples/quickstart.py
-   plugs in identically);
-2. export it into a frozen artifact — packed integer weight words, row
-   partitions, per-row scales, frozen activation ranges;
-3. load the artifact into an execution plan and verify the served logits
-   are bit-identical to the eager quantized model;
-4. drive a micro-batching scheduler and compare per-request eager inference
-   against batched serving, with the accelerator cycle model's simulated
-   FPGA latency reported alongside wall-clock.
+1. configure: one :class:`PipelineConfig` (MSQ at the FPGA-characterized
+   SP2:fixed ratio) drives every stage;
+2. quantize: ``calibrate()`` for the fast post-training path (``fit()``
+   from examples/quickstart.py plugs in identically);
+3. deploy: ``deploy()`` freezes a packed-weight artifact — bit-exactness
+   verified at export — and wraps plan + engine + scheduler;
+4. serve: compare per-request eager inference against micro-batched
+   serving, with the accelerator cycle model's simulated FPGA latency
+   reported alongside wall-clock.
 
 Run:  python examples/serving.py
 """
@@ -23,57 +22,51 @@ import time
 
 import numpy as np
 
+from repro.api import Pipeline, PipelineConfig
 from repro.models import resnet_tiny
-from repro.serve import (
-    BatchScheduler,
-    ExecutionPlan,
-    InferenceEngine,
-    export_model,
-    post_training_quantize,
-)
-from repro.serve.export import eager_forward
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
     model = resnet_tiny(num_classes=10, rng=np.random.default_rng(7))
 
-    # 1. Quantize: MSQ weights at the paper's XC7Z045 ratio (SP2:fixed 2:1),
-    #    activation ranges calibrated on a few batches.
-    calibration = [rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
-                   for _ in range(4)]
-    results = post_training_quantize(model, calibration, ratio="2:1")
-    print(f"[1] quantized {len(results)} layers with MSQ (SP2:fixed = 2:1)")
+    # 1+2. Configure and quantize: MSQ weights at the paper's XC7Z045 ratio
+    #      (SP2:fixed 2:1), activation ranges calibrated on a few batches.
+    config = PipelineConfig(scheme="msq", ratio="2:1", weight_bits=4,
+                            act_bits=4, batch=16)
+    pipeline = Pipeline(config, model=model)
+    quantized = pipeline.calibrate(
+        [rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+         for _ in range(4)])
+    print(f"[1] {config.describe()}")
+    print(f"[2] quantized {len(quantized.layer_results)} layers "
+          f"(SP2 row share {quantized.sp2_row_fraction():.2f})")
 
-    # 2. Export to a frozen artifact (bit-exactness verified inside).
-    sample = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+    # 3. Deploy to a frozen artifact (bit-exactness verified inside).
     path = os.path.join(tempfile.gettempdir(), "resnet_tiny.npz")
-    artifact = export_model(model, sample, layer_results=results,
-                            name="resnet_tiny", path=path)
-    print(f"[2] exported -> {path} ({artifact.stored_bytes()} bytes, "
+    deployment = pipeline.deploy(path=path, name="resnet_tiny")
+    artifact = deployment.artifact
+    print(f"[3] deployed -> {path} ({artifact.stored_bytes()} bytes, "
           f"{artifact.packed_weight_bytes()} packed, {artifact.num_ops} ops)")
 
-    # 3. Load and re-verify the round trip explicitly.
-    plan = ExecutionPlan.load(path)
-    assert np.array_equal(plan.forward(sample), eager_forward(model, sample))
-    print("[3] served logits are bit-identical to the eager quantized model")
+    # Re-verify the round trip explicitly: served == eager, bit for bit.
+    sample = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+    assert np.array_equal(deployment.predict(sample),
+                          quantized.predict(sample))
+    print("[4] served logits are bit-identical to the eager quantized model")
 
-    # 4. Serve 64 requests: eager one-by-one vs micro-batched plan.
+    # 4. Serve 64 requests: eager one-by-one vs micro-batched deployment.
     requests = [rng.normal(size=(3, 16, 16)).astype(np.float32)
                 for _ in range(64)]
     started = time.perf_counter()
     for request in requests:
-        eager_forward(model, request[None])
+        quantized.predict(request[None])
     eager_seconds = time.perf_counter() - started
 
-    engine = InferenceEngine(plan)
-    scheduler = BatchScheduler(engine, max_batch=16)
-    for request in requests:
-        scheduler.submit(request)
-    stats = scheduler.run()
+    stats = deployment.serve(requests)
     eager_rps = len(requests) / eager_seconds
     speedup = stats.requests_per_second / eager_rps
-    print(f"[4] eager loop: {eager_rps:.0f} req/s | "
+    print(f"[5] eager loop: {eager_rps:.0f} req/s | "
           f"batched serving: {stats.requests_per_second:.0f} req/s "
           f"({speedup:.1f}x)")
     print("    " + stats.format().replace("\n", "\n    "))

@@ -1,0 +1,9 @@
+"""``python -m repro`` dispatches to the unified CLI, :mod:`repro.api.cli`
+(``quantize | export | serve | experiment | registry``)."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

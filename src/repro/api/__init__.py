@@ -1,0 +1,77 @@
+"""The public front door: one config-driven pipeline from quantization
+choice to deployed model.
+
+::
+
+    from repro.api import Pipeline, PipelineConfig
+
+    config = PipelineConfig(scheme="msq", ratio="2:1", weight_bits=4)
+    pipeline = Pipeline(config, model=model)
+    pipeline.fit(make_batches, loss_fn)        # ADMM QAT (Alg. 1/2)
+    # or:  pipeline.calibrate(batches)         # training-free PTQ
+    deployment = pipeline.deploy(batch=16)     # packed artifact + engine
+    logits = deployment.predict(x)             # bit-identical to eager
+
+Scheme and method pluggability comes from :mod:`repro.api.registry`:
+``@register_scheme`` / ``@register_method`` entries (populated by
+:mod:`repro.quant`) are enumerable via :func:`list_schemes` /
+:func:`list_methods` and reachable via ``PipelineConfig(scheme=...,
+method=...)`` — every Tables III-VI baseline included.
+
+``python -m repro`` exposes the same surface on the command line
+(``quantize | export | serve | experiment | registry``).
+
+Registry functions import eagerly (they are dependency leaves); the
+pipeline classes load lazily on first attribute access so that
+``repro.quant`` modules can import the registry at import time without a
+cycle.
+"""
+
+from repro.api.registry import (
+    MethodEntry,
+    SchemeEntry,
+    get_method,
+    get_scheme,
+    list_methods,
+    list_schemes,
+    register_method,
+    register_paper_projection,
+    register_scheme,
+    register_scheme_factory,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineConfig",
+    "QuantizedModel",
+    "Deployment",
+    "SchemeEntry",
+    "MethodEntry",
+    "get_scheme",
+    "get_method",
+    "list_schemes",
+    "list_methods",
+    "register_scheme",
+    "register_scheme_factory",
+    "register_paper_projection",
+    "register_method",
+]
+
+_LAZY = {
+    "PipelineConfig": "repro.api.config",
+    "Pipeline": "repro.api.pipeline",
+    "QuantizedModel": "repro.api.pipeline",
+    "Deployment": "repro.api.pipeline",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

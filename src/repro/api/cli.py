@@ -1,0 +1,147 @@
+"""The top-level command line: ``python -m repro <command>``.
+
+One dispatcher over the previously separate argparse front ends, so they
+stop drifting apart:
+
+- ``quantize`` — the :mod:`repro.api` pipeline on the model zoo: configure
+  -> calibrate (PTQ) -> deploy, writing a verified serving artifact;
+- ``export``  — alias of ``quantize`` (the historical spelling; same flags);
+- ``serve``   — forwarded to ``python -m repro.serve`` (``export | info |
+  run``);
+- ``experiment`` — forwarded to ``python -m repro.experiments.runner``
+  (paper tables/figures);
+- ``registry`` — list the registered schemes and methods.
+
+Forwarded commands delegate to the owning module's ``main(argv)``, and the
+quantize/export flow itself lives once in :func:`run_quantize` — the
+``python -m repro.serve export`` subcommand calls it too — so flags and
+behavior stay defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_USAGE = """\
+usage: python -m repro <command> [args...]
+
+commands:
+  quantize    configure -> calibrate -> deploy a zoo model via repro.api
+  export      alias of 'quantize' (the historical spelling)
+  serve       serving artifacts: export | info | run
+  experiment  regenerate a paper table/figure (runner CLI)
+  registry    list registered quantization schemes and methods
+
+'python -m repro <command> --help' shows each command's flags.
+"""
+
+
+def run_quantize(model_name: str, out, scheme: str = "msq", bits: int = 4,
+                 act_bits: int = 4, ratio: str = "2:1",
+                 calibration_batches: int = 2, batch: int = 16,
+                 seed: int = 0) -> int:
+    """The one quantize-and-export flow behind every CLI spelling
+    (``python -m repro quantize|export`` and ``python -m repro.serve
+    export``): build a zoo model, PTQ-calibrate it through the pipeline,
+    deploy to a verified artifact and report the priced result."""
+    from repro.api import Pipeline, PipelineConfig
+    from repro.serve.cli import build_model
+
+    model, sample = build_model(model_name, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    config = PipelineConfig(scheme=scheme, weight_bits=bits,
+                            act_bits=act_bits, ratio=ratio, batch=batch)
+    pipeline = Pipeline(config, model=model)
+    pipeline.calibrate([sample(rng, 8) for _ in range(calibration_batches)])
+    deployment = pipeline.deploy(name=model_name, path=out)
+    print(config.describe())
+    print(f"quantized + deployed {model_name} -> {out}")
+    print(deployment.artifact.summary())
+    performance = deployment.simulate(batch=1)
+    print(f"FPGA ({config.design}): {performance.latency_ms:.3f} ms/request, "
+          f"{performance.throughput_gops:.1f} GOPS")
+    return 0
+
+
+def _cmd_quantize(argv: List[str], prog: str = "quantize") -> int:
+    from repro.api import list_schemes
+    from repro.serve.cli import MODEL_ZOO
+
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {prog}",
+        description="PTQ a zoo model through the repro.api pipeline and "
+                    "write a verified serving artifact.")
+    parser.add_argument("--model", default="resnet_tiny",
+                        choices=sorted(MODEL_ZOO))
+    parser.add_argument("--out", required=True, help="output .npz path")
+    parser.add_argument("--scheme", default="msq",
+                        choices=sorted(list_schemes()))
+    parser.add_argument("--bits", type=int, default=4)
+    parser.add_argument("--act-bits", type=int, default=4)
+    parser.add_argument("--ratio", default="2:1",
+                        help="SP2:fixed row ratio (FPGA characterization)")
+    parser.add_argument("--calibration-batches", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=16,
+                        help="deployment micro-batch size")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    return run_quantize(args.model, args.out, scheme=args.scheme,
+                        bits=args.bits, act_bits=args.act_bits,
+                        ratio=args.ratio,
+                        calibration_batches=args.calibration_batches,
+                        batch=args.batch, seed=args.seed)
+
+
+def _cmd_registry(argv: List[str]) -> int:
+    from repro.api import list_methods, list_schemes
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro registry",
+        description="List the registered schemes and methods.")
+    parser.parse_args(argv)
+    print("schemes:")
+    for name, description in list_schemes().items():
+        print(f"  {name:10s} {description}")
+    print("methods:")
+    for name, display in list_methods().items():
+        print(f"  {name:10s} {display}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0
+    command, rest = argv[0], argv[1:]
+    try:
+        if command == "quantize":
+            return _cmd_quantize(rest)
+        if command == "export":
+            return _cmd_quantize(rest, prog="export")
+        if command == "registry":
+            return _cmd_registry(rest)
+        if command == "serve":
+            from repro.serve.cli import main as serve_main
+
+            return serve_main(rest)
+        if command == "experiment":
+            from repro.experiments.runner import main as runner_main
+
+            return runner_main(rest)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"error: unknown command {command!r}\n\n{_USAGE}",
+          end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""The one configuration object of the unified pipeline.
+
+A frozen :class:`PipelineConfig` describes a complete quantization run —
+scheme, bit-widths, SP2:fixed partition ratio, training budget and target
+device — and is consumed uniformly by every stage: ADMM QAT
+(:meth:`~repro.api.pipeline.Pipeline.fit`), post-training calibration
+(:meth:`~repro.api.pipeline.Pipeline.calibrate`), baseline-method training
+(``method=...``) and deployment
+(:meth:`~repro.api.pipeline.Pipeline.deploy`). Validation happens at
+construction time, against the live scheme/method registries, so a typo'd
+scheme or ratio fails before any training starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional, Tuple, Union
+
+from repro.api.registry import get_method, get_scheme
+from repro.errors import ConfigurationError
+from repro.quant.formatting import format_signature
+from repro.quant.partition import PartitionRatio
+from repro.quant.trainer import QATConfig
+
+# The paper's own pipeline (ADMM+STE, Alg. 1/2) — the default "method".
+ADMM = "admm"
+
+_LR_SCHEDULES = ("cosine", "step", "none")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Everything one configure -> quantize -> deploy run needs.
+
+    Parameters
+    ----------
+    scheme:
+        Weight number system, resolved through the scheme registry
+        (``"msq"``/``"sp2"``/``"fixed"``/``"p2"``; a
+        :class:`~repro.quant.schemes.Scheme` enum member also works).
+    method:
+        ``None`` or ``"admm"`` runs the paper's ADMM+STE pipeline; any
+        registered method name (``"lsq"``, ``"pact"``, ``"lq-nets"``, ...)
+        trains that published baseline instead — same config object, same
+        ``fit()`` call (Tables III-VI discipline).
+    ratio:
+        SP2:fixed row ratio from FPGA characterization — an ``"a:b"``
+        string (SP2 first), a float SP2 fraction, or a
+        :class:`~repro.quant.partition.PartitionRatio`. The default 2:1 is
+        the paper's XC7Z045 optimum. Only MSQ consumes it.
+    design:
+        Accelerator design point used to price deployments
+        (:func:`repro.fpga.resources.reference_designs` key). D2-3 is the
+        paper's best published point.
+    batch:
+        Default micro-batch size of deployments built from this config.
+    """
+
+    scheme: str = "msq"
+    method: Optional[str] = None
+    weight_bits: int = 4
+    act_bits: int = 4
+    ratio: Union[str, float, PartitionRatio] = "2:1"
+    alpha: Union[str, float] = "fit"
+    # Training budget (fit) / calibration (calibrate)
+    epochs: int = 8
+    lr: float = 8e-3
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    lr_schedule: str = "cosine"
+    lr_step_size: int = 3
+    rho: float = 1e-2
+    quantize_activations: bool = True
+    act_skip_first: bool = True
+    skip_modules: Tuple[str, ...] = ()
+    act_skip_modules: Tuple[str, ...] = ()
+    # A {name-substring: bits} mapping; stored as sorted (name, bits) pairs
+    # so the frozen config stays hashable.
+    layer_bits: Optional[Mapping[str, int]] = None
+    # Deployment target
+    design: str = "D2-3"
+    batch: int = 16
+
+    def __post_init__(self):
+        # Normalize enum / case / tuple-ish inputs so equality and hashing
+        # behave ("MSQ", Scheme.MSQ and "msq" are the same config).
+        object.__setattr__(self, "scheme", get_scheme(self.scheme).name)
+        object.__setattr__(self, "skip_modules", tuple(self.skip_modules))
+        object.__setattr__(self, "act_skip_modules",
+                           tuple(self.act_skip_modules))
+        if self.layer_bits is not None:
+            object.__setattr__(self, "layer_bits",
+                               tuple(sorted(dict(self.layer_bits).items())))
+        if self.method is not None and self.method != ADMM:
+            object.__setattr__(self, "method", get_method(self.method).name)
+        for label, bits in (("weight_bits", self.weight_bits),
+                            ("act_bits", self.act_bits)):
+            if not isinstance(bits, int) or bits < 2:
+                raise ConfigurationError(
+                    f"{label} must be an int >= 2, got {bits!r}")
+        PartitionRatio.coerce(self.ratio)            # raises on malformed
+        if self.lr_schedule not in _LR_SCHEDULES:
+            raise ConfigurationError(
+                f"unknown lr_schedule {self.lr_schedule!r}; "
+                f"use one of {_LR_SCHEDULES}")
+        if self.epochs < 0:
+            raise ConfigurationError(f"epochs must be >= 0, got {self.epochs}")
+        if self.batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
+
+    # ------------------------------------------------------------------
+    @property
+    def uses_admm(self) -> bool:
+        """True when ``fit()`` runs the paper's ADMM pipeline (no method)."""
+        return self.method is None or self.method == ADMM
+
+    @property
+    def partition_ratio(self) -> PartitionRatio:
+        return PartitionRatio.coerce(self.ratio)
+
+    def replace(self, **changes) -> "PipelineConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+    def to_qat_config(self) -> QATConfig:
+        """The ADMM trainer's config view of this pipeline config."""
+        return QATConfig(
+            scheme=self.scheme, weight_bits=self.weight_bits,
+            act_bits=self.act_bits, ratio=self.ratio, alpha=self.alpha,
+            epochs=self.epochs, lr=self.lr, momentum=self.momentum,
+            weight_decay=self.weight_decay, lr_schedule=self.lr_schedule,
+            lr_step_size=self.lr_step_size, rho=self.rho,
+            quantize_activations=self.quantize_activations,
+            act_skip_first=self.act_skip_first,
+            skip_modules=self.skip_modules,
+            act_skip_modules=self.act_skip_modules,
+            layer_bits=dict(self.layer_bits) if self.layer_bits is not None
+            else None)
+
+    def describe(self) -> str:
+        """One-line label through the shared formatting helper."""
+        return format_signature(
+            "PipelineConfig", scheme=self.scheme,
+            method=self.method if not self.uses_admm else ADMM,
+            bits=f"{self.weight_bits}/{self.act_bits}",
+            ratio=self.partition_ratio.describe() if self.scheme == "msq"
+            else None,
+            design=self.design)

@@ -1,0 +1,331 @@
+"""The unified configure -> quantize -> deploy pipeline.
+
+One front door over what used to be four disjoint entry points::
+
+    from repro.api import Pipeline, PipelineConfig
+
+    pipeline = Pipeline(PipelineConfig(scheme="msq", ratio="2:1"))
+    quantized = pipeline.fit(make_batches, loss_fn, model=model)   # ADMM QAT
+    # ... or, training-free:  pipeline.calibrate(batches, model=model)
+    deployment = pipeline.deploy(batch=16)
+    logits = deployment.predict(x)          # bit-identical to eager
+
+Stages and their return handles:
+
+- :meth:`Pipeline.fit` — quantization-aware training: the paper's ADMM+STE
+  recipe (``method=None``) or any registered baseline method
+  (``method="lsq"``, ...). Returns a :class:`QuantizedModel`.
+- :meth:`Pipeline.calibrate` — post-training quantization: activation-range
+  calibration plus a one-shot projection onto the configured scheme.
+  Returns a :class:`QuantizedModel`.
+- :meth:`Pipeline.deploy` / :meth:`QuantizedModel.deploy` — freeze into a
+  packed-weight artifact (bit-exactness verified at export), load it into
+  an execution plan, and wrap engine + scheduler in a :class:`Deployment`
+  whose ``predict`` replaces the old export_model/ExecutionPlan/
+  InferenceEngine dance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.api.config import PipelineConfig
+from repro.api.registry import get_method
+from repro.errors import ConfigurationError
+from repro.fpga.resources import GemmDesign, reference_designs
+from repro.nn.module import Module
+from repro.quant.baselines.common import train_baseline
+from repro.quant.partition import sp2_row_fraction_of
+from repro.quant.ste import ActivationQuantizer
+from repro.quant.trainer import run_qat
+from repro.serve.engine import InferenceEngine
+from repro.serve.export import build_artifact, eager_forward
+from repro.serve.plan import ExecutionPlan
+from repro.serve.ptq import post_training_quantize
+from repro.serve.scheduler import BatchScheduler, ServeStats
+
+
+def _batch_input(batch) -> Optional[np.ndarray]:
+    """Best-effort model input of one training batch (for deploy samples).
+
+    Every task in the repo yields either a bare input array or an
+    ``(inputs, targets, ...)`` tuple; anything else returns ``None`` and
+    deploy() will ask for an explicit ``sample_input=``.
+    """
+    if isinstance(batch, np.ndarray):
+        return batch
+    if isinstance(batch, (tuple, list)) and batch \
+            and isinstance(batch[0], np.ndarray):
+        return batch[0]
+    return None
+
+
+def _resolve_design(config: PipelineConfig,
+                    design: Optional[GemmDesign]) -> GemmDesign:
+    if design is not None:
+        return design
+    designs = reference_designs()
+    if config.design not in designs:
+        raise ConfigurationError(
+            f"unknown design {config.design!r}; available: {sorted(designs)}")
+    return designs[config.design]
+
+
+# ----------------------------------------------------------------------
+# Handles
+# ----------------------------------------------------------------------
+@dataclass
+class QuantizedModel:
+    """A quantized model plus everything deployment needs.
+
+    Exposes the same fields as the old ``QATResult`` (``model``,
+    ``layer_results``, ``act_quantizers``, ``history``) so harnesses that
+    inspected training results keep working, and adds the deploy step.
+    """
+
+    model: Module
+    layer_results: Dict[str, object]
+    config: PipelineConfig
+    act_quantizers: Dict[str, object] = field(default_factory=dict)
+    history: List[Dict[str, float]] = field(default_factory=list)
+    sample_input: Optional[np.ndarray] = None
+
+    def predict(self, batch: np.ndarray) -> np.ndarray:
+        """Eager quantized inference on a ``(N, ...)`` batch."""
+        return eager_forward(self.model, np.asarray(batch))
+
+    def sp2_row_fraction(self) -> float:
+        """Achieved SP2 row share across MSQ layers (sanity vs. target)."""
+        return sp2_row_fraction_of(self.layer_results)
+
+    # ------------------------------------------------------------------
+    def export(self, sample_input: Optional[np.ndarray] = None,
+               name: str = "model", path=None, verify: bool = True):
+        """Freeze into a :class:`~repro.serve.artifact.ServeArtifact`."""
+        sample = self._sample(sample_input)
+        return build_artifact(self.model, sample,
+                              layer_results=self.layer_results,
+                              name=name, path=path, verify=verify)
+
+    def deploy(self, batch: Optional[int] = None,
+               sample_input: Optional[np.ndarray] = None,
+               design: Optional[GemmDesign] = None,
+               name: str = "model", path=None) -> "Deployment":
+        """Export, load and wrap this model into a :class:`Deployment`."""
+        artifact = self.export(sample_input, name=name, path=path)
+        return Deployment(artifact,
+                          batch=batch if batch is not None
+                          else self.config.batch,
+                          design=_resolve_design(self.config, design))
+
+    def _sample(self, sample_input) -> np.ndarray:
+        sample = sample_input if sample_input is not None else self.sample_input
+        if sample is None:
+            raise ConfigurationError(
+                "no sample input available; pass sample_input= (calibrate() "
+                "remembers its first calibration batch automatically)")
+        return np.asarray(sample)
+
+
+class Deployment:
+    """A deployed model: artifact + execution plan + engine + scheduler.
+
+    ``deployment.predict(x)`` serves a single request or an ``(N, ...)``
+    batch (split into micro-batches of at most ``batch``); results are
+    bit-identical to the eager quantized model — the artifact export
+    verified that. ``serve()`` drains payloads through the micro-batching
+    scheduler for full latency/throughput accounting.
+    """
+
+    def __init__(self, artifact, batch: int = 16,
+                 design: Optional[GemmDesign] = None):
+        if int(batch) < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.artifact = artifact
+        self.plan = ExecutionPlan(artifact)
+        self.engine = InferenceEngine(self.plan, design=design)
+        self.batch = int(batch)
+
+    @classmethod
+    def load(cls, path, batch: int = 16,
+             design: Optional[GemmDesign] = None) -> "Deployment":
+        """Reload a saved artifact into a servable deployment."""
+        from repro.serve.artifact import ServeArtifact
+
+        return cls(ServeArtifact.load(path), batch=batch, design=design)
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Serve one request (per-request shape) or an ``(N, ...)`` batch."""
+        x = np.asarray(x)
+        if tuple(x.shape) == self.plan.input_shape:
+            return self.engine.infer(x[None])[0]
+        chunks = [self.engine.infer(x[start:start + self.batch])
+                  for start in range(0, x.shape[0], self.batch)]
+        return np.concatenate(chunks, axis=0)
+
+    def serve(self, payloads: Iterable[np.ndarray]) -> ServeStats:
+        """Drain single-request payloads through the batch scheduler."""
+        scheduler = self.scheduler()
+        for payload in payloads:
+            scheduler.submit(payload)
+        return scheduler.run()
+
+    def scheduler(self, **kwargs) -> BatchScheduler:
+        """A fresh micro-batching scheduler over this deployment's engine."""
+        kwargs.setdefault("max_batch", self.batch)
+        return BatchScheduler(self.engine, **kwargs)
+
+    # ------------------------------------------------------------------
+    def simulate(self, batch: Optional[int] = None, **sim_kwargs):
+        """Price one plan pass on the configured accelerator design."""
+        return self.plan.simulate(self.engine.design,
+                                  batch=batch if batch is not None
+                                  else self.batch, **sim_kwargs)
+
+    def save(self, path) -> None:
+        self.artifact.save(path)
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    def describe(self) -> str:
+        return self.plan.describe()
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+class Pipeline:
+    """Run one :class:`PipelineConfig` end to end.
+
+    The pipeline object carries the config, an optional default model, and
+    the latest :class:`QuantizedModel` (``.result``), so the common path is
+    three chained calls: construct, ``fit``/``calibrate``, ``deploy``.
+    """
+
+    def __init__(self, config: Optional[PipelineConfig] = None,
+                 model: Optional[Module] = None, **overrides):
+        if config is None:
+            config = PipelineConfig(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self.model = model
+        self.result: Optional[QuantizedModel] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, make_batches: Callable[[int], Iterable],
+            loss_fn: Callable, model: Optional[Module] = None,
+            eval_fn: Optional[Callable[[Module], float]] = None,
+            sample_input: Optional[np.ndarray] = None) -> QuantizedModel:
+        """Quantization-aware training.
+
+        ``method=None`` runs the paper's ADMM+STE recipe (Alg. 1/2);
+        a registered method name trains that baseline under the shared STE
+        loop — identical call either way, which is what lets the
+        Tables III-VI harnesses sweep methods with one config change.
+
+        Like ``calibrate()``, the first training batch's input is remembered
+        as the deploy-time sample unless ``sample_input=`` overrides it.
+        """
+        model = self._model(model)
+        captured: Dict[str, np.ndarray] = {}
+
+        def capturing_make_batches(epoch):
+            for batch in make_batches(epoch):
+                if "sample" not in captured:
+                    sample = _batch_input(batch)
+                    if sample is not None:
+                        captured["sample"] = sample
+                yield batch
+
+        if self.config.uses_admm:
+            qat = run_qat(model, capturing_make_batches, loss_fn,
+                          self.config.to_qat_config(), eval_fn)
+            layer_results = qat.layer_results
+            act_quantizers, history = qat.act_quantizers, qat.history
+        else:
+            method = get_method(self.config.method).make(
+                weight_bits=self.config.weight_bits,
+                act_bits=self.config.act_bits)
+            history = train_baseline(
+                model, capturing_make_batches, loss_fn, method,
+                epochs=self.config.epochs, lr=self.config.lr,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay, eval_fn=eval_fn)
+            # Baseline projections are not FPGA-encodable level sets; the
+            # already-projected weights export as raw float32.
+            layer_results, act_quantizers = {}, {}
+        if sample_input is None:
+            sample_input = captured.get("sample")
+        self.result = QuantizedModel(
+            model=model, layer_results=layer_results, config=self.config,
+            act_quantizers=act_quantizers, history=history,
+            sample_input=np.asarray(sample_input)
+            if sample_input is not None else None)
+        return self.result
+
+    def calibrate(self, batches: Iterable, model: Optional[Module] = None
+                  ) -> QuantizedModel:
+        """Post-training quantization (no training, milliseconds).
+
+        ``batches`` yields ``(N, ...)`` model inputs; they calibrate the
+        activation clipping ranges, then every quantizable weight is
+        projected onto the configured scheme in one shot. The first batch
+        is remembered as the deploy-time sample input.
+        """
+        if not self.config.uses_admm:
+            raise ConfigurationError(
+                f"method {self.config.method!r} requires training; "
+                "use fit() (calibrate() is the training-free PTQ path)")
+        model = self._model(model)
+        batches = list(batches)
+        if not batches:
+            raise ConfigurationError("calibrate() needs >= 1 batch")
+        layer_results = post_training_quantize(
+            model, batches,
+            weight_bits=self.config.weight_bits,
+            act_bits=self.config.act_bits,
+            ratio=self.config.ratio,
+            skip_first=self.config.act_skip_first,
+            scheme=self.config.scheme,
+            alpha=self.config.alpha,
+            quantize_activations=self.config.quantize_activations,
+            skip_modules=self.config.skip_modules,
+            act_skip_modules=self.config.act_skip_modules,
+            layer_bits=dict(self.config.layer_bits)
+            if self.config.layer_bits is not None else None)
+        self.result = QuantizedModel(
+            model=model, layer_results=layer_results, config=self.config,
+            act_quantizers={
+                name: module.act_quant
+                for name, module in model.named_modules()
+                if isinstance(getattr(module, "act_quant", None),
+                              ActivationQuantizer)},
+            sample_input=np.asarray(batches[0]))
+        return self.result
+
+    def deploy(self, batch: Optional[int] = None,
+               sample_input: Optional[np.ndarray] = None,
+               design: Optional[GemmDesign] = None,
+               name: str = "model", path=None) -> Deployment:
+        """Deploy the latest ``fit()``/``calibrate()`` result."""
+        if self.result is None:
+            raise ConfigurationError(
+                "nothing to deploy; run fit() or calibrate() first")
+        return self.result.deploy(batch=batch, sample_input=sample_input,
+                                  design=design, name=name, path=path)
+
+    # ------------------------------------------------------------------
+    def _model(self, model: Optional[Module]) -> Module:
+        model = model if model is not None else self.model
+        if model is None:
+            raise ConfigurationError(
+                "no model; pass model= here or to Pipeline(...)")
+        self.model = model
+        return model

@@ -27,12 +27,10 @@ from repro.fpga.report import format_table
 from repro.fpga.resources import GemmDesign, reference_designs
 from repro.fpga.workloads import WORKLOADS
 from repro.models import resnet_tiny
+from repro.api import Pipeline, PipelineConfig
 from repro.quant import (
     MixedSchemeQuantizer,
-    QATConfig,
-    Scheme,
     WeightSTEQuantizer,
-    quantize_model,
     train_fp,
 )
 from repro.quant.admm import QUANTIZABLE_TYPES
@@ -68,14 +66,14 @@ class _CriterionMSQ(MixedSchemeQuantizer):
 
 
 def _train_and_eval(data, scale, projection_factory=None,
-                    config: QATConfig = None) -> float:
+                    config: PipelineConfig = None) -> float:
     rng = np.random.default_rng(7)
     model = resnet_tiny(num_classes=data.num_classes, rng=rng)
     train_fp(model, data.make_batches_fn(scale.batch_size),
              classification_loss, epochs=scale.fp_epochs, lr=8e-3)
     if config is not None:
-        quantize_model(model, data.make_batches_fn(scale.batch_size),
-                       classification_loss, config)
+        Pipeline(config, model=model).fit(
+            data.make_batches_fn(scale.batch_size), classification_loss)
     elif projection_factory is not None:
         from repro.quant.admm import ADMMQuantizer
         from repro.nn import SGD
@@ -114,9 +112,9 @@ def run_ratio_sweep(scale: str = "ci",
     workload = WORKLOADS["resnet18"]()
     sweep: List[Dict] = []
     for fraction in fractions:
-        config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                           ratio=float(fraction), epochs=scale.qat_epochs,
-                           lr=4e-3)
+        config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                                ratio=float(fraction),
+                                epochs=scale.qat_epochs, lr=4e-3)
         accuracy = _train_and_eval(data, scale, config=config)
         perf = simulate_network(workload, base, sp2_fraction=fraction)
         sweep.append({"sp2_fraction": fraction, "top1": accuracy,
@@ -129,8 +127,8 @@ def run_admm_vs_ste(scale: str = "ci", ratio: str = "2:1") -> Dict:
     data = cifar10_like(scale.n_train, scale.n_test, scale.image_size)
 
     qat_epochs = max(scale.qat_epochs, 8)
-    admm_config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                            ratio=ratio, epochs=qat_epochs, lr=6e-3)
+    admm_config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                                 ratio=ratio, epochs=qat_epochs, lr=6e-3)
     admm_acc = _train_and_eval(data, scale, config=admm_config)
 
     # Pure STE: install MSQ fake-quant hooks and fine-tune; hard-project at

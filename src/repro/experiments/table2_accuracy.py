@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.api import Pipeline, PipelineConfig
 from repro.data import cifar10_like, cifar100_like, imagenet_like
 from repro.experiments.common import (
     Scale,
@@ -22,14 +23,14 @@ from repro.experiments.common import (
 )
 from repro.fpga.report import format_table
 from repro.models import mobilenet_v2_tiny, resnet18_cifar, resnet_tiny
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+from repro.quant import train_fp
 
 SCHEME_VARIANTS = (
-    ("P2", Scheme.P2, None),
-    ("Fixed", Scheme.FIXED, None),
-    ("SP2", Scheme.SP2, None),
-    ("MSQ (half/half)", Scheme.MSQ, "1:1"),
-    ("MSQ (optimal)", Scheme.MSQ, "opt"),
+    ("P2", "p2", None),
+    ("Fixed", "fixed", None),
+    ("SP2", "sp2", None),
+    ("MSQ (half/half)", "msq", "1:1"),
+    ("MSQ (optimal)", "msq", "opt"),
 )
 
 
@@ -84,13 +85,14 @@ def run(scale: str = "ci", datasets: Optional[List[str]] = None,
             for label, scheme, ratio in SCHEME_VARIANTS:
                 model = make_model()
                 model.load_state_dict(state)
-                config = QATConfig(
+                config = PipelineConfig(
                     scheme=scheme, weight_bits=weight_bits, act_bits=act_bits,
                     ratio=(opt_ratio if ratio == "opt" else (ratio or "1:1")),
                     epochs=max(scale.qat_epochs, 8), lr=6e-3,
                     quantize_activations=quantize_acts)
-                quantize_model(model, data.make_batches_fn(scale.batch_size),
-                               classification_loss, config)
+                Pipeline(config, model=model).fit(
+                    data.make_batches_fn(scale.batch_size),
+                    classification_loss)
                 rows[label] = {
                     "top1": eval_classifier(model, data.x_test, data.y_test),
                     "top5": eval_classifier(model, data.x_test, data.y_test,

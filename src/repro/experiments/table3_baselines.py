@@ -12,6 +12,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.api import Pipeline, PipelineConfig, get_method
 from repro.data import imagenet_like
 from repro.experiments.common import (
     classification_loss,
@@ -21,8 +22,7 @@ from repro.experiments.common import (
 )
 from repro.fpga.report import format_table
 from repro.models import resnet_tiny, resnet18_cifar
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
-from repro.quant.baselines import get_baseline, train_baseline
+from repro.quant import train_fp
 
 DEFAULT_METHODS = ("dorefa", "pact", "dsq", "qil", "ul2q", "lq-nets")
 
@@ -68,20 +68,20 @@ def run(scale: str = "ci", methods: Optional[List[str]] = None,
         model.load_state_dict(state)
         # µL2Q is quoted at W4/A32 in the paper's table.
         act = 32 if method_name == "ul2q" else act_bits
-        method = get_baseline(method_name, weight_bits=weight_bits,
-                              act_bits=act)
-        train_baseline(model, data.make_batches_fn(scale.batch_size),
-                       classification_loss, method,
-                       epochs=qat_epochs, lr=4e-3)
-        rows[method.name] = eval_classifier(model, data.x_test, data.y_test)
+        config = PipelineConfig(method=method_name, weight_bits=weight_bits,
+                                act_bits=act, epochs=qat_epochs, lr=4e-3)
+        Pipeline(config, model=model).fit(
+            data.make_batches_fn(scale.batch_size), classification_loss)
+        rows[get_method(method_name).display] = eval_classifier(
+            model, data.x_test, data.y_test)
 
     msq_model = make_model()
     msq_model.load_state_dict(state)
-    config = QATConfig(scheme=Scheme.MSQ, weight_bits=weight_bits,
-                       act_bits=act_bits, ratio=optimal_ratio_string(),
-                       epochs=qat_epochs, lr=6e-3)
-    quantize_model(msq_model, data.make_batches_fn(scale.batch_size),
-                   classification_loss, config)
+    config = PipelineConfig(scheme="msq", weight_bits=weight_bits,
+                            act_bits=act_bits, ratio=optimal_ratio_string(),
+                            epochs=qat_epochs, lr=6e-3)
+    Pipeline(config, model=msq_model).fit(
+        data.make_batches_fn(scale.batch_size), classification_loss)
     rows["MSQ"] = eval_classifier(msq_model, data.x_test, data.y_test)
     return {"rows": rows, "dataset": data.name,
             "bits": f"{weight_bits}/{act_bits}"}

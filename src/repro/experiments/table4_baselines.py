@@ -4,6 +4,10 @@ The paper's point: 4-bit MobileNet-v2 is much harder than ResNet (even the
 best baselines drop several points) and MSQ degrades the least. The
 depthwise/linear-bottleneck structure that causes this is preserved in the
 scaled model.
+
+Delegates to :mod:`repro.experiments.table3_baselines`, so every method —
+baselines and MSQ alike — runs through the :mod:`repro.api` pipeline
+(``PipelineConfig(method=...)`` / ``Pipeline.fit``).
 """
 
 from __future__ import annotations

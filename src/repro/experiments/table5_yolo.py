@@ -12,12 +12,13 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api import Pipeline, PipelineConfig
 from repro.data import coco_like
 from repro.experiments.common import get_scale, optimal_ratio_string
 from repro.fpga.report import format_table
 from repro.metrics import mean_average_precision
 from repro.models import yolo_lite
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
+from repro.quant import train_fp
 from repro.tensor import Tensor
 
 COCO_THRESHOLDS = tuple(np.arange(0.5, 1.0, 0.05))
@@ -64,12 +65,13 @@ def run(scale: str = "ci", image_sizes: Optional[Sequence[int]] = None,
 
         # Weight-only 4-bit, matching the paper's "8x compression rate"
         # accounting (32-bit -> 4-bit weights).
-        config = QATConfig(scheme=Scheme.MSQ, weight_bits=weight_bits,
-                           act_bits=weight_bits, ratio=optimal_ratio_string(),
-                           epochs=max(scale.qat_epochs, 8), lr=2e-3,
-                           quantize_activations=False)
-        quantize_model(model, data.make_batches_fn(16), _detection_loss,
-                       config)
+        config = PipelineConfig(scheme="msq", weight_bits=weight_bits,
+                                act_bits=weight_bits,
+                                ratio=optimal_ratio_string(),
+                                epochs=max(scale.qat_epochs, 8), lr=2e-3,
+                                quantize_activations=False)
+        Pipeline(config, model=model).fit(data.make_batches_fn(16),
+                                          _detection_loss)
         msq_metrics = evaluate_map(model, data)
         results[image_size] = {"Baseline (FP)": fp_metrics,
                                "MSQ": msq_metrics}

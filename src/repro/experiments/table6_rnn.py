@@ -29,15 +29,15 @@ from repro.models import (
     LSTMLanguageModel,
     LSTMSentimentClassifier,
 )
-from repro.quant import QATConfig, Scheme, quantize_model, train_fp
-from repro.quant.baselines import get_baseline, train_baseline
+from repro.api import Pipeline, PipelineConfig
+from repro.quant import train_fp
 from repro.tensor import Tensor
 
 VARIANTS = (
-    ("Fixed", Scheme.FIXED, None),
-    ("SP2", Scheme.SP2, None),
-    ("MSQ (half/half)", Scheme.MSQ, "1:1"),
-    ("MSQ (optimal)", Scheme.MSQ, "opt"),
+    ("Fixed", "fixed", None),
+    ("SP2", "sp2", None),
+    ("MSQ (half/half)", "msq", "1:1"),
+    ("MSQ (optimal)", "msq", "opt"),
 )
 
 
@@ -52,19 +52,19 @@ def _run_task(make_model: Callable, make_batches, loss_fn, evaluate,
     for label, scheme, ratio in VARIANTS:
         model = make_model()
         model.load_state_dict(state)
-        config = QATConfig(scheme=scheme, weight_bits=4, act_bits=4,
-                           ratio=(opt_ratio if ratio == "opt"
-                                  else (ratio or "1:1")),
-                           epochs=scale.qat_epochs, lr=lr / 2,
-                           act_skip_first=False)
-        quantize_model(model, make_batches, loss_fn, config)
+        config = PipelineConfig(scheme=scheme, weight_bits=4, act_bits=4,
+                                ratio=(opt_ratio if ratio == "opt"
+                                       else (ratio or "1:1")),
+                                epochs=scale.qat_epochs, lr=lr / 2,
+                                act_skip_first=False)
+        Pipeline(config, model=model).fit(make_batches, loss_fn)
         rows[label] = evaluate(model)
     if include_eqm:
         model = make_model()
         model.load_state_dict(state)
-        method = get_baseline("eqm", weight_bits=4, act_bits=4)
-        train_baseline(model, make_batches, loss_fn, method,
-                       epochs=scale.qat_epochs, lr=lr / 2)
+        config = PipelineConfig(method="eqm", weight_bits=4, act_bits=4,
+                                epochs=scale.qat_epochs, lr=lr / 2)
+        Pipeline(config, model=model).fit(make_batches, loss_fn)
         rows["EQM"] = evaluate(model)
     return rows
 

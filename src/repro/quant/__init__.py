@@ -15,16 +15,19 @@ Module map against the paper's sections:
   :mod:`~repro.quant.trainer` — Alg. 1's ADMM+STE training loop;
 - :mod:`~repro.quant.baselines` — the published methods of Tables III-VI.
 
-Typical use::
+Typical use — through the unified front door::
 
-    from repro.quant import QATConfig, quantize_model, Scheme
+    from repro.api import Pipeline, PipelineConfig
 
-    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                       ratio="2:1")           # SP2:fixed from FPGA charact.
-    result = quantize_model(model, make_batches, loss_fn, config)
+    config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                            ratio="2:1")      # SP2:fixed from FPGA charact.
+    result = Pipeline(config, model=model).fit(make_batches, loss_fn)
+    result.deploy(batch=16).predict(x)
 
-The finished ``result.layer_results`` feed straight into
-:func:`repro.serve.export_model` for deployment.
+The schemes and quantizers here register themselves into
+:mod:`repro.api.registry`, which is how ``PipelineConfig(scheme=...)``
+resolves them. (The old ``quantize_model`` entry point survives as a
+deprecation shim around :func:`repro.quant.trainer.run_qat`.)
 """
 
 from repro.quant.schemes import (
@@ -88,6 +91,7 @@ from repro.quant.trainer import (
     QATConfig,
     QATResult,
     quantize_model,
+    run_qat,
     train_fp,
     install_activation_quantizers,
 )
@@ -147,6 +151,7 @@ __all__ = [
     "QATConfig",
     "QATResult",
     "quantize_model",
+    "run_qat",
     "train_fp",
     "install_activation_quantizers",
 ]

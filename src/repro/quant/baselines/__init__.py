@@ -7,8 +7,18 @@ update -> hard projection at the end) so the shared
 :func:`~repro.quant.baselines.common.train_baseline` loop runs them all under
 identical conditions — the same discipline the paper follows by starting all
 methods from the same pre-trained model.
+
+Each method registers itself in the :mod:`repro.api.registry` method
+registry via ``@register_method``; the public way to look one up is
+:func:`repro.api.get_method` (or ``PipelineConfig(method=...)`` which
+trains it through :meth:`repro.api.Pipeline.fit`). The old
+:func:`get_baseline` dict lookup survives as a deprecation shim.
 """
 
+import warnings
+
+from repro.api.registry import get_method, list_methods
+from repro.errors import ConfigurationError
 from repro.quant.baselines.common import BaselineMethod, train_baseline
 from repro.quant.baselines.dorefa import DoReFa
 from repro.quant.baselines.pact import PACT
@@ -19,30 +29,29 @@ from repro.quant.baselines.lqnets import LQNets
 from repro.quant.baselines.lsq import LSQ
 from repro.quant.baselines.eqm import EQM
 
-_REGISTRY = {
-    "dorefa": DoReFa,
-    "pact": PACT,
-    "dsq": DSQ,
-    "qil": QIL,
-    "ul2q": MuL2Q,
-    "lq-nets": LQNets,
-    "lqnets": LQNets,
-    "lsq": LSQ,
-    "eqm": EQM,
-}
-
 
 def get_baseline(name: str, **kwargs) -> BaselineMethod:
-    """Instantiate a baseline by its (case-insensitive) published name."""
-    key = name.lower().replace("µ", "u").replace("_", "-")
-    key = {"u-l2q": "ul2q", "mul2q": "ul2q"}.get(key, key)
-    if key not in _REGISTRY:
-        raise KeyError(f"unknown baseline {name!r}; have {sorted(set(_REGISTRY))}")
-    return _REGISTRY[key](**kwargs)
+    """Deprecated; use :func:`repro.api.get_method` instead.
+
+    Kept importable from its old home for one release; resolves through the
+    same registry, so the instance is identical to
+    ``get_method(name).make(**kwargs)``.
+    """
+    warnings.warn(
+        "repro.quant.baselines.get_baseline is deprecated; use "
+        "repro.api.get_method(name).make(**kwargs) or "
+        "PipelineConfig(method=name)",
+        DeprecationWarning, stacklevel=2)
+    try:
+        return get_method(name).make(**kwargs)
+    except ConfigurationError as error:
+        # Preserve the historical contract: unknown names raise KeyError.
+        raise KeyError(str(error)) from None
 
 
 def available_baselines() -> list:
-    return sorted({cls.__name__ for cls in _REGISTRY.values()})
+    """Class names of every registered method (one entry per class)."""
+    return sorted({get_method(key).cls.__name__ for key in list_methods()})
 
 
 __all__ = [

@@ -11,6 +11,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module
 from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
 from repro.quant.ste import WeightSTEQuantizer, fake_quant_ste
@@ -38,6 +39,7 @@ class _DoReFaAct:
         return fake_quant_ste(x, quantized, pass_through=clipped)
 
 
+@register_method("dorefa", description="DoReFa-Net (arXiv:1606.06160)")
 class DoReFa(BaselineMethod):
     name = "DoReFa"
 

@@ -13,6 +13,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module
 from repro.quant.baselines.common import BaselineMethod
 from repro.tensor import Tensor
@@ -66,6 +67,7 @@ class _DSQWeight:
         return Tensor(center) + soft.tanh() * (delta / (2.0 * scale))
 
 
+@register_method("dsq", description="Differentiable Soft Quantization (ICCV 2019)")
 class DSQ(BaselineMethod):
     name = "DSQ"
 

@@ -12,6 +12,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module
 from repro.quant.baselines.common import BaselineMethod
 from repro.quant.ste import WeightSTEQuantizer
@@ -35,6 +36,7 @@ def eqm_projection(w: np.ndarray, bits: int) -> np.ndarray:
     return centers[idx] + w.mean()
 
 
+@register_method("eqm", description="Effective Quantization Methods for RNNs (arXiv:1611.10176)")
 class EQM(BaselineMethod):
     name = "EQM"
 

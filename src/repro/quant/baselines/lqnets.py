@@ -14,6 +14,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module
 from repro.quant.baselines.common import BaselineMethod
 from repro.quant.quantizers import project_to_levels
@@ -64,6 +65,7 @@ def lqnets_project(w: np.ndarray, v: np.ndarray) -> np.ndarray:
                              levels).reshape(shape)
 
 
+@register_method("lq-nets", aliases=("lqnets",), description="LQ-Nets learned basis quantization (ECCV 2018)")
 class LQNets(BaselineMethod):
     name = "LQ-Nets"
 

@@ -14,6 +14,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module, Parameter
 from repro.quant.baselines.common import BaselineMethod
 from repro.tensor import Tensor
@@ -40,6 +41,7 @@ class _LSQWeight:
         return rounded * step
 
 
+@register_method("lsq", description="Learned Step Size Quantization (ICLR 2020)")
 class LSQ(BaselineMethod):
     name = "LSQ"
 

@@ -12,6 +12,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module, Parameter
 from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
 from repro.quant.baselines.dorefa import dorefa_weight_projection
@@ -37,6 +38,7 @@ class _PACTAct:
         return fake_quant_ste(x, quantized, pass_through=clipped)
 
 
+@register_method("pact", description="PACT clipped activations (arXiv:1805.06085)")
 class PACT(BaselineMethod):
     name = "PACT"
 

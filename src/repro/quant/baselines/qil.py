@@ -13,6 +13,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module, Parameter
 from repro.quant.baselines.common import BaselineMethod, uniform_quantize_unit
 from repro.quant.ste import fake_quant_ste
@@ -61,6 +62,7 @@ class _QILWeight:
         return fake_quant_ste(w, hard, pass_through=unit)
 
 
+@register_method("qil", description="Quantization Interval Learning (CVPR 2019)")
 class QIL(BaselineMethod):
     name = "QIL"
 

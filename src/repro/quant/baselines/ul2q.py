@@ -15,6 +15,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.nn.module import Module
 from repro.quant.baselines.common import BaselineMethod
 from repro.quant.ste import WeightSTEQuantizer
@@ -49,6 +50,7 @@ def ul2q_projection(w: np.ndarray, bits: int) -> np.ndarray:
     return mu + (k + 0.5) * step
 
 
+@register_method("ul2q", aliases=("u-l2q", "mul2q", "\u00b5l2q"), description="\u00b5L2Q loss-aware uniform quantization")
 class MuL2Q(BaselineMethod):
     name = "µL2Q"
 

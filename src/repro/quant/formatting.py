@@ -1,0 +1,44 @@
+"""One formatting helper for every human-readable quantization label.
+
+``SchemeSpec.describe()``, ``PartitionRatio.describe()`` and the quantizer
+``__repr__``s all build their strings here, so the CLI ``info`` output, the
+experiment tables and the logs always spell a configuration the same way
+(``SP2(m=4, m1=2, m2=1)``, ``SP2:fixed = 2:1``, ...). This module is a
+dependency leaf — formatting only, no quantization imports.
+"""
+
+from __future__ import annotations
+
+
+def format_value(value) -> str:
+    """Render one field value: floats as ``%g``, strings repr-quoted."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, str):
+        return repr(value)
+    return str(value)
+
+
+def format_signature(label: str, *args, **fields) -> str:
+    """``Label(positional, key=value, ...)``; ``None`` fields are omitted.
+
+    Positional arguments are rendered verbatim (they are usually already
+    formatted sub-descriptions); keyword fields go through
+    :func:`format_value`.
+    """
+    parts = [str(arg) for arg in args]
+    parts += [f"{key}={format_value(value)}" for key, value in fields.items()
+              if value is not None]
+    return f"{label}({', '.join(parts)})"
+
+
+def format_scheme_spec(scheme_name: str, bits: int, m1=None, m2=None) -> str:
+    """Canonical scheme label, e.g. ``FIXED(m=4)`` / ``SP2(m=4, m1=2, m2=1)``."""
+    return format_signature(scheme_name.upper(), m=bits, m1=m1, m2=m2)
+
+
+def format_ratio(sp2: float, fixed: float) -> str:
+    """Canonical SP2:fixed partition-ratio label, e.g. ``SP2:fixed = 2:1``."""
+    return f"SP2:fixed = {sp2:g}:{fixed:g}"

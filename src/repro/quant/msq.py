@@ -16,8 +16,10 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.api.registry import register_scheme, register_scheme_factory
 from repro.errors import ConfigurationError
 from repro.quant.encoding import encode_fixed, encode_sp2, SP2Code
+from repro.quant.formatting import format_signature
 from repro.quant.partition import (
     PartitionRatio,
     RowPartition,
@@ -88,25 +90,11 @@ class MixedSchemeQuantizer:
                 f"alpha_granularity must be 'row' or 'layer', got {alpha_granularity!r}"
             )
         self.bits = bits
-        self.ratio = self._coerce_ratio(ratio)
+        self.ratio = PartitionRatio.coerce(ratio)
         self.alpha = alpha
         self.alpha_granularity = alpha_granularity
         self._fixed = SchemeQuantizer(Scheme.FIXED, bits, alpha=alpha)
         self._sp2 = SchemeQuantizer(Scheme.SP2, bits, alpha=alpha, m1=m1, m2=m2)
-
-    @staticmethod
-    def _coerce_ratio(ratio) -> PartitionRatio:
-        if isinstance(ratio, PartitionRatio):
-            return ratio
-        if isinstance(ratio, str):
-            return PartitionRatio.from_string(ratio)
-        if isinstance(ratio, (int, float)):
-            if not 0.0 <= ratio <= 1.0:
-                raise ConfigurationError(
-                    f"SP2 fraction must be in [0, 1], got {ratio}"
-                )
-            return PartitionRatio(sp2=float(ratio), fixed=float(1.0 - ratio))
-        raise ConfigurationError(f"cannot interpret ratio {ratio!r}")
 
     @property
     def sp2_fraction(self) -> float:
@@ -165,6 +153,31 @@ class MixedSchemeQuantizer:
         return self.quantize(weight).values
 
     def __repr__(self) -> str:
-        return (f"MixedSchemeQuantizer(bits={self.bits}, "
-                f"{self.ratio.describe()}, alpha={self.alpha!r}, "
-                f"granularity={self.alpha_granularity})")
+        return format_signature("MixedSchemeQuantizer",
+                                self.ratio.describe(), bits=self.bits,
+                                alpha=self.alpha,
+                                granularity=self.alpha_granularity)
+
+
+# ----------------------------------------------------------------------
+# Registry entry: MSQ has no single level set (it mixes SP2 and fixed rows),
+# so its registration is the mixed-scheme quantizer factory.
+# ----------------------------------------------------------------------
+@register_scheme("msq", mixed=True,
+                 description="intra-layer SP2/fixed row mix (§IV, Alg. 2)")
+def _msq_levels(bits: int, m1: Optional[int] = None,
+                m2: Optional[int] = None) -> np.ndarray:
+    raise ConfigurationError(
+        "no single level set for scheme msq; MSQ mixes SP2 and fixed rows "
+        "(use levels_for('sp2', ...) / levels_for('fixed', ...))")
+
+
+@register_scheme_factory("msq")
+def _make_msq(bits: int, alpha: AlphaSpec = "fit",
+              ratio: Union[PartitionRatio, str, float] = "1:1",
+              m1: Optional[int] = None, m2: Optional[int] = None,
+              alpha_granularity: str = "row", **_ignored
+              ) -> MixedSchemeQuantizer:
+    return MixedSchemeQuantizer(bits=bits, ratio=ratio, alpha=alpha,
+                                alpha_granularity=alpha_granularity,
+                                m1=m1, m2=m2)

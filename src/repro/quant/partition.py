@@ -20,6 +20,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
+from repro.quant.formatting import format_ratio
 
 
 def to_gemm_matrix(weight: np.ndarray) -> np.ndarray:
@@ -62,6 +63,11 @@ class PartitionRatio:
     fixed: float
 
     def __post_init__(self):
+        if not (np.isfinite(self.sp2) and np.isfinite(self.fixed)):
+            raise ConfigurationError(
+                f"partition ratio components must be finite, got "
+                f"{self.sp2}:{self.fixed}"
+            )
         if self.sp2 < 0 or self.fixed < 0 or (self.sp2 + self.fixed) == 0:
             raise ConfigurationError(
                 f"invalid partition ratio {self.sp2}:{self.fixed}"
@@ -73,23 +79,62 @@ class PartitionRatio:
 
     @classmethod
     def from_string(cls, text: str, order: str = "sp2:fixed") -> "PartitionRatio":
-        """Parse "a:b" with the given component order."""
-        match = re.fullmatch(r"\s*([\d.]+)\s*:\s*([\d.]+)\s*", text)
+        """Parse ``"a:b"`` with the given component order.
+
+        Malformed input (not two ``:``-separated non-negative numbers, e.g.
+        ``"1.2.3:1"``, ``"-1:2"``, ``"2"``) raises a
+        :class:`~repro.errors.ConfigurationError` (a ``ValueError``) here,
+        at configuration time, instead of surfacing later as a shape error.
+        ``order`` is case/whitespace-insensitive: ``"sp2:fixed"`` (default)
+        or ``"fixed:sp2"``.
+        """
+        if not isinstance(text, str):
+            raise ConfigurationError(
+                f"ratio must be an 'a:b' string, got {text!r}")
+        match = re.fullmatch(r"\s*([^:]+):([^:]+)\s*", text)
         if not match:
             raise ConfigurationError(f"cannot parse ratio {text!r}")
-        first, second = float(match.group(1)), float(match.group(2))
-        if order == "sp2:fixed":
+        try:
+            first, second = float(match.group(1)), float(match.group(2))
+        except ValueError:
+            raise ConfigurationError(f"cannot parse ratio {text!r}") from None
+        if first < 0 or second < 0:
+            raise ConfigurationError(
+                f"ratio components must be non-negative, got {text!r}")
+        normalized_order = str(order).strip().lower()
+        if normalized_order == "sp2:fixed":
             return cls(sp2=first, fixed=second)
-        if order == "fixed:sp2":
+        if normalized_order == "fixed:sp2":
             return cls(sp2=second, fixed=first)
-        raise ConfigurationError(f"unknown ratio order {order!r}")
+        raise ConfigurationError(
+            f"unknown ratio order {order!r}; use 'sp2:fixed' or 'fixed:sp2'")
+
+    @classmethod
+    def coerce(cls, ratio) -> "PartitionRatio":
+        """Normalize any accepted ratio spelling: a :class:`PartitionRatio`,
+        an ``"a:b"`` string (SP2 first), or a float SP2 fraction in [0, 1].
+
+        The one coercion used by ``PipelineConfig`` validation and
+        :class:`~repro.quant.msq.MixedSchemeQuantizer` alike, so they cannot
+        disagree about what parses.
+        """
+        if isinstance(ratio, PartitionRatio):
+            return ratio
+        if isinstance(ratio, str):
+            return cls.from_string(ratio)
+        if isinstance(ratio, (int, float)) and not isinstance(ratio, bool):
+            if not 0.0 <= float(ratio) <= 1.0:
+                raise ConfigurationError(
+                    f"SP2 fraction must be in [0, 1], got {ratio}")
+            return cls(sp2=float(ratio), fixed=1.0 - float(ratio))
+        raise ConfigurationError(f"cannot interpret ratio {ratio!r}")
 
     @classmethod
     def half_and_half(cls) -> "PartitionRatio":
         return cls(sp2=1.0, fixed=1.0)
 
     def describe(self) -> str:
-        return f"SP2:fixed = {self.sp2:g}:{self.fixed:g}"
+        return format_ratio(self.sp2, self.fixed)
 
 
 @dataclass
@@ -158,6 +203,22 @@ def partition_from_arrays(arrays: dict) -> RowPartition:
         threshold=float(arrays["threshold"]),
         variances=np.asarray(arrays["variances"], dtype=np.float64),
     )
+
+
+def sp2_row_fraction_of(layer_results) -> float:
+    """Achieved SP2 row share across the MSQ layers of a ``layer_results``
+    mapping (values with a ``partition`` attribute); 0.0 when none.
+
+    The one implementation behind ``QATResult.sp2_row_fraction`` and
+    ``repro.api.QuantizedModel.sp2_row_fraction``.
+    """
+    sp2 = total = 0
+    for result in layer_results.values():
+        partition = getattr(result, "partition", None)
+        if partition is not None:
+            sp2 += partition.num_sp2
+            total += partition.sp2_mask.size
+    return sp2 / total if total else 0.0
 
 
 def partition_summary(partition: RowPartition) -> dict:

@@ -22,7 +22,13 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.api.registry import (
+    get_scheme,
+    register_paper_projection,
+    register_scheme_factory,
+)
 from repro.errors import ConfigurationError, QuantizationError
+from repro.quant.formatting import format_signature
 from repro.quant.schemes import Scheme, SchemeSpec, default_sp2_split
 
 AlphaSpec = Union[str, float]
@@ -130,14 +136,12 @@ class SchemeQuantizer:
     def project_unit(self, x: np.ndarray) -> np.ndarray:
         """Project values (already scaled to [-1, 1]) onto the unit levels."""
         x = np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
-        if self.mode == "projection":
-            return project_to_levels(x, self._levels)
-        if self.spec.scheme == Scheme.FIXED:
-            return self._paper_fixed(x)
-        if self.spec.scheme == Scheme.P2:
-            return self._paper_p2(x)
-        # No closed form is given for SP2 in the paper; nearest projection
-        # *is* the definition of proj onto Q_SP2.
+        if self.mode == "paper":
+            paper = get_scheme(self.spec.scheme).paper_projection
+            if paper is not None:
+                return paper(self.spec, x)
+            # No closed form is given for SP2 in the paper; nearest
+            # projection *is* the definition of proj onto Q_SP2.
         return project_to_levels(x, self._levels)
 
     def quantize(self, w: np.ndarray, alpha: Optional[AlphaSpec] = None) -> QuantResult:
@@ -152,35 +156,55 @@ class SchemeQuantizer:
     def __call__(self, w: np.ndarray) -> np.ndarray:
         return self.quantize(w).values
 
-    # ------------------------------------------------------------------
-    # Paper's closed-form variants
-    # ------------------------------------------------------------------
-    def _paper_fixed(self, x: np.ndarray) -> np.ndarray:
-        """Eq. (2) with the affine h(v) = v/2 + 1/2 (the choice that projects
-        exactly onto Eq. (1)'s uniform level set)."""
-        m = self.spec.bits
-        steps = 2 ** (m - 1) - 1
-        return np.round(x * steps) / steps
-
-    def _paper_p2(self, x: np.ndarray) -> np.ndarray:
-        """Eq. (5): round log2 of the magnitude; underflow maps to zero.
-
-        Log-domain rounding differs from Euclidean projection on the
-        geometric mid-points; both project onto the same level set.
-        """
-        m = self.spec.bits
-        min_exp = -(2 ** (m - 1) - 2)
-        magnitude = np.abs(x)
-        out = np.zeros_like(x)
-        nonzero = magnitude > 2.0 ** (min_exp - 1)
-        exps = np.round(np.log2(magnitude, where=nonzero,
-                                out=np.full_like(x, min_exp, dtype=np.float64)))
-        exps = np.clip(exps, min_exp, 0)
-        out[nonzero] = np.sign(x[nonzero]) * 2.0 ** exps[nonzero]
-        return out
-
     def __repr__(self) -> str:
-        return f"SchemeQuantizer({self.spec.describe()}, alpha={self.alpha!r})"
+        return format_signature("SchemeQuantizer", self.spec.describe(),
+                                alpha=self.alpha)
+
+
+# ----------------------------------------------------------------------
+# Paper's closed-form variants (registry-dispatched by scheme name)
+# ----------------------------------------------------------------------
+@register_paper_projection("fixed")
+def _paper_fixed(spec: SchemeSpec, x: np.ndarray) -> np.ndarray:
+    """Eq. (2) with the affine h(v) = v/2 + 1/2 (the choice that projects
+    exactly onto Eq. (1)'s uniform level set)."""
+    steps = 2 ** (spec.bits - 1) - 1
+    return np.round(x * steps) / steps
+
+
+@register_paper_projection("p2")
+def _paper_p2(spec: SchemeSpec, x: np.ndarray) -> np.ndarray:
+    """Eq. (5): round log2 of the magnitude; underflow maps to zero.
+
+    Log-domain rounding differs from Euclidean projection on the
+    geometric mid-points; both project onto the same level set.
+    """
+    min_exp = -(2 ** (spec.bits - 1) - 2)
+    magnitude = np.abs(x)
+    out = np.zeros_like(x)
+    nonzero = magnitude > 2.0 ** (min_exp - 1)
+    exps = np.round(np.log2(magnitude, where=nonzero,
+                            out=np.full_like(x, min_exp, dtype=np.float64)))
+    exps = np.clip(exps, min_exp, 0)
+    out[nonzero] = np.sign(x[nonzero]) * 2.0 ** exps[nonzero]
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry quantizer factories: how the pipeline builds a projection for a
+# single-scheme layer. The MSQ factory registers in repro.quant.msq.
+# ----------------------------------------------------------------------
+def _register_single_scheme_factory(scheme: Scheme) -> None:
+    @register_scheme_factory(scheme.value)
+    def factory(bits: int, alpha: AlphaSpec = "fit",
+                m1: Optional[int] = None, m2: Optional[int] = None,
+                mode: str = "projection", **_ignored) -> SchemeQuantizer:
+        return SchemeQuantizer(scheme, bits, alpha=alpha, m1=m1, m2=m2,
+                               mode=mode)
+
+
+for _scheme in (Scheme.FIXED, Scheme.P2, Scheme.SP2):
+    _register_single_scheme_factory(_scheme)
 
 
 def make_quantizer(scheme: Union[Scheme, str], bits: int,

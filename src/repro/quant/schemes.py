@@ -25,7 +25,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.api.registry import get_scheme, register_scheme
 from repro.errors import ConfigurationError
+from repro.quant.formatting import format_scheme_spec
 
 
 class Scheme(enum.Enum):
@@ -97,16 +99,39 @@ def sp2_levels(bits: int, m1: Optional[int] = None,
     return np.unique(np.concatenate([-sums, sums]))
 
 
+# ----------------------------------------------------------------------
+# Registry entries: each scheme's level-set function, under the name
+# PipelineConfig / levels_for resolve it by. MSQ registers itself (and its
+# quantizer factory) in repro.quant.msq; the single-scheme quantizer
+# factories and paper projections attach in repro.quant.quantizers.
+# ----------------------------------------------------------------------
+@register_scheme("fixed", description="uniform fixed-point levels (Eq. 1)")
+def _fixed_levels(bits: int, m1: Optional[int] = None,
+                  m2: Optional[int] = None) -> np.ndarray:
+    return fixed_point_levels(bits)
+
+
+@register_scheme("p2", description="power-of-2 levels (Eq. 4)")
+def _p2_levels(bits: int, m1: Optional[int] = None,
+               m2: Optional[int] = None) -> np.ndarray:
+    return power_of_2_levels(bits)
+
+
+@register_scheme("sp2",
+                 description="sum-of-power-of-2 levels (Eq. 8, the paper's "
+                             "contribution)")
+def _sp2_levels(bits: int, m1: Optional[int] = None,
+                m2: Optional[int] = None) -> np.ndarray:
+    return sp2_levels(bits, m1, m2)
+
+
 def levels_for(scheme: Scheme, bits: int, m1: Optional[int] = None,
                m2: Optional[int] = None) -> np.ndarray:
-    """Dispatch to the unit level set of ``scheme``."""
-    if scheme == Scheme.FIXED:
-        return fixed_point_levels(bits)
-    if scheme == Scheme.P2:
-        return power_of_2_levels(bits)
-    if scheme == Scheme.SP2:
-        return sp2_levels(bits, m1, m2)
-    raise ConfigurationError(f"no single level set for scheme {scheme}")
+    """Dispatch to the unit level set of ``scheme`` via the registry."""
+    entry = get_scheme(scheme)
+    if entry.mixed:
+        raise ConfigurationError(f"no single level set for scheme {scheme}")
+    return entry.levels(bits, m1, m2)
 
 
 @dataclass(frozen=True)
@@ -135,6 +160,5 @@ class SchemeSpec:
         return len(self.unit_levels)
 
     def describe(self) -> str:
-        if self.scheme == Scheme.SP2:
-            return f"SP2(m={self.bits}, m1={self.m1}, m2={self.m2})"
-        return f"{self.scheme.value.upper()}(m={self.bits})"
+        return format_scheme_spec(self.scheme.value, self.bits,
+                                  m1=self.m1, m2=self.m2)

@@ -1,7 +1,8 @@
 """Quantization-aware training orchestration (Algorithms 1 and 2 end to end).
 
-``quantize_model`` runs the paper's full recipe on any model built from the
-:mod:`repro.nn` layers:
+``run_qat`` (fronted by :meth:`repro.api.Pipeline.fit`; the deprecated
+``quantize_model`` shim delegates here) runs the paper's full recipe on any
+model built from the :mod:`repro.nn` layers:
 
 1. install n-bit fixed-point STE activation quantizers on every quantizable
    layer (signed for RNN cells, unsigned after ReLUs);
@@ -17,19 +18,20 @@ callable, so CNN classification, detection and RNN tasks share this code.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.registry import get_scheme
 from repro.errors import ConfigurationError
 from repro.nn import SGD, CosineAnnealingLR, StepLR
 from repro.nn.module import Module
 from repro.nn.rnn import _RNNCellBase
 from repro.quant.admm import ADMMQuantizer, QUANTIZABLE_TYPES
-from repro.quant.msq import MixedSchemeQuantizer
-from repro.quant.partition import PartitionRatio
-from repro.quant.quantizers import AlphaSpec, SchemeQuantizer
+from repro.quant.partition import PartitionRatio, sp2_row_fraction_of
+from repro.quant.quantizers import AlphaSpec
 from repro.quant.schemes import Scheme
 from repro.quant.ste import ActivationQuantizer
 from repro.tensor import Tensor
@@ -65,7 +67,12 @@ class QATConfig:
 
     def __post_init__(self):
         if isinstance(self.scheme, str):
-            self.scheme = Scheme(self.scheme)
+            try:
+                self.scheme = Scheme(self.scheme)
+            except ValueError:
+                # Not one of the built-in enum members: accept any scheme
+                # registered via @register_scheme (raises on unknown names).
+                get_scheme(self.scheme)
         if self.lr_schedule not in ("cosine", "step", "none"):
             raise ConfigurationError(f"unknown lr_schedule {self.lr_schedule!r}")
 
@@ -81,13 +88,7 @@ class QATResult:
 
     def sp2_row_fraction(self) -> float:
         """Achieved SP2 row share across MSQ layers (sanity vs. the target)."""
-        sp2 = total = 0
-        for result in self.layer_results.values():
-            partition = getattr(result, "partition", None)
-            if partition is not None:
-                sp2 += partition.num_sp2
-                total += partition.sp2_mask.size
-        return sp2 / total if total else 0.0
+        return sp2_row_fraction_of(self.layer_results)
 
 
 def projection_factory_from_config(config: QATConfig
@@ -100,12 +101,11 @@ def projection_factory_from_config(config: QATConfig
                 return bits
         return config.weight_bits
 
+    entry = get_scheme(config.scheme)
+
     def factory(name: str, weight: np.ndarray):
-        bits = bits_for(name)
-        if config.scheme == Scheme.MSQ:
-            return MixedSchemeQuantizer(
-                bits=bits, ratio=config.ratio, alpha=config.alpha)
-        return SchemeQuantizer(config.scheme, bits, alpha=config.alpha)
+        return entry.make(bits_for(name), ratio=config.ratio,
+                          alpha=config.alpha)
 
     return factory
 
@@ -136,11 +136,16 @@ def install_activation_quantizers(model: Module, bits: int,
     return installed
 
 
-def quantize_model(model: Module, make_batches: MakeBatchesFn,
-                   loss_fn: BatchLossFn, config: QATConfig,
-                   eval_fn: Optional[Callable[[Module], float]] = None
-                   ) -> QATResult:
-    """Run ADMM+STE quantization-aware training (Alg. 1 / Alg. 2)."""
+def run_qat(model: Module, make_batches: MakeBatchesFn,
+            loss_fn: BatchLossFn, config: QATConfig,
+            eval_fn: Optional[Callable[[Module], float]] = None
+            ) -> QATResult:
+    """Run ADMM+STE quantization-aware training (Alg. 1 / Alg. 2).
+
+    This is the QAT engine behind :meth:`repro.api.Pipeline.fit` — prefer
+    that front door; call this directly only when embedding the loop in a
+    custom harness.
+    """
     act_quantizers: Dict[str, ActivationQuantizer] = {}
     if config.quantize_activations:
         act_skip = tuple(config.skip_modules) + tuple(config.act_skip_modules)
@@ -185,6 +190,23 @@ def quantize_model(model: Module, make_batches: MakeBatchesFn,
     model.eval()
     return QATResult(model=model, layer_results=layer_results,
                      act_quantizers=act_quantizers, history=history)
+
+
+def quantize_model(model: Module, make_batches: MakeBatchesFn,
+                   loss_fn: BatchLossFn, config: QATConfig,
+                   eval_fn: Optional[Callable[[Module], float]] = None
+                   ) -> QATResult:
+    """Deprecated entry point; use :class:`repro.api.Pipeline` instead.
+
+    Kept importable from its old home for one release; delegates to
+    :func:`run_qat` so results stay bit-identical to the new API.
+    """
+    warnings.warn(
+        "repro.quant.quantize_model is deprecated; use "
+        "repro.api.Pipeline(PipelineConfig(...)).fit(...) "
+        "(or repro.quant.trainer.run_qat for the bare loop)",
+        DeprecationWarning, stacklevel=2)
+    return run_qat(model, make_batches, loss_fn, config, eval_fn)
 
 
 def train_fp(model: Module, make_batches: MakeBatchesFn, loss_fn: BatchLossFn,

@@ -27,7 +27,7 @@ line; see :mod:`repro.serve.cli`.
 
 from repro.serve.artifact import ServeArtifact
 from repro.serve.engine import EngineStats, InferenceEngine
-from repro.serve.export import eager_forward, export_model
+from repro.serve.export import build_artifact, eager_forward, export_model
 from repro.serve.plan import ExecutionPlan
 from repro.serve.ptq import post_training_quantize
 from repro.serve.scheduler import BatchScheduler, ServedRequest, ServeStats
@@ -36,6 +36,7 @@ __all__ = [
     "ServeArtifact",
     "EngineStats",
     "InferenceEngine",
+    "build_artifact",
     "eager_forward",
     "export_model",
     "ExecutionPlan",

@@ -108,19 +108,13 @@ def build_model(name: str, seed: int = 0):
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_export(args) -> int:
-    from repro.serve.export import export_model
-    from repro.serve.ptq import post_training_quantize
+    # One quantize-and-export implementation for every CLI spelling.
+    from repro.api.cli import run_quantize
 
-    model, sample = build_model(args.model, seed=args.seed)
-    rng = np.random.default_rng(args.seed + 1)
-    calibration = [sample(rng, 8) for _ in range(args.calibration_batches)]
-    results = post_training_quantize(
-        model, calibration, weight_bits=args.bits, ratio=args.ratio)
-    artifact = export_model(model, sample(rng, 4), layer_results=results,
-                            name=args.model, path=args.out)
-    print(f"exported {args.model} -> {args.out}")
-    print(artifact.summary())
-    return 0
+    return run_quantize(args.model, args.out, bits=args.bits,
+                        ratio=args.ratio,
+                        calibration_batches=args.calibration_batches,
+                        seed=args.seed)
 
 
 def cmd_info(args) -> int:

@@ -9,8 +9,8 @@ which ``Sequential``, the ResNet/MobileNet blocks and the RNN task models
 implement.
 
 Quantized layers are looked up by parameter name in the ``layer_results``
-mapping produced by ADMM training (:func:`repro.quant.quantize_model`) or
-post-training quantization (:func:`repro.serve.ptq.post_training_quantize`);
+mapping produced by ADMM training (:meth:`repro.api.Pipeline.fit`) or
+post-training quantization (:meth:`repro.api.Pipeline.calibrate`);
 their weights are stored as packed hardware words. Layers without a result
 are stored as raw float32. Activation quantizers attached to modules are
 frozen (calibration stops) and their clipping ranges recorded.
@@ -155,8 +155,17 @@ class _Compiler:
     # ------------------------------------------------------------------
     def _act_spec(self, module: Module) -> Optional[dict]:
         quant = getattr(module, "act_quant", None)
-        if not isinstance(quant, ActivationQuantizer):
+        if quant is None:
             return None
+        if not isinstance(quant, ActivationQuantizer):
+            # e.g. PACT/DoReFa keep their own activation hooks live after
+            # finalize; dropping one silently would break bit-exactness, so
+            # fail here with the actual cause.
+            raise ExportError(
+                f"{self.name_of(module)} has a non-exportable activation "
+                f"quantizer ({type(quant).__name__}); only "
+                "repro.quant.ste.ActivationQuantizer can be frozen into an "
+                "artifact")
         if quant.alpha is None or quant.alpha == 0.0:
             return None  # uncalibrated quantizers are identity in eager mode
         return {"bits": quant.bits, "signed": quant.signed,

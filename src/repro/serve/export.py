@@ -1,14 +1,18 @@
 """Export a quantized model into a frozen serving artifact.
 
-``export_model`` freezes activation-quantizer ranges, compiles the module
+``build_artifact`` freezes activation-quantizer ranges, compiles the module
 tree into op specs (:mod:`repro.serve.compile`), runs one verification pass
 — the compiled plan and the eager model must produce **bit-identical**
 logits on a sample batch — and records each layer's GEMM workload dimensions
 into the manifest so the artifact can be priced on any accelerator design.
+
+The usual caller is :meth:`repro.api.QuantizedModel.deploy`; ``export_model``
+remains as a deprecation shim for the pre-``repro.api`` spelling.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
 import numpy as np
@@ -28,10 +32,10 @@ def eager_forward(model: Module, batch: np.ndarray) -> np.ndarray:
         return model(np.asarray(batch)).data  # integer token ids
 
 
-def export_model(model: Module, sample_input: np.ndarray,
-                 layer_results: Optional[Dict[str, object]] = None,
-                 name: str = "model", path=None,
-                 verify: bool = True) -> ServeArtifact:
+def build_artifact(model: Module, sample_input: np.ndarray,
+                   layer_results: Optional[Dict[str, object]] = None,
+                   name: str = "model", path=None,
+                   verify: bool = True) -> ServeArtifact:
     """Freeze ``model`` into a :class:`ServeArtifact`.
 
     Parameters
@@ -85,3 +89,22 @@ def export_model(model: Module, sample_input: np.ndarray,
     if path is not None:
         artifact.save(path)
     return artifact
+
+
+def export_model(model: Module, sample_input: np.ndarray,
+                 layer_results: Optional[Dict[str, object]] = None,
+                 name: str = "model", path=None,
+                 verify: bool = True) -> ServeArtifact:
+    """Deprecated; use :meth:`repro.api.QuantizedModel.deploy` (or
+    :func:`build_artifact` for the bare export step).
+
+    Kept importable from its old home for one release; delegates to
+    :func:`build_artifact`, so artifacts stay bit-identical to the new API.
+    """
+    warnings.warn(
+        "repro.serve.export_model is deprecated; use "
+        "repro.api.Pipeline(...).deploy(...) or "
+        "repro.serve.export.build_artifact",
+        DeprecationWarning, stacklevel=2)
+    return build_artifact(model, sample_input, layer_results=layer_results,
+                          name=name, path=path, verify=verify)

@@ -1,28 +1,31 @@
 """Post-training quantization: a training-free path to a servable model.
 
 The paper's accuracy numbers come from ADMM quantization-aware training
-(:func:`repro.quant.quantize_model`), which is what production exports
-should use. For serving demos, CLI smoke tests and benchmarks we also need
-a fast path that makes *any* model exportable in milliseconds:
+(:meth:`repro.api.Pipeline.fit`), which is what production exports should
+use. For serving demos, CLI smoke tests and benchmarks we also need a fast
+path that makes *any* model exportable in milliseconds:
 
 1. calibrate activation clipping ranges on a few batches (running max-abs,
    exactly like QAT's calibration phase, Alg. 1);
-2. project every quantizable weight onto the MSQ level sets
-   (:class:`~repro.quant.msq.MixedSchemeQuantizer`, Alg. 2) in one shot.
+2. project every quantizable weight onto the requested scheme's level sets
+   in one shot — by default MSQ (Alg. 2), but any registered scheme
+   (``fixed``/``p2``/``sp2``) works via the :mod:`repro.api.registry`
+   factory.
 
-The result dict has the same shape as ``QATResult.layer_results``, so
-:func:`repro.serve.export.export_model` accepts either interchangeably.
+The result dict has the same shape as ``QATResult.layer_results``, so the
+export step (:func:`repro.serve.export.build_artifact`) accepts either
+interchangeably. :meth:`repro.api.Pipeline.calibrate` is the front door.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Union
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.api.registry import get_scheme
 from repro.nn.module import Module
 from repro.quant.admm import collect_quantizable
-from repro.quant.msq import MixedSchemeQuantizer, MSQResult
 from repro.quant.partition import PartitionRatio
 from repro.quant.trainer import install_activation_quantizers
 from repro.tensor import Tensor, no_grad
@@ -32,31 +35,56 @@ def post_training_quantize(
         model: Module, calibration_batches: Iterable,
         weight_bits: int = 4, act_bits: int = 4,
         ratio: Union[str, float, PartitionRatio] = "2:1",
-        skip_first: bool = True) -> Dict[str, MSQResult]:
+        skip_first: bool = True, scheme: str = "msq",
+        alpha: Union[str, float] = "fit",
+        quantize_activations: bool = True,
+        skip_modules: Sequence[str] = (),
+        act_skip_modules: Sequence[str] = (),
+        layer_bits: Optional[Mapping[str, int]] = None) -> Dict[str, object]:
     """Quantize ``model`` in place without training; returns layer results.
 
     ``calibration_batches`` yields model inputs (numpy arrays are wrapped in
     :class:`Tensor` for float inputs; integer token ids pass through raw).
     ``ratio`` is the SP2:fixed row ratio from FPGA characterization — the
-    default 2:1 is the paper's XC7Z045 optimum.
+    default 2:1 is the paper's XC7Z045 optimum (ignored by single-scheme
+    quantizers). ``scheme`` resolves through the registry. The knob set
+    mirrors the QAT path (``quantize_activations`` for weight-only runs,
+    ``skip_modules``/``act_skip_modules`` substring filters, ``layer_bits``
+    per-layer bit-width overrides) so one ``PipelineConfig`` means the same
+    thing in both stages.
     """
     model.eval()
-    act_quantizers = install_activation_quantizers(
-        model, act_bits, skip_first=skip_first)
-    with no_grad():
-        for batch in calibration_batches:
-            batch = np.asarray(batch)
-            if np.issubdtype(batch.dtype, np.floating):
-                model(Tensor(batch))
-            else:
-                model(batch)
-    for quantizer in act_quantizers.values():
-        quantizer.calibrating = False
+    act_quantizers = {}
+    if quantize_activations:
+        act_skip = tuple(skip_modules) + tuple(act_skip_modules)
+        act_quantizers = install_activation_quantizers(
+            model, act_bits, skip_first=skip_first, skip=act_skip)
+    if act_quantizers:   # weight-only runs need no calibration forwards
+        with no_grad():
+            for batch in calibration_batches:
+                batch = np.asarray(batch)
+                if np.issubdtype(batch.dtype, np.floating):
+                    model(Tensor(batch))
+                else:
+                    model(batch)
+        for quantizer in act_quantizers.values():
+            quantizer.calibrating = False
 
-    quantizer = MixedSchemeQuantizer(bits=weight_bits, ratio=ratio)
-    results: Dict[str, MSQResult] = {}
-    for param_name, param in collect_quantizable(model):
-        result = quantizer.quantize(param.data.astype(np.float64))
+    entry = get_scheme(scheme)
+
+    def bits_for(name: str) -> int:
+        for pattern, bits in dict(layer_bits or {}).items():
+            if pattern in name:
+                return bits
+        return weight_bits
+
+    quantizers: Dict[int, object] = {}
+    results: Dict[str, object] = {}
+    for param_name, param in collect_quantizable(model, skip=skip_modules):
+        bits = bits_for(param_name)
+        if bits not in quantizers:
+            quantizers[bits] = entry.make(bits, ratio=ratio, alpha=alpha)
+        result = quantizers[bits].quantize(param.data.astype(np.float64))
         param.data = result.values.astype(param.data.dtype)
         results[param_name] = result
     return results

@@ -57,8 +57,12 @@ def trained_mlp(toy_task):
 
 @pytest.fixture(scope="session")
 def qat_result(toy_task, trained_mlp):
-    """A finished MSQ quantization run starting from the FP baseline."""
-    from repro.quant import QATConfig, Scheme, quantize_model
+    """A finished MSQ quantization run starting from the FP baseline.
+
+    Runs through the :mod:`repro.api` front door, so the many tests
+    inspecting this fixture also exercise the ``QuantizedModel`` handle.
+    """
+    from repro.api import Pipeline, PipelineConfig
 
     x, y = toy_task
     model = make_mlp()
@@ -74,10 +78,9 @@ def qat_result(toy_task, trained_mlp):
         xb, yb = batch
         return nn.cross_entropy(m(Tensor(xb)), yb)
 
-    config = QATConfig(scheme=Scheme.MSQ, weight_bits=4, act_bits=4,
-                       ratio="2:1", epochs=6, lr=0.05)
-    result = quantize_model(model, make_batches, loss_fn, config)
-    return result
+    config = PipelineConfig(scheme="msq", weight_bits=4, act_bits=4,
+                            ratio="2:1", epochs=6, lr=0.05)
+    return Pipeline(config, model=model).fit(make_batches, loss_fn)
 
 
 def accuracy_of(model, x, y) -> float:
