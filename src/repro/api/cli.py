@@ -45,7 +45,7 @@ commands:
 def run_quantize(model_name: str, out, scheme: str = "msq", bits: int = 4,
                  act_bits: int = 4, ratio: str = "2:1",
                  calibration_batches: int = 2, batch: int = 16,
-                 seed: int = 0) -> int:
+                 backend: str = "reference", seed: int = 0) -> int:
     """The one quantize-and-export flow behind every CLI spelling
     (``python -m repro quantize|export`` and ``python -m repro.serve
     export``): build a zoo model, PTQ-calibrate it through the pipeline,
@@ -59,9 +59,10 @@ def run_quantize(model_name: str, out, scheme: str = "msq", bits: int = 4,
                             act_bits=act_bits, ratio=ratio, batch=batch)
     pipeline = Pipeline(config, model=model)
     pipeline.calibrate([sample(rng, 8) for _ in range(calibration_batches)])
-    deployment = pipeline.deploy(name=model_name, path=out)
+    deployment = pipeline.deploy(name=model_name, path=out, backend=backend)
     print(config.describe())
-    print(f"quantized + deployed {model_name} -> {out}")
+    print(f"quantized + deployed {model_name} -> {out} "
+          f"(backend: {deployment.backend})")
     print(deployment.artifact.summary())
     performance = deployment.simulate(batch=1)
     print(f"FPGA ({config.design}): {performance.latency_ms:.3f} ms/request, "
@@ -89,13 +90,19 @@ def _cmd_quantize(argv: List[str], prog: str = "quantize") -> int:
     parser.add_argument("--calibration-batches", type=int, default=2)
     parser.add_argument("--batch", type=int, default=16,
                         help="deployment micro-batch size")
+    from repro.serve import list_backends
+
+    parser.add_argument("--backend", default="reference",
+                        choices=list_backends(),
+                        help="serving kernel backend for the deployment")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     return run_quantize(args.model, args.out, scheme=args.scheme,
                         bits=args.bits, act_bits=args.act_bits,
                         ratio=args.ratio,
                         calibration_batches=args.calibration_batches,
-                        batch=args.batch, seed=args.seed)
+                        batch=args.batch, backend=args.backend,
+                        seed=args.seed)
 
 
 def _cmd_registry(argv: List[str]) -> int:

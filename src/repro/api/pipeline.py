@@ -41,6 +41,7 @@ from repro.quant.baselines.common import train_baseline
 from repro.quant.partition import sp2_row_fraction_of
 from repro.quant.ste import ActivationQuantizer
 from repro.quant.trainer import run_qat
+from repro.serve.backends import DEFAULT_BACKEND
 from repro.serve.engine import InferenceEngine
 from repro.serve.export import build_artifact, eager_forward
 from repro.serve.plan import ExecutionPlan
@@ -113,13 +114,20 @@ class QuantizedModel:
     def deploy(self, batch: Optional[int] = None,
                sample_input: Optional[np.ndarray] = None,
                design: Optional[GemmDesign] = None,
-               name: str = "model", path=None) -> "Deployment":
-        """Export, load and wrap this model into a :class:`Deployment`."""
+               name: str = "model", path=None,
+               backend: str = DEFAULT_BACKEND) -> "Deployment":
+        """Export, compile and wrap this model into a :class:`Deployment`.
+
+        ``backend`` selects the serving kernel set (see
+        :func:`repro.serve.list_backends`); any optimized backend is
+        verified bit-identical to the reference at compile time.
+        """
         artifact = self.export(sample_input, name=name, path=path)
         return Deployment(artifact,
                           batch=batch if batch is not None
                           else self.config.batch,
-                          design=_resolve_design(self.config, design))
+                          design=_resolve_design(self.config, design),
+                          backend=backend)
 
     def _sample(self, sample_input) -> np.ndarray:
         sample = sample_input if sample_input is not None else self.sample_input
@@ -141,21 +149,28 @@ class Deployment:
     """
 
     def __init__(self, artifact, batch: int = 16,
-                 design: Optional[GemmDesign] = None):
+                 design: Optional[GemmDesign] = None,
+                 backend: str = DEFAULT_BACKEND):
         if int(batch) < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.artifact = artifact
-        self.plan = ExecutionPlan(artifact)
+        self.plan = ExecutionPlan(artifact, backend=backend)
         self.engine = InferenceEngine(self.plan, design=design)
         self.batch = int(batch)
 
     @classmethod
     def load(cls, path, batch: int = 16,
-             design: Optional[GemmDesign] = None) -> "Deployment":
+             design: Optional[GemmDesign] = None,
+             backend: str = DEFAULT_BACKEND) -> "Deployment":
         """Reload a saved artifact into a servable deployment."""
         from repro.serve.artifact import ServeArtifact
 
-        return cls(ServeArtifact.load(path), batch=batch, design=design)
+        return cls(ServeArtifact.load(path), batch=batch, design=design,
+                   backend=backend)
+
+    @property
+    def backend(self) -> str:
+        return self.plan.backend
 
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -313,13 +328,15 @@ class Pipeline:
     def deploy(self, batch: Optional[int] = None,
                sample_input: Optional[np.ndarray] = None,
                design: Optional[GemmDesign] = None,
-               name: str = "model", path=None) -> Deployment:
+               name: str = "model", path=None,
+               backend: str = DEFAULT_BACKEND) -> Deployment:
         """Deploy the latest ``fit()``/``calibrate()`` result."""
         if self.result is None:
             raise ConfigurationError(
                 "nothing to deploy; run fit() or calibrate() first")
         return self.result.deploy(batch=batch, sample_input=sample_input,
-                                  design=design, name=name, path=path)
+                                  design=design, name=name, path=path,
+                                  backend=backend)
 
     # ------------------------------------------------------------------
     def _model(self, model: Optional[Module]) -> Module:

@@ -63,6 +63,11 @@ class YoloLite(nn.Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.head(self.backbone(x))
 
+    def export_structure(self):
+        # The raw-grid forward (backbone + 1x1 head) is what deploys; box
+        # decoding/NMS stay host-side post-processing over the served grid.
+        return ("chain", [self.backbone, self.head])
+
     def _flat_predictions(self, x: Tensor) -> Tuple[Tensor, int, int]:
         """Raw head output reshaped to (N*A*S*S, 5+C)."""
         raw = self.forward(x)

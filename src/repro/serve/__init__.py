@@ -2,32 +2,45 @@
 
 Where :mod:`repro.quant` produces a quantized model and :mod:`repro.fpga`
 prices it on an accelerator, this package actually *serves* it: a trained
-model is frozen into a packed-weight artifact, loaded into a precomputed
-execution plan, and driven by a micro-batching scheduler whose reports pair
-wall-clock numbers with the accelerator cycle model's simulated latency.
+model is frozen into a packed-weight artifact, compiled through a graph IR
+and optimization passes into a backend's kernels, and driven by a
+micro-batching scheduler whose reports pair wall-clock numbers with the
+accelerator cycle model's simulated latency.
 
-Pipeline and the module implementing each stage::
+Compile-and-serve pipeline and the module implementing each stage::
 
     quantize_model / post_training_quantize      (repro.quant / serve.ptq)
-        -> export_model  -> ServeArtifact (.npz) (serve.export / serve.artifact)
-        -> ExecutionPlan                         (serve.plan)
+        -> build_artifact -> ServeArtifact (.npz) (serve.export / serve.artifact)
+        -> graph IR (typed nodes, shapes)        (serve.ir)
+        -> optimization passes (fold/fuse/DCE)   (serve.passes)
+        -> kernel backend (reference | fused)    (serve.backends)
+        -> ExecutionPlan facade                  (serve.plan)
         -> InferenceEngine                       (serve.engine)
         -> BatchScheduler -> ServeStats          (serve.scheduler)
 
 The artifact stores exactly what the FPGA datapath would: packed integer
 weight words (Table I encodings via :mod:`repro.quant.encoding`), the
 SP2/fixed row partition of every MSQ layer (:mod:`repro.quant.partition`),
-per-row scales, and frozen activation clipping ranges. Loading dequantizes
-once; per-request work is pure batched numpy GEMMs, bit-identical to the
-eager quantized model (enforced at export).
+per-row scales, and frozen activation clipping ranges. Compiling
+dequantizes once; per-request work is pure batched numpy, bit-identical to
+the eager quantized model on **every** backend — the reference backend is
+verified against eager at export, and every other backend is verified
+against the reference at compile time.
 
 ``python -m repro.serve`` exposes the export/info/run loop on the command
-line; see :mod:`repro.serve.cli`.
+line (``run --backend fused`` picks the kernels); see :mod:`repro.serve.cli`.
 """
 
 from repro.serve.artifact import ServeArtifact
+from repro.serve.backends import (
+    compile_graph,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 from repro.serve.engine import EngineStats, InferenceEngine
 from repro.serve.export import build_artifact, eager_forward, export_model
+from repro.serve.ir import Graph, IRNode, lower_artifact
 from repro.serve.plan import ExecutionPlan
 from repro.serve.ptq import post_training_quantize
 from repro.serve.scheduler import BatchScheduler, ServedRequest, ServeStats
@@ -40,6 +53,13 @@ __all__ = [
     "eager_forward",
     "export_model",
     "ExecutionPlan",
+    "Graph",
+    "IRNode",
+    "compile_graph",
+    "get_backend",
+    "list_backends",
+    "lower_artifact",
+    "register_backend",
     "post_training_quantize",
     "BatchScheduler",
     "ServedRequest",

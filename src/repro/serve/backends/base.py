@@ -1,0 +1,177 @@
+"""Backend plumbing: kernels, scratch pools, and the compiled executor.
+
+A :class:`KernelBackend` turns each IR node into a :class:`Kernel` — a
+callable holding everything precomputed at compile time (decoded weights,
+activation level tables, einsum paths, scratch shape annotations). The
+:class:`CompiledModel` executes the kernels in topological order over a
+value table, freeing intermediates at their last use.
+
+The scratch pool (:class:`ExecContext`) is shared by all kernels of one
+compiled model: buffers are keyed by (tag, shape, dtype) so two layers with
+identically shaped im2col columns transparently share one allocation —
+safe, because scratch is only live inside its node's kernel invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExportError
+from repro.serve.artifact import ServeArtifact
+from repro.serve.ir import Graph, IRNode
+
+
+class ExecContext:
+    """Shared mutable execution state: the scratch buffer pool."""
+
+    def __init__(self):
+        self._pool: Dict[tuple, np.ndarray] = {}
+
+    def scratch(self, tag: str, shape: Tuple[int, ...],
+                dtype=np.float32, zeroed: bool = False) -> np.ndarray:
+        """A reusable buffer; ``zeroed`` guarantees zero-initialized memory
+        at allocation (padded-input borders rely on it staying zero —
+        kernels must only ever write the interior)."""
+        key = (tag, shape, np.dtype(dtype).str)
+        buffer = self._pool.get(key)
+        if buffer is None:
+            buffer = (np.zeros if zeroed else np.empty)(shape, dtype=dtype)
+            self._pool[key] = buffer
+        return buffer
+
+    def scratch_bytes(self) -> int:
+        return sum(b.nbytes for b in self._pool.values())
+
+
+class Kernel:
+    """Compiled form of one IR node. Subclasses bind node + arrays at
+    compile time and implement ``run``."""
+
+    def __init__(self, node: IRNode, ctx: ExecContext):
+        self.node = node
+        self.ctx = ctx
+
+    def run(self, *inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class KernelBackend:
+    """A named kernel set plus the graph passes it wants run first.
+
+    ``copy_output = True`` declares that kernels may return views of pooled
+    scratch; the executor then copies the final graph output so results
+    survive the next ``run`` call.
+    """
+
+    name: str = ""
+    passes: Tuple[str, ...] = ()
+    copy_output: bool = False
+
+    def compile_node(self, node: IRNode, graph: Graph,
+                     artifact: ServeArtifact, ctx: ExecContext) -> Kernel:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class CompiledModel:
+    """An executable graph: one kernel per node, run in topological order."""
+
+    def __init__(self, artifact: ServeArtifact, graph: Graph,
+                 source_graph: Graph, kernels: Dict[int, Kernel],
+                 backend_name: str, pass_log: Optional[List[str]] = None,
+                 copy_output: bool = False):
+        self.artifact = artifact
+        self.graph = graph                # optimized (what executes)
+        self.source_graph = source_graph  # pristine lowering (cost model)
+        self.kernels = kernels
+        self.backend_name = backend_name
+        self.pass_log = list(pass_log or [])
+        self.copy_output = copy_output
+        self._order = [n for n in graph.nodes if n.id != graph.input_id]
+        # Compile the graph walk into a flat slot program: one (run, input
+        # slots, output slot, slots-to-free) step per node. Freeing
+        # intermediates at their last use keeps peak memory at the widest
+        # node, not the whole network.
+        slot = {graph.input_id: 0}
+        for index, node in enumerate(self._order, start=1):
+            slot[node.id] = index
+        last_use: Dict[int, int] = {}
+        for index, node in enumerate(self._order):
+            for source in node.inputs:
+                last_use[source] = index
+        free_after: Dict[int, List[int]] = {}
+        for source, index in last_use.items():
+            if source != graph.output_id:
+                free_after.setdefault(index, []).append(slot[source])
+        self._program = [
+            (kernels[node.id].run,
+             tuple(slot[i] for i in node.inputs),
+             slot[node.id],
+             tuple(free_after.get(index, ())))
+            for index, node in enumerate(self._order)
+        ]
+        self._out_slot = slot[graph.output_id]
+        self._slots = len(self._order) + 1
+        # Optional bit-exactness guardrail: when set (by compile_graph, for
+        # every non-reference backend), the first batch of each new size is
+        # also run through a reference oracle and compared bitwise. The
+        # oracle is compiled lazily per check and discarded, so steady-state
+        # serving never holds two decoded copies of the weights.
+        self.runtime_oracle_factory: Optional[Callable] = None
+        self._verified_sizes: set = set()
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        values: List[Optional[np.ndarray]] = [None] * self._slots
+        values[0] = batch
+        for run, sources, target, frees in self._program:
+            values[target] = run(*(values[s] for s in sources))
+            for dead in frees:
+                values[dead] = None
+        out = values[self._out_slot] if self._program else batch
+        out = out.copy() if self.copy_output else out
+        if self.runtime_oracle_factory is not None \
+                and batch.shape[0] not in self._verified_sizes:
+            # Kernel/BLAS paths are chosen per shape, so each batch size is
+            # its own code path; verify it once, then trust it (the kernels
+            # are deterministic for a fixed shape).
+            verify_compiled(self, self.runtime_oracle_factory(), [batch],
+                            precomputed=out)
+            self._verified_sizes.add(batch.shape[0])
+        return out
+
+    def mark_verified(self, batch_size: int) -> None:
+        self._verified_sizes.add(batch_size)
+
+    def describe(self) -> str:
+        lines = [f"backend:      {self.backend_name} "
+                 f"({len(self._order)} kernels)"]
+        lines.extend(f"  {entry}" for entry in self.pass_log)
+        return "\n".join(lines)
+
+
+def verify_compiled(candidate: CompiledModel, reference: CompiledModel,
+                    batches: Sequence[np.ndarray],
+                    precomputed: Optional[np.ndarray] = None) -> None:
+    """Assert ``candidate`` output == ``reference`` output, bitwise.
+
+    ``precomputed`` short-circuits the candidate run for the first batch
+    (used by the runtime guardrail, which already holds the output).
+    """
+    for index, batch in enumerate(batches):
+        if index == 0 and precomputed is not None:
+            got = precomputed
+        else:
+            got = candidate.run(batch)
+        expected = reference.run(batch)
+        if not np.array_equal(got, expected):
+            worst = float(np.max(np.abs(
+                np.asarray(got, dtype=np.float64)
+                - np.asarray(expected, dtype=np.float64))))
+            raise ExportError(
+                f"backend {candidate.backend_name!r} deviates from the "
+                f"reference backend (max |error| {worst:.3e}); its kernels "
+                "or passes are not bit-exact")

@@ -65,6 +65,13 @@ def _lstm_sentiment(rng):
     return model, _token_sampler(vocab=40, timesteps=12)
 
 
+def _yolo_lite(rng):
+    from repro.models import YoloLite
+
+    # Serves the raw detection grid; decode/NMS stay host-side.
+    return YoloLite(num_classes=3, rng=rng), _image_sampler(3, 32)
+
+
 def _image_sampler(channels, size):
     def sample(rng, n):
         return rng.normal(size=(n, channels, size, size)).astype(np.float32)
@@ -93,6 +100,7 @@ MODEL_ZOO: Dict[str, Callable] = {
     "lstm_lm": _lstm_lm,
     "gru_speech": _gru_speech,
     "lstm_sentiment": _lstm_sentiment,
+    "yolo_lite": _yolo_lite,
 }
 
 
@@ -120,7 +128,7 @@ def cmd_export(args) -> int:
 def cmd_info(args) -> int:
     from repro.serve.plan import ExecutionPlan
 
-    plan = ExecutionPlan.load(args.artifact)
+    plan = ExecutionPlan.load(args.artifact, backend=args.backend)
     print(plan.describe())
     performance = plan.simulate(batch=1)
     print(f"FPGA (D2-3):  {performance.latency_ms:.3f} ms/request, "
@@ -128,32 +136,16 @@ def cmd_info(args) -> int:
     return 0
 
 
-def _token_bound(plan) -> int:
-    """Valid synthetic-token range: the smallest embedding table's size."""
-    bounds = []
-
-    def walk(ops):
-        for spec in ops:
-            if spec["kind"] == "residual":
-                walk(spec["main"])
-                walk(spec["shortcut"])
-            elif spec["kind"] == "embedding":
-                bounds.append(plan.artifact.arrays[spec["weight"]].shape[0])
-
-    walk(plan.artifact.manifest["ops"])
-    return min(bounds) if bounds else 16
-
-
 def cmd_run(args) -> int:
     from repro.serve.engine import InferenceEngine
     from repro.serve.scheduler import BatchScheduler
 
-    engine = InferenceEngine.load(args.artifact)
+    engine = InferenceEngine.load(args.artifact, backend=args.backend)
     scheduler = BatchScheduler(engine, max_batch=args.batch)
     rng = np.random.default_rng(args.seed)
     shape = engine.plan.input_shape
     dtype = engine.plan.input_dtype
-    token_bound = _token_bound(engine.plan)
+    token_bound = engine.plan.graph.token_bound()
     for _ in range(args.requests):
         if np.issubdtype(dtype, np.floating):
             payload = rng.normal(size=shape).astype(dtype)
@@ -185,8 +177,13 @@ def main(argv=None) -> int:
     export.add_argument("--seed", type=int, default=0)
     export.set_defaults(func=cmd_export)
 
+    from repro.serve.backends import DEFAULT_BACKEND, list_backends
+
     info = sub.add_parser("info", help="describe an artifact")
     info.add_argument("artifact")
+    info.add_argument("--backend", default=DEFAULT_BACKEND,
+                      choices=list_backends(),
+                      help="kernel backend to compile with")
     info.set_defaults(func=cmd_info)
 
     run = sub.add_parser("run",
@@ -194,6 +191,10 @@ def main(argv=None) -> int:
     run.add_argument("artifact")
     run.add_argument("--requests", type=int, default=64)
     run.add_argument("--batch", type=int, default=16)
+    run.add_argument("--backend", default=DEFAULT_BACKEND,
+                     choices=list_backends(),
+                     help="kernel backend (optimized backends are verified "
+                          "bit-identical at compile time)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=cmd_run)
 

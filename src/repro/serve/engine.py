@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.fpga.resources import GemmDesign, reference_designs
+from repro.serve.backends import DEFAULT_BACKEND
 from repro.serve.plan import ExecutionPlan
 
 
@@ -54,8 +55,14 @@ class InferenceEngine:
         self._fpga_latency_cache: Dict[int, float] = {}
 
     @classmethod
-    def load(cls, path, **kwargs) -> "InferenceEngine":
-        return cls(ExecutionPlan.load(path), **kwargs)
+    def load(cls, path, backend: str = DEFAULT_BACKEND,
+             **kwargs) -> "InferenceEngine":
+        return cls(ExecutionPlan.load(path, backend=backend), **kwargs)
+
+    @property
+    def backend(self) -> str:
+        """Name of the kernel backend serving this engine's plan."""
+        return self.plan.backend
 
     # ------------------------------------------------------------------
     def infer(self, batch: np.ndarray) -> np.ndarray:

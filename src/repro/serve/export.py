@@ -1,10 +1,14 @@
 """Export a quantized model into a frozen serving artifact.
 
 ``build_artifact`` freezes activation-quantizer ranges, compiles the module
-tree into op specs (:mod:`repro.serve.compile`), runs one verification pass
-— the compiled plan and the eager model must produce **bit-identical**
-logits on a sample batch — and records each layer's GEMM workload dimensions
-into the manifest so the artifact can be priced on any accelerator design.
+tree into op specs (:mod:`repro.serve.compile`), lowers them to the graph
+IR to record each layer's GEMM workload dimensions into the manifest (from
+node shapes — no warm-up forward needed), and runs one verification pass:
+the compiled reference-backend plan and the eager model must produce
+**bit-identical** logits on a sample batch. Optimized backends are in turn
+verified against the reference backend when they are compiled
+(:func:`repro.serve.backends.compile_graph`), so the bit-exactness chain
+eager == reference == every-backend holds end to end.
 
 The usual caller is :meth:`repro.api.QuantizedModel.deploy`; ``export_model``
 remains as a deprecation shim for the pre-``repro.api`` spelling.
@@ -57,6 +61,7 @@ def build_artifact(model: Module, sample_input: np.ndarray,
         Assert plan output == eager output bitwise (raises
         :class:`~repro.errors.ExportError` otherwise).
     """
+    from repro.serve.ir import lower_artifact, record_workloads
     from repro.serve.plan import ExecutionPlan  # avoid import cycle
 
     sample_input = np.asarray(sample_input)
@@ -75,7 +80,11 @@ def build_artifact(model: Module, sample_input: np.ndarray,
     artifact.manifest["ops"] = compile_model(
         model, layer_results or {}, artifact)
 
-    # Dry run: records per-op GemmWorkload dims and checks bit-exactness.
+    # Lowering infers every node's shapes; the manifest keeps the derived
+    # GemmWorkload dims so saved artifacts stay self-describing.
+    record_workloads(lower_artifact(artifact))
+
+    # Compile the reference backend and check bit-exactness against eager.
     plan = ExecutionPlan(artifact)
     served = plan.forward(sample_input)
     if verify:

@@ -1,23 +1,25 @@
-"""Precomputed execution plan: batched numpy inference over an artifact.
+"""Execution plan: a compiled, ready-to-serve view of an exported model.
 
-``ExecutionPlan`` turns a :class:`~repro.serve.artifact.ServeArtifact` into a
-flat list of runtime ops. All per-model work happens once at load time:
-weight words are unpacked and dequantized into cached GEMM matrices, level
-scales and activation clipping ranges become plain floats, and conv ops keep
-their im2col geometry. Per-request work is then pure batched numpy — an
-activation fake-quant, an im2col, and a GEMM per layer — with **no
-re-quantization** anywhere on the hot path.
+``ExecutionPlan`` is a thin façade over the serving compile pipeline::
 
-Every op replicates the corresponding eval-mode :mod:`repro.nn` forward
-*operation for operation* (same numpy calls, same evaluation order, same
-float32 intermediates), which is what makes plan outputs bit-identical to
-the eager quantized model. When editing an op here, keep it in lockstep
-with the layer's ``forward``.
+    ServeArtifact --lower--> graph IR --passes--> kernels --> CompiledModel
+                  (serve.ir)          (serve.passes)   (serve.backends)
 
-Each GEMM-bearing op also records its :class:`~repro.fpga.gemm.GemmWorkload`
-dimensions the first time it runs, so a loaded plan can be priced on any
-accelerator design via :meth:`ExecutionPlan.simulate` — the simulated FPGA
-latency the batch scheduler reports next to wall-clock numbers.
+All per-model work happens once at compile time: weight words are unpacked
+and dequantized into cached GEMM matrices, activation ranges become level
+tables, shapes are inferred for every node, and the selected backend builds
+one kernel per node. Per-request work is then pure batched numpy.
+
+The ``backend`` argument picks the kernel set (see
+:func:`repro.serve.backends.list_backends`); any non-reference backend is
+verified bit-identical to the reference oracle at compile time, and the
+reference backend is verified against eager inference at export — so
+``forward`` output is bit-identical to the eager quantized model no matter
+which backend serves it.
+
+GEMM workload dimensions come from IR node shapes, so
+:meth:`ExecutionPlan.workloads` and :meth:`ExecutionPlan.simulate` work on
+a freshly loaded plan — no warm-up forward pass required.
 """
 
 from __future__ import annotations
@@ -30,380 +32,41 @@ from repro.errors import ExportError, ShapeError
 from repro.fpga.accelerator import NetworkPerformance, simulate_network
 from repro.fpga.gemm import GemmWorkload
 from repro.fpga.resources import GemmDesign, reference_designs
-from repro.quant.ste import ActivationQuantizer
-from repro.serve.artifact import ServeArtifact, decode_weight_record
-from repro.tensor.conv import _im2col, _output_size, pool_windows
+from repro.serve.artifact import ServeArtifact
+from repro.serve.backends import DEFAULT_BACKEND, compile_graph
 
 
-# ----------------------------------------------------------------------
-# Activation fake-quantization (mirrors ActivationQuantizer.__call__ with
-# calibration off + fake_quant_ste, in plain numpy)
-# ----------------------------------------------------------------------
-class _ActQuant:
-    def __init__(self, spec: dict):
-        self.alpha = spec["alpha"]
-        self.low = -self.alpha if spec["signed"] else 0.0
-        self._quantizer = ActivationQuantizer(
-            spec["bits"], signed=spec["signed"], alpha=self.alpha)
-        self._quantizer.calibrating = False
-
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        clipped = np.clip(x, self.low, self.alpha)
-        quantized = self._quantizer.quantize_array(x)
-        return clipped + (np.asarray(quantized, dtype=clipped.dtype) - clipped)
-
-
-def _make_act(spec: Optional[dict]):
-    return _ActQuant(spec) if spec else None
-
-
-def _relu(x: np.ndarray) -> np.ndarray:
-    return x * (x > 0)
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-x))
-
-
-# ----------------------------------------------------------------------
-# Ops
-# ----------------------------------------------------------------------
-class _PlanContext:
-    """Per-forward state shared by all ops of one plan (e.g. the request
-    batch size, which lets ops that see merged leading dims — a Linear
-    after ``merge_time`` — express workloads per request)."""
-
-    def __init__(self):
-        self.request_batch = 1
-
-
-class _Op:
-    """One plan step; ``spec`` is the live manifest dict (workload dims are
-    written back into it on first run, so exported artifacts carry them)."""
-
-    def __init__(self, spec: dict, artifact: ServeArtifact,
-                 ctx: _PlanContext):
-        self.spec = spec
-        self.ctx = ctx
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
-
-    def record_workload(self, **dims) -> None:
-        self.spec["workload"] = dims
-
-
-class _ConvOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        self.stride = spec["stride"]
-        self.padding = spec["padding"]
-        self.groups = spec["groups"]
-        self.oc = spec["out_channels"]
-        self.kernel = spec["kernel"]
-        weight = decode_weight_record(artifact, spec["weight"])
-        self.cg = weight.shape[1]
-        self.w_mat = weight.reshape(self.oc, -1)
-        self.bias = (artifact.arrays[spec["bias"]]
-                     if spec["bias"] is not None else None)
-        self.act = _make_act(spec["act_quant"])
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        if self.act is not None:
-            x = self.act(x)
-        n = x.shape[0]
-        k = self.kernel
-        cols, oh, ow = _im2col(x, k, k, self.stride, self.padding)
-        if self.groups == 1:
-            out = np.einsum("of,nfp->nop", self.w_mat, cols, optimize=True)
-        else:
-            ocg = self.oc // self.groups
-            cols_g = cols.reshape(n, self.groups, self.cg * k * k, oh * ow)
-            w_g = self.w_mat.reshape(self.groups, ocg, self.cg * k * k)
-            out = np.einsum("gof,ngfp->ngop", w_g, cols_g, optimize=True)
-            out = out.reshape(n, self.oc, oh * ow)
-        out = out.reshape(n, self.oc, oh, ow)
-        if self.bias is not None:
-            out = out + self.bias.reshape(1, self.oc, 1, 1)
-        # im2col packs channels and kernel taps jointly into the reduction
-        # lanes; depthwise convs reduce only over their own k*k taps.
-        depthwise = self.groups == self.spec["in_channels"] > 1
-        self.record_workload(
-            rows=self.oc,
-            reduction=(k * k if depthwise else self.cg * k * k),
-            columns=oh * ow,
-            sequential=False)
-        return out
-
-
-class _LinearOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        self.weight = decode_weight_record(artifact, spec["weight"])
-        self.bias = (artifact.arrays[spec["bias"]]
-                     if spec["bias"] is not None else None)
-        self.act = _make_act(spec["act_quant"])
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        if self.act is not None:
-            x = self.act(x)
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        # After merge_time the leading dim is N*T: this layer computes T
-        # output columns per request, not 1.
-        per_request = max(x.shape[0] // max(self.ctx.request_batch, 1), 1)
-        self.record_workload(rows=self.weight.shape[0],
-                             reduction=self.weight.shape[1],
-                             columns=per_request, sequential=False)
-        return out
-
-
-class _BatchNormOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        shape = ((1, spec["features"], 1, 1) if spec["kind"] == "batchnorm2d"
-                 else (1, spec["features"]))
-        arrays = artifact.arrays
-        self.mean = arrays[spec["mean"]].reshape(shape)
-        self.gamma = arrays[spec["gamma"]].reshape(shape)
-        self.beta = arrays[spec["beta"]].reshape(shape)
-        # Same float32 `(var + eps).sqrt()` the eager layer evaluates.
-        eps = np.asarray(spec["eps"], dtype=np.float64).astype(np.float32)
-        self.denom = np.sqrt(arrays[spec["var"]].reshape(shape) + eps)
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        return ((x - self.mean) / self.denom) * self.gamma + self.beta
-
-
-class _ReluOp(_Op):
-    def run(self, x):
-        return _relu(x)
-
-
-class _Relu6Op(_Op):
-    def run(self, x):
-        return np.clip(x, 0.0, 6.0)
-
-
-class _FlattenOp(_Op):
-    def run(self, x):
-        return x.reshape(x.shape[:1] + (-1,))
-
-
-class _GlobalAvgPoolOp(_Op):
-    def run(self, x):
-        count = x.shape[2] * x.shape[3]
-        # Tensor.mean computes sum * (1/count) in float32; keep that order.
-        return x.sum(axis=(2, 3)) * np.float32(1.0 / count)
-
-
-class _MaxPoolOp(_Op):
-    def run(self, x):
-        kernel, stride = self.spec["kernel"], self.spec["stride"]
-        padding = self.spec["padding"]
-        n, c, h, w = x.shape
-        data = x
-        if padding > 0:
-            data = np.pad(
-                x, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-                constant_values=-np.inf)
-        oh = _output_size(h, kernel, stride, padding)
-        ow = _output_size(w, kernel, stride, padding)
-        windows = pool_windows(data, kernel, stride, oh, ow)
-        flat = windows.reshape(n, c, oh, ow, kernel * kernel)
-        argmax = flat.argmax(axis=-1)
-        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
-        return np.ascontiguousarray(out)
-
-
-class _AvgPoolOp(_Op):
-    def run(self, x):
-        kernel, stride = self.spec["kernel"], self.spec["stride"]
-        h, w = x.shape[2:]
-        oh = _output_size(h, kernel, stride, 0)
-        ow = _output_size(w, kernel, stride, 0)
-        windows = pool_windows(x, kernel, stride, oh, ow)
-        return np.ascontiguousarray(windows.mean(axis=(-1, -2)))
-
-
-class _ResidualOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        self.main = [_build_op(s, artifact, ctx) for s in spec["main"]]
-        self.shortcut = [_build_op(s, artifact, ctx)
-                         for s in spec["shortcut"]]
-        self.post = spec["post"]
-
-    def run(self, x):
-        out = x
-        for op in self.main:
-            out = op.run(out)
-        identity = x
-        for op in self.shortcut:
-            identity = op.run(identity)
-        out = out + identity
-        if self.post == "relu":
-            out = _relu(out)
-        return out
-
-
-class _EmbeddingOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        self.weight = artifact.arrays[spec["weight"]]
-
-    def run(self, ids):
-        return self.weight[np.asarray(ids, dtype=np.int64)]
-
-
-class _MergeTimeOp(_Op):
-    def run(self, x):
-        n, t, h = x.shape
-        return x.reshape(n * t, h)
-
-
-class _TakeLastOp(_Op):
-    def run(self, x):
-        return x[:, x.shape[1] - 1]
-
-
-class _RnnCell:
-    def __init__(self, spec: dict, artifact: ServeArtifact):
-        self.hidden = spec["hidden_size"]
-        self.w_ih = decode_weight_record(artifact, spec["weight_ih"])
-        self.w_hh = decode_weight_record(artifact, spec["weight_hh"])
-        arrays = artifact.arrays
-        self.b_ih = arrays[spec["bias_ih"]]
-        self.b_hh = arrays[spec["bias_hh"]]
-        self.act = _make_act(spec["act_quant"])
-
-
-class _RnnOp(_Op):
-    def __init__(self, spec, artifact, ctx):
-        super().__init__(spec, artifact, ctx)
-        self.cell_kind = spec["cell"]
-        self.cells = [_RnnCell(c, artifact) for c in spec["cells"]]
-        self.hidden = spec["hidden_size"]
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        n, steps, _ = x.shape
-        zeros = np.zeros((n, self.hidden), dtype=np.float32)
-        h = [zeros.copy() for _ in self.cells]
-        c = [zeros.copy() for _ in self.cells]
-        outputs = []
-        for t in range(steps):
-            inp = x[:, t]
-            for index, cell in enumerate(self.cells):
-                if self.cell_kind == "lstm":
-                    h[index], c[index] = self._lstm_step(
-                        cell, inp, h[index], c[index])
-                else:
-                    h[index] = self._gru_step(cell, inp, h[index])
-                inp = h[index]
-            outputs.append(inp)
-        self._record(steps)
-        return np.stack(outputs, axis=1)
-
-    @staticmethod
-    def _lstm_step(cell, x, h, c):
-        if cell.act is not None:
-            x = cell.act(x)
-            h = cell.act(h)
-        gates = x @ cell.w_ih.T + cell.b_ih + h @ cell.w_hh.T + cell.b_hh
-        size = cell.hidden
-        i = _sigmoid(gates[:, 0 * size:1 * size])
-        f = _sigmoid(gates[:, 1 * size:2 * size])
-        g = np.tanh(gates[:, 2 * size:3 * size])
-        o = _sigmoid(gates[:, 3 * size:4 * size])
-        c_next = f * c + i * g
-        return o * np.tanh(c_next), c_next
-
-    @staticmethod
-    def _gru_step(cell, x, h):
-        if cell.act is not None:
-            x_in = cell.act(x)
-            h_in = cell.act(h)
-        else:
-            x_in, h_in = x, h
-        gi = x_in @ cell.w_ih.T + cell.b_ih
-        gh = h_in @ cell.w_hh.T + cell.b_hh
-        size = cell.hidden
-        r = _sigmoid(gi[:, :size] + gh[:, :size])
-        z = _sigmoid(gi[:, size:2 * size] + gh[:, size:2 * size])
-        n = np.tanh(gi[:, 2 * size:] + r * gh[:, 2 * size:])
-        return (np.float32(1.0) - z) * n + z * h
-
-    def _record(self, steps: int) -> None:
-        workloads = []
-        for cell in self.cells:
-            workloads.append({"rows": cell.w_ih.shape[0],
-                              "reduction": cell.w_ih.shape[1],
-                              "columns": steps, "sequential": False})
-            workloads.append({"rows": cell.w_hh.shape[0],
-                              "reduction": cell.w_hh.shape[1],
-                              "columns": steps, "sequential": True})
-        self.spec["workload"] = workloads
-
-
-_OP_TYPES = {
-    "conv": _ConvOp,
-    "linear": _LinearOp,
-    "batchnorm2d": _BatchNormOp,
-    "batchnorm1d": _BatchNormOp,
-    "relu": _ReluOp,
-    "relu6": _Relu6Op,
-    "flatten": _FlattenOp,
-    "globalavgpool": _GlobalAvgPoolOp,
-    "maxpool": _MaxPoolOp,
-    "avgpool": _AvgPoolOp,
-    "residual": _ResidualOp,
-    "embedding": _EmbeddingOp,
-    "merge_time": _MergeTimeOp,
-    "take_last": _TakeLastOp,
-    "rnn": _RnnOp,
-}
-
-
-def _build_op(spec: dict, artifact: ServeArtifact,
-              ctx: _PlanContext) -> _Op:
-    try:
-        op_type = _OP_TYPES[spec["kind"]]
-    except KeyError:
-        raise ExportError(f"unknown plan op kind {spec['kind']!r}")
-    return op_type(spec, artifact, ctx)
-
-
-# ----------------------------------------------------------------------
-# Plan
-# ----------------------------------------------------------------------
 class ExecutionPlan:
     """Loaded, ready-to-serve form of an exported model."""
 
-    def __init__(self, artifact: ServeArtifact):
+    def __init__(self, artifact: ServeArtifact,
+                 backend: str = DEFAULT_BACKEND,
+                 verify: Optional[bool] = None):
         self.artifact = artifact
-        self._ctx = _PlanContext()
-        self.ops = [_build_op(spec, artifact, self._ctx)
-                    for spec in artifact.manifest["ops"]]
+        self.compiled = compile_graph(artifact, backend=backend,
+                                      verify=verify)
+        self.graph = self.compiled.source_graph
         self.input_shape = tuple(artifact.manifest["input_shape"])
         self.input_dtype = np.dtype(artifact.manifest["input_dtype"])
 
     @classmethod
-    def load(cls, path) -> "ExecutionPlan":
-        return cls(ServeArtifact.load(path))
+    def load(cls, path, backend: str = DEFAULT_BACKEND,
+             verify: Optional[bool] = None) -> "ExecutionPlan":
+        return cls(ServeArtifact.load(path), backend=backend, verify=verify)
+
+    @property
+    def backend(self) -> str:
+        return self.compiled.backend_name
 
     # ------------------------------------------------------------------
     def forward(self, batch: np.ndarray) -> np.ndarray:
-        """Run a (N, ...) request batch through the plan."""
+        """Run a (N, ...) request batch through the compiled kernels."""
         x = np.asarray(batch)
         if tuple(x.shape[1:]) != self.input_shape:
             raise ShapeError(
                 f"plan expects per-request shape {self.input_shape}, got "
                 f"{tuple(x.shape[1:])}")
-        self._ctx.request_batch = x.shape[0]
-        for op in self.ops:
-            x = op.run(x)
-        return x
+        return self.compiled.run(x)
 
     __call__ = forward
 
@@ -413,33 +76,13 @@ class ExecutionPlan:
     def workloads(self, batch: int = 1) -> List[GemmWorkload]:
         """GEMM workloads of one plan pass serving ``batch`` requests.
 
-        Batched requests fill additional output-position lanes, so
-        ``columns`` scales with the micro-batch size — the cycle-level
-        source of the serving throughput win.
+        Derived from IR node shapes at compile time — available on a
+        freshly loaded plan, no forward pass needed. Batched requests fill
+        additional output-position lanes, so ``columns`` scales with the
+        micro-batch size — the cycle-level source of the serving
+        throughput win.
         """
-        specs: List[dict] = []
-
-        def collect(op_specs):
-            for spec in op_specs:
-                if spec["kind"] == "residual":
-                    collect(spec["main"])
-                    collect(spec["shortcut"])
-                elif spec["kind"] == "rnn":
-                    specs.extend(
-                        dict(w, name=f"{spec['name']}.{i}")
-                        for i, w in enumerate(spec.get("workload") or []))
-                elif "workload" in spec:
-                    specs.append(dict(spec["workload"], name=spec["name"]))
-
-        collect(self.artifact.manifest["ops"])
-        if not specs:
-            raise ExportError(
-                "plan has no recorded workloads; run forward() once first")
-        return [GemmWorkload(name=s["name"], rows=s["rows"],
-                             reduction=s["reduction"],
-                             columns=s["columns"] * batch,
-                             sequential_columns=s["sequential"])
-                for s in specs]
+        return self.graph.workloads(batch)
 
     def simulate(self, design: Optional[GemmDesign] = None,
                  batch: int = 1, **sim_kwargs) -> NetworkPerformance:
@@ -451,11 +94,11 @@ class ExecutionPlan:
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
-        lines = [self.artifact.summary()]
+        lines = [self.artifact.summary(), self.compiled.describe()]
         try:
             workloads = self.workloads()
         except ExportError:
-            return lines[0]
+            return "\n".join(lines)
         total_macs = sum(w.macs for w in workloads)
         lines.append(f"gemm layers:  {len(workloads)} "
                      f"({total_macs / 1e6:.2f} MMACs/request)")

@@ -66,6 +66,7 @@ class ServeStats:
     wall_seconds: float
     latencies_ms: List[float]
     fpga_ms_total: float
+    backend: str = "reference"   # kernel backend that served the requests
 
     @property
     def mean_batch_size(self) -> float:
@@ -90,9 +91,16 @@ class ServeStats:
     def fpga_ms_per_request(self) -> float:
         return self.fpga_ms_total / self.requests if self.requests else 0.0
 
+    @property
+    def latency_ms_p50(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(self.latencies_ms, 50))
+
     def format(self) -> str:
         return "\n".join([
-            f"requests:            {self.requests}",
+            f"requests:            {self.requests} "
+            f"(backend: {self.backend})",
             f"micro-batches:       {self.batches} "
             f"(mean size {self.mean_batch_size:.1f})",
             f"wall-clock:          {self.wall_seconds * 1e3:.1f} ms total, "
@@ -179,4 +187,5 @@ class BatchScheduler:
             wall_seconds=self._serve_seconds,
             latencies_ms=[r.latency_ms for r in served],
             fpga_ms_total=sum(r.fpga_ms for r in served),
+            backend=self.engine.backend,
         )

@@ -99,7 +99,11 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     w_mat = weight.data.reshape(oc, cg * kh * kw)
 
     if groups == 1:
-        out = np.einsum("of,nfp->nop", w_mat, cols, optimize=True)
+        # One broadcast BLAS GEMM. The serving backends make the identical
+        # np.matmul call (einsum's optimize heuristics pick shape-dependent
+        # contraction orders, so a single shared convention is what keeps
+        # eager and served outputs bit-identical).
+        out = np.matmul(w_mat, cols)
     else:
         cols_g = cols.reshape(n, groups, cg * kh * kw, oh * ow)
         w_g = w_mat.reshape(groups, ocg, cg * kh * kw)
