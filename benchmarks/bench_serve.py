@@ -29,8 +29,7 @@ import time
 
 import numpy as np
 
-from repro.api import Pipeline, PipelineConfig
-from repro.serve import BatchScheduler, InferenceEngine
+from repro.api import Deployment, Pipeline, PipelineConfig
 from repro.serve.cli import build_model
 from repro.serve.export import eager_forward
 
@@ -54,11 +53,8 @@ def _build(name, tmp_path):
     return model, path, payloads
 
 
-def _drain(engine, payloads):
-    scheduler = BatchScheduler(engine, max_batch=BATCH)
-    for payload in payloads:
-        scheduler.submit(payload)
-    return scheduler.run()
+def _drain(deployment, payloads):
+    return deployment.serve(payloads)
 
 
 def _median_seconds(fn, repeats=3):
@@ -74,7 +70,7 @@ def _median_seconds(fn, repeats=3):
 
 def _bench_backends(path, payloads):
     """Best drain per backend + the paired fused/reference ratios."""
-    engines = {name: InferenceEngine.load(path, backend=name)
+    engines = {name: Deployment.load(path, batch=BATCH, backend=name)
                for name in BACKENDS}
     for engine in engines.values():
         _drain(engine, payloads)  # warm scratch + runtime verification
@@ -138,7 +134,7 @@ def test_fused_backend_speedup_and_report(tmp_path):
 
 def test_batched_serving_speedup_over_eager(benchmark, tmp_path):
     model, path, payloads = _build("resnet_tiny", tmp_path)
-    engine = InferenceEngine.load(path)
+    engine = Deployment.load(path, batch=BATCH)
 
     # Baseline: the per-request eager loop a user would write today.
     def eager_loop():
@@ -163,7 +159,7 @@ def test_batched_serving_speedup_over_eager(benchmark, tmp_path):
 
 def test_fpga_latency_amortizes_with_batch(tmp_path):
     _, path, _ = _build("resnet_tiny", tmp_path)
-    engine = InferenceEngine.load(path)
+    engine = Deployment.load(path, batch=BATCH).engine
     single = engine.fpga_latency_ms(1)
     batched = engine.fpga_latency_ms(BATCH)
     per_request = batched / BATCH

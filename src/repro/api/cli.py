@@ -7,7 +7,8 @@ stop drifting apart:
   -> calibrate (PTQ) -> deploy, writing a verified serving artifact;
 - ``export``  — alias of ``quantize`` (the historical spelling; same flags);
 - ``serve``   — forwarded to ``python -m repro.serve`` (``export | info |
-  run``);
+  run | up``; ``up`` starts a live multi-model server speaking JSON-lines
+  on stdin/stdout);
 - ``experiment`` — forwarded to ``python -m repro.experiments.runner``
   (paper tables/figures);
 - ``registry`` — list the registered schemes and methods.
@@ -34,7 +35,7 @@ usage: python -m repro <command> [args...]
 commands:
   quantize    configure -> calibrate -> deploy a zoo model via repro.api
   export      alias of 'quantize' (the historical spelling)
-  serve       serving artifacts: export | info | run
+  serve       serving artifacts: export | info | run | up (live server)
   experiment  regenerate a paper table/figure (runner CLI)
   registry    list registered quantization schemes and methods
 

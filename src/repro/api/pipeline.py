@@ -47,6 +47,7 @@ from repro.serve.export import build_artifact, eager_forward
 from repro.serve.plan import ExecutionPlan
 from repro.serve.ptq import post_training_quantize
 from repro.serve.scheduler import BatchScheduler, ServeStats
+from repro.serve.server import ModelServer
 
 
 def _batch_input(batch) -> Optional[np.ndarray]:
@@ -115,19 +116,23 @@ class QuantizedModel:
                sample_input: Optional[np.ndarray] = None,
                design: Optional[GemmDesign] = None,
                name: str = "model", path=None,
-               backend: str = DEFAULT_BACKEND) -> "Deployment":
+               backend: str = DEFAULT_BACKEND,
+               max_wait_ms: Optional[float] = None) -> "Deployment":
         """Export, compile and wrap this model into a :class:`Deployment`.
 
         ``backend`` selects the serving kernel set (see
         :func:`repro.serve.list_backends`); any optimized backend is
         verified bit-identical to the reference at compile time.
+        ``max_wait_ms`` sets the deployment's dynamic-batching deadline
+        (how long a partial batch may wait for co-riders when served
+        through ``serve()`` or a :class:`~repro.serve.server.ModelServer`).
         """
         artifact = self.export(sample_input, name=name, path=path)
         return Deployment(artifact,
                           batch=batch if batch is not None
                           else self.config.batch,
                           design=_resolve_design(self.config, design),
-                          backend=backend)
+                          backend=backend, max_wait_ms=max_wait_ms)
 
     def _sample(self, sample_input) -> np.ndarray:
         sample = sample_input if sample_input is not None else self.sample_input
@@ -144,29 +149,38 @@ class Deployment:
     ``deployment.predict(x)`` serves a single request or an ``(N, ...)``
     batch (split into micro-batches of at most ``batch``); results are
     bit-identical to the eager quantized model — the artifact export
-    verified that. ``serve()`` drains payloads through the micro-batching
-    scheduler for full latency/throughput accounting.
+    verified that. ``serve()`` drains payloads through the dynamic
+    batcher for full latency/throughput accounting, and ``server()``
+    hosts this deployment in an async multi-model
+    :class:`~repro.serve.server.ModelServer` (futures, time-based
+    batching via ``max_wait_ms``, lifecycle).
     """
 
     def __init__(self, artifact, batch: int = 16,
                  design: Optional[GemmDesign] = None,
-                 backend: str = DEFAULT_BACKEND):
+                 backend: str = DEFAULT_BACKEND,
+                 max_wait_ms: Optional[float] = None):
         if int(batch) < 1:
             raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        if max_wait_ms is not None and max_wait_ms < 0:
+            raise ConfigurationError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
         self.artifact = artifact
         self.plan = ExecutionPlan(artifact, backend=backend)
         self.engine = InferenceEngine(self.plan, design=design)
         self.batch = int(batch)
+        self.max_wait_ms = max_wait_ms
 
     @classmethod
     def load(cls, path, batch: int = 16,
              design: Optional[GemmDesign] = None,
-             backend: str = DEFAULT_BACKEND) -> "Deployment":
+             backend: str = DEFAULT_BACKEND,
+             max_wait_ms: Optional[float] = None) -> "Deployment":
         """Reload a saved artifact into a servable deployment."""
         from repro.serve.artifact import ServeArtifact
 
         return cls(ServeArtifact.load(path), batch=batch, design=design,
-                   backend=backend)
+                   backend=backend, max_wait_ms=max_wait_ms)
 
     @property
     def backend(self) -> str:
@@ -182,15 +196,60 @@ class Deployment:
                   for start in range(0, x.shape[0], self.batch)]
         return np.concatenate(chunks, axis=0)
 
-    def serve(self, payloads: Iterable[np.ndarray]) -> ServeStats:
-        """Drain single-request payloads through the batch scheduler."""
-        scheduler = self.scheduler()
+    def serve(self, payloads: Iterable[np.ndarray],
+              max_wait_ms: Optional[float] = None,
+              clock=None) -> ServeStats:
+        """Drain single-request payloads through the dynamic batcher.
+
+        Same micro-batching machinery as :class:`ModelServer`, driven
+        synchronously on the calling thread; the resulting ``ServeStats``
+        are bit-identical to the legacy ``BatchScheduler`` drain.
+        ``max_wait_ms`` overrides the deployment's batching deadline for
+        this drain (irrelevant when all payloads are pre-queued, but kept
+        symmetric with the server path); ``clock`` is injectable for
+        deterministic accounting in tests.
+        """
+        server = ModelServer(workers=0, max_batch=self.batch,
+                             **({"clock": clock} if clock is not None
+                                else {}))
+        server.add("model", self,
+                   max_wait_ms=max_wait_ms if max_wait_ms is not None
+                   else self.max_wait_ms)
+        futures = []
         for payload in payloads:
-            scheduler.submit(payload)
-        return scheduler.run()
+            future = server.submit("model", payload)
+            if future.done() and future.exception() is not None:
+                raise future.exception()
+            futures.append(future)
+        server.drain()
+        # The legacy scheduler propagated batch-execution failures; so
+        # does this drain (the server records them per model, but a
+        # synchronous caller wants the exception).
+        for future in futures:
+            error = future.exception(timeout=0)
+            if error is not None:
+                raise error
+        stats = server.stats()["model"].to_serve_stats()
+        server.close()
+        return stats
+
+    def server(self, name: str = "model", workers: int = 2,
+               max_wait_ms: Optional[float] = None,
+               warmup: bool = False) -> ModelServer:
+        """Wrap this deployment in a fresh async :class:`ModelServer`
+        hosting it under ``name`` (load more models with ``server.load``)."""
+        server = ModelServer(workers=workers, max_batch=self.batch)
+        server.add(name, self, max_wait_ms=max_wait_ms, warmup=warmup)
+        return server
 
     def scheduler(self, **kwargs) -> BatchScheduler:
-        """A fresh micro-batching scheduler over this deployment's engine."""
+        """Deprecated: a legacy synchronous scheduler over this engine."""
+        import warnings
+
+        warnings.warn(
+            "Deployment.scheduler is deprecated; use Deployment.serve, "
+            "or Deployment.server() / repro.serve.ModelServer for the "
+            "async API", DeprecationWarning, stacklevel=2)
         kwargs.setdefault("max_batch", self.batch)
         return BatchScheduler(self.engine, **kwargs)
 
@@ -329,14 +388,15 @@ class Pipeline:
                sample_input: Optional[np.ndarray] = None,
                design: Optional[GemmDesign] = None,
                name: str = "model", path=None,
-               backend: str = DEFAULT_BACKEND) -> Deployment:
+               backend: str = DEFAULT_BACKEND,
+               max_wait_ms: Optional[float] = None) -> Deployment:
         """Deploy the latest ``fit()``/``calibrate()`` result."""
         if self.result is None:
             raise ConfigurationError(
                 "nothing to deploy; run fit() or calibrate() first")
         return self.result.deploy(batch=batch, sample_input=sample_input,
                                   design=design, name=name, path=path,
-                                  backend=backend)
+                                  backend=backend, max_wait_ms=max_wait_ms)
 
     # ------------------------------------------------------------------
     def _model(self, model: Optional[Module]) -> Module:

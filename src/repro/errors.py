@@ -29,3 +29,8 @@ class ShapeError(ReproError, ValueError):
 
 class ExportError(ReproError):
     """A model could not be exported to (or loaded from) a serving artifact."""
+
+
+class ServingError(ReproError):
+    """A request could not be served (unknown model, stopped server,
+    failed batch, malformed wire request)."""

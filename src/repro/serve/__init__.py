@@ -16,7 +16,8 @@ Compile-and-serve pipeline and the module implementing each stage::
         -> kernel backend (reference | fused)    (serve.backends)
         -> ExecutionPlan facade                  (serve.plan)
         -> InferenceEngine                       (serve.engine)
-        -> BatchScheduler -> ServeStats          (serve.scheduler)
+        -> DynamicBatcher -> execute_batch       (serve.batcher / scheduler)
+        -> ModelServer -> InferenceFuture        (serve.server / futures)
 
 The artifact stores exactly what the FPGA datapath would: packed integer
 weight words (Table I encodings via :mod:`repro.quant.encoding`), the
@@ -27,8 +28,19 @@ the eager quantized model on **every** backend — the reference backend is
 verified against eager at export, and every other backend is verified
 against the reference at compile time.
 
+Requests are served through :class:`~repro.serve.server.ModelServer`: an
+async multi-model front end — ``submit(model, x)`` returns an
+:class:`~repro.serve.futures.InferenceFuture`, per-model
+:class:`~repro.serve.batcher.DynamicBatcher`\\ s flush on ``max_batch`` or
+``max_wait_ms``, background workers execute one in-flight batch per model,
+and ``load``/``unload``/``alias``/``warmup`` manage the hosted set. The
+old synchronous ``BatchScheduler`` surface remains for one release as a
+deprecated single-model facade over the same machinery.
+
 ``python -m repro.serve`` exposes the export/info/run loop on the command
-line (``run --backend fused`` picks the kernels); see :mod:`repro.serve.cli`.
+line (``run --backend fused`` picks the kernels; ``up`` starts a
+multi-model server speaking JSON-lines on stdin/stdout); see
+:mod:`repro.serve.cli`.
 """
 
 from repro.serve.artifact import ServeArtifact
@@ -38,17 +50,26 @@ from repro.serve.backends import (
     list_backends,
     register_backend,
 )
-from repro.serve.engine import EngineStats, InferenceEngine
+from repro.serve.batcher import DynamicBatcher, coerce_payload
+from repro.serve.engine import EngineStats, InferenceEngine, ThroughputStats
 from repro.serve.export import build_artifact, eager_forward, export_model
+from repro.serve.futures import InferenceFuture, gather
 from repro.serve.ir import Graph, IRNode, lower_artifact
 from repro.serve.plan import ExecutionPlan
 from repro.serve.ptq import post_training_quantize
-from repro.serve.scheduler import BatchScheduler, ServedRequest, ServeStats
+from repro.serve.scheduler import (
+    BatchScheduler,
+    ServedRequest,
+    ServeStats,
+    execute_batch,
+)
+from repro.serve.server import ModelServer, ModelStats
 
 __all__ = [
     "ServeArtifact",
     "EngineStats",
     "InferenceEngine",
+    "ThroughputStats",
     "build_artifact",
     "eager_forward",
     "export_model",
@@ -61,6 +82,13 @@ __all__ = [
     "lower_artifact",
     "register_backend",
     "post_training_quantize",
+    "DynamicBatcher",
+    "coerce_payload",
+    "execute_batch",
+    "InferenceFuture",
+    "gather",
+    "ModelServer",
+    "ModelStats",
     "BatchScheduler",
     "ServedRequest",
     "ServeStats",

@@ -1,26 +1,34 @@
 """Command-line entry point: ``python -m repro.serve <command>``.
 
-Three subcommands cover the export → inspect → serve loop end to end with
+Four subcommands cover the export → inspect → serve loop end to end with
 synthetic data, so the whole serving path can be exercised without training:
 
 - ``export`` — build a model from the small zoo, post-training-quantize it
   (MSQ weights + calibrated activation ranges), and write a verified
   artifact;
 - ``info`` — print an artifact's manifest summary and GEMM workloads;
-- ``run`` — load an artifact, push synthetic requests through the
-  :class:`~repro.serve.scheduler.BatchScheduler`, and report wall-clock and
-  simulated-FPGA serving statistics.
+- ``run`` — load an artifact, push synthetic requests through the dynamic
+  batcher (:class:`~repro.serve.server.ModelServer`, synchronous mode),
+  and report wall-clock and simulated-FPGA serving statistics;
+- ``up`` — start a live multi-model server (``--model name=path``,
+  repeatable) speaking a JSON-lines protocol on stdin/stdout:
+  ``{"model": "resnet", "input": [...], "id": 7}`` in,
+  ``{"id": 7, "model": "resnet", "output": [...], "latency_ms": ...}``
+  out; ``{"op": "stats"}`` emits a per-model statistics line. Responses
+  preserve per-model submission order; batches form dynamically from
+  whatever arrives within ``--max-wait-ms``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, ServingError
 
 
 def _resnet_tiny(rng):
@@ -136,26 +144,176 @@ def cmd_info(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    from repro.serve.engine import InferenceEngine
-    from repro.serve.scheduler import BatchScheduler
+def synthetic_payloads(plan, count: int, seed: int = 0):
+    """``count`` random single-request payloads matching a plan's input."""
+    rng = np.random.default_rng(seed)
+    shape, dtype = plan.input_shape, plan.input_dtype
+    if np.issubdtype(dtype, np.floating):
+        return [rng.normal(size=shape).astype(dtype) for _ in range(count)]
+    token_bound = plan.graph.token_bound()
+    return [rng.integers(0, token_bound, size=shape).astype(dtype)
+            for _ in range(count)]
 
-    engine = InferenceEngine.load(args.artifact, backend=args.backend)
-    scheduler = BatchScheduler(engine, max_batch=args.batch)
-    rng = np.random.default_rng(args.seed)
-    shape = engine.plan.input_shape
-    dtype = engine.plan.input_dtype
-    token_bound = engine.plan.graph.token_bound()
-    for _ in range(args.requests):
-        if np.issubdtype(dtype, np.floating):
-            payload = rng.normal(size=shape).astype(dtype)
-        else:
-            payload = rng.integers(0, token_bound, size=shape).astype(dtype)
-        scheduler.submit(payload)
-    stats = scheduler.run()
+
+def cmd_run(args) -> int:
+    from repro.serve.server import ModelServer
+
+    server = ModelServer(workers=0, max_batch=args.batch)
+    server.load("model", args.artifact, backend=args.backend,
+                batch=args.batch)
+    payloads = synthetic_payloads(server.plan("model"), args.requests,
+                                  seed=args.seed)
+    futures = server.submit_many("model", payloads)
+    server.drain()
+    for future in futures:
+        future.result(timeout=0)
+    stats = server.stats()["model"].to_serve_stats()
+    server.close()
     print(f"served {args.requests} synthetic requests "
           f"(max_batch={args.batch})")
     print(stats.format())
+    return 0
+
+
+def serve_protocol(server, lines, out) -> int:
+    """Drive a :class:`ModelServer` over the JSON-lines wire protocol.
+
+    ``lines`` is any iterable of text lines (sys.stdin, a pipe, a list in
+    tests); responses are written to ``out`` as one JSON object per line.
+    Inference responses preserve submission order (FIFO is a serving
+    guarantee, so head-of-line blocking here is by design) and are
+    flushed as soon as their future resolves — a done-callback fires the
+    flush from the worker thread, so a strict request-then-response
+    client works even while this loop is blocked reading the next line.
+    A ``{"op": "stats"}`` line emits a statistics object immediately.
+    Returns the number of inference requests answered.
+    """
+    import threading
+
+    outstanding = []   # (request id, model, future) in submission order
+    wire = threading.Lock()   # guards `outstanding` and response writes
+
+    def emit(payload) -> None:
+        out.write(json.dumps(payload) + "\n")
+        try:
+            out.flush()
+        except (AttributeError, ValueError):
+            pass
+
+    def response(request_id, model, future):
+        error = future.exception(timeout=None)
+        if error is not None:
+            return {"id": request_id, "model": model, "error": str(error)}
+        request = future.request
+        return {
+            "id": request_id, "model": model,
+            "output": np.asarray(future.result()).tolist(),
+            "latency_ms": round(request.latency_ms, 3),
+            "batch_id": request.batch_id,
+            "batch_size": request.batch_size,
+        }
+
+    def flush_completed() -> None:
+        with wire:
+            while outstanding and outstanding[0][2].done():
+                request_id, model, future = outstanding.pop(0)
+                emit(response(request_id, model, future))
+
+    served = 0
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            message = json.loads(line)
+            if not isinstance(message, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as error:
+            with wire:
+                emit({"error": f"malformed request: {error}"})
+            continue
+        op = message.get("op", "infer")
+        if op == "stats":
+            with wire:
+                emit_stats(server, emit)
+            continue
+        if op != "infer":
+            with wire:
+                emit({"error": f"unknown op {op!r}"})
+            continue
+        model = message.get("model")
+        if model is None or "input" not in message:
+            with wire:
+                emit({"error": "infer request needs 'model' and 'input'",
+                      "id": message.get("id")})
+            continue
+        try:
+            # np.asarray can itself reject ragged/mixed-type input; a bad
+            # request must answer an error line, never kill the server.
+            future = server.submit(model, np.asarray(message["input"]))
+        except (ServingError, ValueError, TypeError) as error:
+            with wire:
+                emit({"id": message.get("id"), "model": model,
+                      "error": str(error)})
+            continue
+        with wire:
+            outstanding.append((message.get("id"), model, future))
+        served += 1
+        # Resolution (possibly on a worker thread) flushes the head of
+        # the line; calling it here too covers already-failed submits.
+        future.add_done_callback(lambda _: flush_completed())
+        flush_completed()
+    # EOF: force-serve what never filled a batch, answer everything left.
+    server.drain()
+    with wire:
+        while outstanding:
+            request_id, model, future = outstanding.pop(0)
+            emit(response(request_id, model, future))
+    return served
+
+
+def emit_stats(server, emit) -> None:
+    """Write one ``{"op": "stats"}`` response line for every model."""
+    emit({"op": "stats",
+          "models": {name: {
+              "requests": stats.requests,
+              "batches": stats.batches,
+              "requests_per_second": round(stats.requests_per_second, 1),
+              "latency_ms_p50": round(stats.latency_ms_p50, 3),
+              "latency_ms_p95": round(stats.latency_ms_p95, 3),
+              "latency_ms_p99": round(stats.latency_ms_p99, 3),
+              "mean_batch_fill": round(stats.mean_batch_fill, 3),
+              "queue_depth": stats.queue_depth,
+          } for name, stats in server.stats().items()}})
+
+
+def cmd_up(args) -> int:
+    from repro.serve.server import ModelServer
+
+    hosted = []
+    for spec in args.model:
+        name, equals, path = spec.partition("=")
+        if not equals or not name or not path:
+            raise ConfigurationError(
+                f"--model expects name=path, got {spec!r}")
+        hosted.append((name, path))
+    server = ModelServer(workers=args.workers, max_batch=args.batch,
+                         max_wait_ms=args.max_wait_ms)
+    try:
+        for name, path in hosted:
+            server.load(name, path, backend=args.backend,
+                        warmup=args.warmup)
+        print(f"serving {len(hosted)} model(s) "
+              f"[{', '.join(name for name, _ in hosted)}] "
+              f"(backend={args.backend}, batch={args.batch}, "
+              f"max_wait_ms={args.max_wait_ms}, workers={args.workers}); "
+              "JSON-lines on stdin", file=sys.stderr)
+        served = serve_protocol(server, sys.stdin, sys.stdout)
+    finally:
+        server.close()
+    print(f"served {served} request(s)", file=sys.stderr)
+    for line in server.format_stats().splitlines():
+        print(line, file=sys.stderr)
     return 0
 
 
@@ -197,6 +355,24 @@ def main(argv=None) -> int:
                           "bit-identical at compile time)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=cmd_run)
+
+    up = sub.add_parser(
+        "up", help="start a live multi-model server "
+                   "(JSON-lines requests on stdin)")
+    up.add_argument("--model", action="append", required=True,
+                    metavar="NAME=PATH",
+                    help="host an artifact under NAME (repeatable)")
+    up.add_argument("--batch", type=int, default=16,
+                    help="max dynamic batch size per model")
+    up.add_argument("--max-wait-ms", type=float, default=2.0,
+                    help="deadline a partial batch waits for co-riders")
+    up.add_argument("--backend", default=DEFAULT_BACKEND,
+                    choices=list_backends())
+    up.add_argument("--workers", type=int, default=2,
+                    help="background worker threads (0 = serve at EOF)")
+    up.add_argument("--warmup", action="store_true",
+                    help="bind scratch + verify batch sizes before serving")
+    up.set_defaults(func=cmd_up)
 
     args = parser.parse_args(argv)
     try:

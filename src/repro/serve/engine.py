@@ -1,34 +1,47 @@
 """Inference engine: an execution plan plus serving instrumentation.
 
-``InferenceEngine`` is the unit the batch scheduler drives: it runs
+``InferenceEngine`` is the unit batch execution drives: it runs
 micro-batches through a loaded :class:`~repro.serve.plan.ExecutionPlan`,
 keeps wall-clock counters, and prices every batch size it sees on the
 configured accelerator design (cached — the cycle model runs once per
 distinct batch size, not per request).
+
+This module also owns :class:`ThroughputStats`, the one shared mixin
+behind every stats dataclass in the serving stack (``EngineStats`` here,
+``ServeStats`` in :mod:`repro.serve.scheduler`, ``ModelStats`` in
+:mod:`repro.serve.server`): derived throughput/latency metrics are defined
+once, and ``merge()`` aggregates same-typed stats across models or
+workers.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.fpga.resources import GemmDesign, reference_designs
 from repro.serve.backends import DEFAULT_BACKEND
 from repro.serve.plan import ExecutionPlan
 
 
-@dataclass
-class EngineStats:
-    """Lifetime counters of one engine."""
+class ThroughputStats:
+    """Derived serving metrics over the common counter fields.
 
-    requests: int = 0
-    batches: int = 0
-    wall_seconds: float = 0.0
-    fpga_ms: float = 0.0
+    Mixed into the stats dataclasses; expects ``requests``, ``batches``
+    and ``wall_seconds`` attributes, and optionally ``latencies_ms``
+    (per-request queue+service latencies) and ``fpga_ms_total`` /
+    ``fpga_ms`` (simulated accelerator time). Dataclasses without a field
+    simply report 0 for the metrics that need it.
+    """
 
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
@@ -37,6 +50,98 @@ class EngineStats:
     def requests_per_second(self) -> float:
         return (self.requests / self.wall_seconds
                 if self.wall_seconds > 0 else 0.0)
+
+    # ------------------------------------------------------------------
+    # Latency percentiles (0 when the dataclass keeps no latency list)
+    # ------------------------------------------------------------------
+    def _latencies(self):
+        return getattr(self, "latencies_ms", None) or []
+
+    def _percentile(self, q: float) -> float:
+        latencies = self._latencies()
+        return float(np.percentile(latencies, q)) if latencies else 0.0
+
+    @property
+    def latency_ms_mean(self) -> float:
+        latencies = self._latencies()
+        return float(np.mean(latencies)) if latencies else 0.0
+
+    @property
+    def latency_ms_p50(self) -> float:
+        return self._percentile(50)
+
+    @property
+    def latency_ms_p95(self) -> float:
+        return self._percentile(95)
+
+    @property
+    def latency_ms_p99(self) -> float:
+        return self._percentile(99)
+
+    # Short spellings, matching the server/benchmark report columns.
+    p50_ms = latency_ms_p50
+    p95_ms = latency_ms_p95
+    p99_ms = latency_ms_p99
+
+    # ------------------------------------------------------------------
+    # Simulated FPGA
+    # ------------------------------------------------------------------
+    def _fpga_total(self) -> float:
+        total = getattr(self, "fpga_ms_total", None)
+        if total is None:
+            total = getattr(self, "fpga_ms", 0.0)
+        return total
+
+    @property
+    def fpga_ms_per_request(self) -> float:
+        return self._fpga_total() / self.requests if self.requests else 0.0
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def merge(self, *others: "ThroughputStats") -> "ThroughputStats":
+        """Aggregate same-typed stats (across models, workers, drains).
+
+        Counters and wall/FPGA time sum (``wall_seconds`` is busy time, so
+        a merge across concurrent workers reports conservative throughput),
+        latency lists concatenate, equal strings are kept and differing
+        ones collapse to ``"mixed"``. A field whose dataclass metadata
+        sets ``merge="max"`` takes the maximum instead (e.g. a capacity
+        like ``max_batch``).
+        """
+        for other in others:
+            if type(other) is not type(self):
+                raise ConfigurationError(
+                    f"cannot merge {type(other).__name__} into "
+                    f"{type(self).__name__}")
+        merged = {}
+        for spec in dataclasses.fields(self):
+            values = [getattr(stats, spec.name)
+                      for stats in (self, *others)]
+            first = values[0]
+            if spec.metadata.get("merge") == "max":
+                merged[spec.name] = max(values)
+            elif isinstance(first, (int, float)):
+                merged[spec.name] = sum(values)
+            elif isinstance(first, list):
+                merged[spec.name] = [item for value in values
+                                     for item in value]
+            elif isinstance(first, str):
+                merged[spec.name] = first if all(v == first
+                                                 for v in values) else "mixed"
+            else:
+                merged[spec.name] = first
+        return type(self)(**merged)
+
+
+@dataclass
+class EngineStats(ThroughputStats):
+    """Lifetime counters of one engine."""
+
+    requests: int = 0
+    batches: int = 0
+    wall_seconds: float = 0.0
+    fpga_ms: float = 0.0
 
 
 class InferenceEngine:
@@ -88,3 +193,15 @@ class InferenceEngine:
             performance = self.plan.simulate(self.design, batch=batch_size)
             self._fpga_latency_cache[batch_size] = performance.latency_ms
         return self._fpga_latency_cache[batch_size]
+
+    def warmup(self, batch_sizes=(1,)) -> None:
+        """Bind scratch and run per-size verification outside the counters.
+
+        One forward per listed batch size goes straight to the plan, so
+        first-request latency excludes the lazy oracle compile and scratch
+        allocation. Counters and the FPGA price cache are left untouched.
+        """
+        shape = self.plan.input_shape
+        dtype = self.plan.input_dtype
+        for size in batch_sizes:
+            self.plan.forward(np.zeros((int(size),) + shape, dtype=dtype))

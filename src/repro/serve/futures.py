@@ -1,0 +1,112 @@
+"""Inference futures: the async half of the serving API.
+
+``ModelServer.submit`` returns an :class:`InferenceFuture` immediately; the
+result materializes when a worker (or a synchronous ``drain``) serves the
+micro-batch the request was coalesced into. The future carries the served
+:class:`~repro.serve.batcher.ServedRequest` record, so per-request
+accounting (queue+service latency, batch id/size, simulated FPGA share)
+stays reachable from the handle the caller already holds.
+
+A tiny purpose-built future (rather than ``concurrent.futures.Future``)
+keeps the contract explicit: exactly one resolution, results are numpy
+arrays, and the request record rides along.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+class InferenceFuture:
+    """Handle to one submitted request; resolves to its output array."""
+
+    def __init__(self, model: Optional[str] = None):
+        self.model = model
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._request = None            # ServedRequest, set on success
+        self._callbacks: List[Callable[["InferenceFuture"], None]] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until served; returns the output or raises the failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request{f' for model {self.model!r}' if self.model else ''}"
+                f" not served within {timeout} s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request not served within {timeout} s")
+        return self._error
+
+    @property
+    def request(self):
+        """The served request record (latency, batch id/size, FPGA share)."""
+        return self._request
+
+    @property
+    def latency_ms(self) -> float:
+        if self._request is None:
+            raise ServingError("request not served yet; no latency")
+        return self._request.latency_ms
+
+    def add_done_callback(self,
+                          fn: Callable[["InferenceFuture"], None]) -> None:
+        """Run ``fn(self)`` once resolved (immediately if already done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    # ------------------------------------------------------------------
+    # Resolution (server/executor side)
+    # ------------------------------------------------------------------
+    def _resolve(self, result: np.ndarray, request=None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise ServingError("future resolved twice")
+            self._result = result
+            self._request = request
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise ServingError("future resolved twice")
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._event.is_set():
+            state = "error" if self._error is not None else "done"
+        model = f" model={self.model!r}" if self.model else ""
+        return f"<InferenceFuture{model} {state}>"
+
+
+def gather(futures: Iterable[InferenceFuture],
+           timeout: Optional[float] = None) -> List[np.ndarray]:
+    """Results of every future, in order; raises the first failure."""
+    return [future.result(timeout) for future in futures]

@@ -70,6 +70,21 @@ class ExecutionPlan:
 
     __call__ = forward
 
+    def per_request_outputs(self, outputs: np.ndarray,
+                            batch_size: int) -> np.ndarray:
+        """View of a ``forward`` result with the request axis leading.
+
+        Most plans already return ``(N, ...)``. Time-merged RNN decoders
+        return ``(N*T, ...)`` (the leading per-request dim is folded into
+        the batch axis for one big GEMM); this reshapes — a view, no copy
+        — to ``(N, T, ...)`` so ``[i]`` is request ``i``'s full output.
+        """
+        node = self.graph.node(self.graph.output_id)
+        if node.merged_time:
+            return outputs.reshape((batch_size,)
+                                   + tuple(node.output_shape))
+        return outputs
+
     # ------------------------------------------------------------------
     # FPGA cost model
     # ------------------------------------------------------------------

@@ -1,64 +1,49 @@
-"""Micro-batching request scheduler with latency/throughput accounting.
+"""Batch execution and the legacy synchronous scheduler facade.
 
-``BatchScheduler`` coalesces queued single requests into micro-batches of at
-most ``max_batch`` and runs each batch through an
-:class:`~repro.serve.engine.InferenceEngine` in one plan pass. Requests are
-served strictly FIFO; an artifact fixes one input shape, so ``submit``
-validates each payload against it up front (shape mismatch is an immediate
-error, not a deferred batch failure) and coerces the dtype to the plan's.
+The machinery that used to live inside ``BatchScheduler`` is now split in
+two: batch *forming* is :class:`~repro.serve.batcher.DynamicBatcher`
+(FIFO, size-or-deadline flush) and batch *execution* is
+:func:`execute_batch` (one engine pass per formed micro-batch, request
+records filled in, futures resolved). :class:`~repro.serve.server.ModelServer`
+drives both asynchronously for many models at once; this module keeps the
+single-model pieces:
 
-Accounting reports both clocks the ROADMAP cares about:
+- :class:`ServeStats` — aggregate statistics of one drain, built on the
+  shared :class:`~repro.serve.engine.ThroughputStats` mixin;
+- :func:`execute_batch` — the one place a formed batch meets an engine
+  (wall-clock discipline identical to the pre-refactor scheduler:
+  FPGA pricing first, then clock / infer / clock);
+- :class:`BatchScheduler` — the old synchronous ``submit``/``step``/``run``
+  surface, now a thin deprecated facade over the same machinery. It emits
+  ``DeprecationWarning`` for one release and produces bit-identical
+  results and ``ServeStats``; use ``Deployment.serve`` or
+  :class:`~repro.serve.server.ModelServer` instead.
 
-- **wall-clock** — numpy time actually spent, per-request queue+service
-  latency percentiles, requests/sec;
-- **simulated FPGA** — the accelerator cycle model's latency for each
-  micro-batch (:meth:`ExecutionPlan.simulate`), showing how batching fills
-  the GEMM cores' output-position lanes.
-
-The scheduler is deliberately synchronous and deterministic: ``submit`` only
-enqueues; ``step`` serves exactly one micro-batch; ``run`` drains the queue.
 An injectable ``clock`` makes the latency accounting unit-testable.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
+import warnings
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.serve.engine import InferenceEngine
+from repro.serve.batcher import (
+    DynamicBatcher,
+    ServedRequest,
+    coerce_payload,
+)
+from repro.serve.engine import InferenceEngine, ThroughputStats
+
+__all__ = ["ServedRequest", "ServeStats", "execute_batch", "BatchScheduler"]
 
 
 @dataclass
-class ServedRequest:
-    """One enqueued inference request and, once served, its result."""
-
-    id: int
-    payload: np.ndarray
-    enqueued_at: float
-    completed_at: Optional[float] = None
-    result: Optional[np.ndarray] = None
-    batch_id: Optional[int] = None
-    batch_size: Optional[int] = None
-    fpga_ms: Optional[float] = None   # batch FPGA latency / batch size
-
-    @property
-    def done(self) -> bool:
-        return self.completed_at is not None
-
-    @property
-    def latency_ms(self) -> float:
-        if not self.done:
-            raise ConfigurationError(f"request {self.id} not served yet")
-        return (self.completed_at - self.enqueued_at) * 1e3
-
-
-@dataclass
-class ServeStats:
+class ServeStats(ThroughputStats):
     """Aggregate statistics of one scheduler drain."""
 
     requests: int
@@ -67,35 +52,6 @@ class ServeStats:
     latencies_ms: List[float]
     fpga_ms_total: float
     backend: str = "reference"   # kernel backend that served the requests
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.requests / self.batches if self.batches else 0.0
-
-    @property
-    def requests_per_second(self) -> float:
-        return (self.requests / self.wall_seconds
-                if self.wall_seconds > 0 else 0.0)
-
-    @property
-    def latency_ms_mean(self) -> float:
-        return float(np.mean(self.latencies_ms)) if self.latencies_ms else 0.0
-
-    @property
-    def latency_ms_p95(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        return float(np.percentile(self.latencies_ms, 95))
-
-    @property
-    def fpga_ms_per_request(self) -> float:
-        return self.fpga_ms_total / self.requests if self.requests else 0.0
-
-    @property
-    def latency_ms_p50(self) -> float:
-        if not self.latencies_ms:
-            return 0.0
-        return float(np.percentile(self.latencies_ms, 50))
 
     def format(self) -> str:
         return "\n".join([
@@ -112,8 +68,54 @@ class ServeStats:
         ])
 
 
+def execute_batch(engine: InferenceEngine,
+                  batch: Sequence[ServedRequest],
+                  clock, batch_id: int) -> float:
+    """Serve one formed micro-batch in a single engine pass.
+
+    Fills every request record (result, completion time, batch id/size,
+    per-request FPGA share) and resolves attached futures. On an execution
+    failure every future in the batch is failed with the error before it
+    propagates. Returns the wall seconds spent serving.
+
+    The clock discipline is the legacy scheduler's, verbatim: the batch
+    size is priced on the cycle model *before* the wall clock starts (a
+    cost-model cache miss must not count against serving latency), then
+    exactly two clock reads bracket the engine pass.
+    """
+    fpga_ms = engine.fpga_latency_ms(len(batch))
+    started = clock()
+    try:
+        outputs = engine.infer(np.stack([r.payload for r in batch]))
+    except Exception as error:
+        for request in batch:
+            request.error = error
+            if request.future is not None:
+                request.future._fail(error)
+        raise
+    completed = clock()
+    # Time-merged plans return (N*T, ...); re-view as (N, T, ...) so each
+    # request gets its whole output, not a single flattened row.
+    outputs = engine.plan.per_request_outputs(outputs, len(batch))
+    for index, request in enumerate(batch):
+        request.result = outputs[index]
+        request.completed_at = completed
+        request.batch_id = batch_id
+        request.batch_size = len(batch)
+        request.fpga_ms = fpga_ms / len(batch)
+        if request.future is not None:
+            request.future._resolve(outputs[index], request)
+    return completed - started
+
+
 class BatchScheduler:
-    """Coalesce queued requests into micro-batches and serve them."""
+    """Deprecated synchronous facade: coalesce, serve, account — one model.
+
+    The ``submit``/``step``/``run`` surface is kept for one release and
+    warns; it drives the exact same batcher + executor as the new API, so
+    results and ``ServeStats`` are bit-identical to both the pre-refactor
+    scheduler and ``Deployment.serve``.
+    """
 
     def __init__(self, engine: InferenceEngine, max_batch: int = 16,
                  clock=time.perf_counter):
@@ -122,61 +124,54 @@ class BatchScheduler:
         self.engine = engine
         self.max_batch = max_batch
         self._clock = clock
-        self._queue: Deque[ServedRequest] = deque()
-        self._next_id = 0
+        self._batcher = DynamicBatcher(max_batch, max_wait_ms=None,
+                                       clock=clock)
         self._batches_served = 0
         self._served: List[ServedRequest] = []
         self._serve_seconds = 0.0
 
+    @staticmethod
+    def _warn(method: str, replacement: str) -> None:
+        warnings.warn(
+            f"BatchScheduler.{method} is deprecated; use {replacement} "
+            "(see repro.serve.server.ModelServer for the async multi-model "
+            "API)", DeprecationWarning, stacklevel=3)
+
     # ------------------------------------------------------------------
     def submit(self, payload: np.ndarray) -> ServedRequest:
         """Enqueue one request (a single input, no batch dimension)."""
-        payload = np.asarray(payload)
-        expected = self.engine.plan.input_shape
-        if tuple(payload.shape) != expected:
-            raise ConfigurationError(
-                f"request shape {tuple(payload.shape)} != plan input "
-                f"shape {expected}")
-        payload = payload.astype(self.engine.plan.input_dtype, copy=False)
-        request = ServedRequest(id=self._next_id, payload=payload,
-                                enqueued_at=self._clock())
-        self._next_id += 1
-        self._queue.append(request)
-        return request
+        self._warn("submit", "ModelServer.submit or Deployment.serve")
+        return self._submit(payload)
+
+    def _submit(self, payload: np.ndarray) -> ServedRequest:
+        return self._batcher.submit(
+            coerce_payload(self.engine.plan, payload))
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return self._batcher.pending
 
     # ------------------------------------------------------------------
     def step(self) -> List[ServedRequest]:
         """Serve one micro-batch: the next ``max_batch`` queued requests."""
-        if not self._queue:
-            return []
-        batch = [self._queue.popleft()
-                 for _ in range(min(self.max_batch, len(self._queue)))]
+        self._warn("step", "ModelServer workers or Deployment.serve")
+        return self._step()
 
-        # Price the batch size first: a cycle-model cache miss must not
-        # count against the wall-clock/latency numbers below.
-        fpga_ms = self.engine.fpga_latency_ms(len(batch))
-        started = self._clock()
-        outputs = self.engine.infer(np.stack([r.payload for r in batch]))
-        completed = self._clock()
-        for index, request in enumerate(batch):
-            request.result = outputs[index]
-            request.completed_at = completed
-            request.batch_id = self._batches_served
-            request.batch_size = len(batch)
-            request.fpga_ms = fpga_ms / len(batch)
+    def _step(self) -> List[ServedRequest]:
+        batch = self._batcher.take(force=True)
+        if not batch:
+            return []
+        self._serve_seconds += execute_batch(
+            self.engine, batch, self._clock, self._batches_served)
         self._batches_served += 1
-        self._serve_seconds += completed - started
         self._served.extend(batch)
         return batch
 
     def run(self) -> ServeStats:
         """Drain the queue and return the aggregate statistics."""
-        while self._queue:
-            self.step()
+        self._warn("run", "Deployment.serve")
+        while self._batcher.pending:
+            self._step()
         return self.stats()
 
     def stats(self) -> ServeStats:

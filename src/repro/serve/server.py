@@ -1,0 +1,542 @@
+"""Async multi-model serving: futures, dynamic batching, lifecycle.
+
+``ModelServer`` hosts many named deployments in one process and serves
+them concurrently — the serving surface the ROADMAP's "heavy traffic"
+north star asks for, replacing the one-artifact-per-process synchronous
+loop:
+
+    server = ModelServer(workers=2, max_batch=16, max_wait_ms=2.0)
+    server.load("resnet", "rt.npz", backend="fused", warmup=True)
+    server.load("lm", "lm.npz")
+    future = server.submit("resnet", x)        # returns immediately
+    logits = future.result(timeout=5.0)        # bit-identical to eager
+    print(server.stats()["resnet"].format())
+    server.close()
+
+Request path: ``submit`` validates the payload against the model's plan
+(shape mismatch fails the returned future, it never poisons a batch) and
+enqueues it on the model's :class:`~repro.serve.batcher.DynamicBatcher`.
+A batch flushes when it fills (``max_batch``) or when the oldest request's
+deadline (``max_wait_ms``) expires. Background workers claim ready batches
+— at most **one in-flight batch per model**, because a compiled plan's
+pooled scratch is reused across its own batches, while distinct models
+compile to distinct kernels/scratch and run concurrently — and execute
+them through :func:`repro.serve.scheduler.execute_batch`, resolving the
+futures.
+
+Lifecycle: ``load``/``add`` host a model, ``unload`` retires one (its
+queue is drained first), ``alias`` re-points a public name for versioned
+rollover (``resnet -> resnet@v2``), ``warmup`` binds scratch and runs the
+per-batch-size bit-exactness verification before the first real request.
+
+Determinism: with ``workers=0`` nothing runs in the background — callers
+drive execution with ``poll()`` (serve one *ready* batch, honoring
+deadlines against the injectable clock) or ``drain()`` (force-flush
+everything, never reading the clock outside the executor). Tests inject a
+manual clock and step time explicitly; no sleeps anywhere.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError, ServingError
+from repro.fpga.resources import GemmDesign, reference_designs
+from repro.serve.backends import DEFAULT_BACKEND
+from repro.serve.batcher import DynamicBatcher, ServedRequest, coerce_payload
+from repro.serve.engine import InferenceEngine, ThroughputStats
+from repro.serve.futures import InferenceFuture
+from repro.serve.scheduler import ServeStats, execute_batch
+
+__all__ = ["ModelServer", "ModelStats"]
+
+
+@dataclass
+class ModelStats(ThroughputStats):
+    """Serving statistics of one hosted model (a ``stats()`` snapshot)."""
+
+    model: str
+    backend: str
+    max_batch: int = field(metadata={"merge": "max"})
+    requests: int
+    batches: int
+    errors: int
+    wall_seconds: float
+    latencies_ms: List[float]
+    fpga_ms_total: float
+    queue_depth: int
+    in_flight: int
+
+    @property
+    def mean_batch_fill(self) -> float:
+        """Mean served batch size as a fraction of ``max_batch``."""
+        return (self.mean_batch_size / self.max_batch
+                if self.max_batch else 0.0)
+
+    def to_serve_stats(self) -> ServeStats:
+        """The same numbers in the classic single-model ``ServeStats``."""
+        return ServeStats(
+            requests=self.requests, batches=self.batches,
+            wall_seconds=self.wall_seconds,
+            latencies_ms=list(self.latencies_ms),
+            fpga_ms_total=self.fpga_ms_total, backend=self.backend)
+
+    def format(self) -> str:
+        return (
+            f"{self.model} ({self.backend}): {self.requests} req in "
+            f"{self.batches} batches (fill {self.mean_batch_fill:.2f}), "
+            f"{self.requests_per_second:.1f} req/s, "
+            f"p50/p95/p99 {self.latency_ms_p50:.2f}/"
+            f"{self.latency_ms_p95:.2f}/{self.latency_ms_p99:.2f} ms, "
+            f"fpga {self.fpga_ms_per_request:.3f} ms/req, "
+            f"queued {self.queue_depth}"
+            + (f", errors {self.errors}" if self.errors else ""))
+
+
+class _HostedModel:
+    """One model's serving state: engine + batcher + counters.
+
+    ``requests``/``batches``/``serve_seconds`` are lifetime counters; the
+    per-request latency and FPGA-share detail is a bounded window of the
+    most recent ``stats_window`` requests, so a long-lived server neither
+    grows without bound nor pays ever-larger ``stats()`` snapshots.
+    """
+
+    def __init__(self, name: str, engine: InferenceEngine,
+                 batcher: DynamicBatcher, stats_window: int):
+        self.name = name
+        self.engine = engine
+        self.plan = engine.plan
+        self.batcher = batcher
+        self.busy = False            # one in-flight batch per model
+        self.batch_counter = 0
+        self.requests = 0
+        self.batches = 0
+        self.errors = 0
+        self.serve_seconds = 0.0
+        self.latencies_ms = deque(maxlen=stats_window)
+        # Per-request FPGA shares, summed in served order at snapshot
+        # time — float-identical to the legacy scheduler's sum() over its
+        # served-request list while the window holds every request.
+        self.fpga_shares = deque(maxlen=stats_window)
+
+    def snapshot(self) -> ModelStats:
+        return ModelStats(
+            model=self.name, backend=self.engine.backend,
+            max_batch=self.batcher.max_batch,
+            requests=self.requests, batches=self.batches,
+            errors=self.errors, wall_seconds=self.serve_seconds,
+            latencies_ms=list(self.latencies_ms),
+            fpga_ms_total=sum(self.fpga_shares),
+            queue_depth=self.batcher.pending,
+            in_flight=1 if self.busy else 0)
+
+
+def _fail_pending(entry: _HostedModel, error: ServingError) -> None:
+    """Fail every request still queued on one model's batcher."""
+    while True:
+        batch = entry.batcher.take(force=True)
+        if not batch:
+            return
+        for request in batch:
+            request.error = error
+            if request.future is not None:
+                request.future._fail(error)
+
+
+class ModelServer:
+    """Host many named deployments; serve them asynchronously."""
+
+    def __init__(self, workers: int = 2, max_batch: int = 16,
+                 max_wait_ms: Optional[float] = 2.0,
+                 stats_window: int = 65536,
+                 clock=time.perf_counter):
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if stats_window < 1:
+            raise ConfigurationError(
+                f"stats_window must be >= 1, got {stats_window}")
+        self.default_max_batch = int(max_batch)
+        self.default_max_wait_ms = max_wait_ms
+        self.stats_window = int(stats_window)
+        self._clock = clock
+        self._models: Dict[str, _HostedModel] = {}
+        self._aliases: Dict[str, str] = {}
+        self._work = threading.Condition(threading.Lock())
+        self._running = True
+        self._threads: List[threading.Thread] = []
+        for index in range(workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"repro-serve-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def load(self, name: str, source, *, batch: Optional[int] = None,
+             max_wait_ms: Optional[float] = None,
+             backend: str = DEFAULT_BACKEND,
+             design: Optional[GemmDesign] = None,
+             warmup: bool = False) -> str:
+        """Host a model under ``name`` from an artifact path (or anything
+        with an ``.engine``, e.g. an ``api.Deployment``)."""
+        if hasattr(source, "engine"):
+            # A deployment is already compiled: backend/design were fixed
+            # then, so overriding them here would be silently ignored.
+            if backend != DEFAULT_BACKEND or design is not None:
+                raise ConfigurationError(
+                    "backend=/design= apply when loading from an artifact "
+                    "path; this deployment is already compiled "
+                    f"(backend {source.engine.backend!r})")
+            return self.add(name, source, batch=batch,
+                            max_wait_ms=max_wait_ms, warmup=warmup)
+        if isinstance(design, str):
+            designs = reference_designs()
+            if design not in designs:
+                raise ConfigurationError(
+                    f"unknown design {design!r}; "
+                    f"available: {sorted(designs)}")
+            design = designs[design]
+        engine = InferenceEngine.load(source, backend=backend,
+                                      design=design)
+        return self._host(name, engine,
+                          batch if batch is not None
+                          else self.default_max_batch,
+                          max_wait_ms, warmup)
+
+    def add(self, name: str, deployment, *,
+            batch: Optional[int] = None,
+            max_wait_ms: Optional[float] = None,
+            warmup: bool = False) -> str:
+        """Host an already-built deployment (shares its engine/counters)."""
+        if batch is None:
+            batch = getattr(deployment, "batch", self.default_max_batch)
+        if max_wait_ms is None:
+            max_wait_ms = getattr(deployment, "max_wait_ms", None)
+        return self._host(name, deployment.engine, batch, max_wait_ms,
+                          warmup)
+
+    def add_engine(self, name: str, engine: InferenceEngine, *,
+                   batch: Optional[int] = None,
+                   max_wait_ms: Optional[float] = None,
+                   warmup: bool = False) -> str:
+        """Host a bare :class:`InferenceEngine` (the lowest-level hook)."""
+        return self._host(name, engine,
+                          batch if batch is not None
+                          else self.default_max_batch,
+                          max_wait_ms, warmup)
+
+    def _host(self, name: str, engine: InferenceEngine, max_batch: int,
+              max_wait_ms: Optional[float], warmup: bool) -> str:
+        wait = max_wait_ms if max_wait_ms is not None \
+            else self.default_max_wait_ms
+        entry = _HostedModel(name, engine,
+                             DynamicBatcher(max_batch, max_wait_ms=wait,
+                                            clock=self._clock),
+                             stats_window=self.stats_window)
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            if name in self._models:
+                raise ConfigurationError(
+                    f"model {name!r} already loaded; unload it first, or "
+                    f"load a versioned name ({name}@v2) and re-alias")
+            if name in self._aliases:
+                raise ConfigurationError(
+                    f"{name!r} is an alias (-> {self._aliases[name]!r}); "
+                    "pick another name or drop the alias first")
+            self._models[name] = entry
+            self._work.notify_all()
+        if warmup:
+            self.warmup(name)
+        return name
+
+    def unload(self, name: str, drain: bool = True) -> None:
+        """Retire a model (or drop an alias). Pending requests are served
+        first (``drain=True``, default) or failed with ServingError."""
+        with self._work:
+            if name in self._aliases:
+                del self._aliases[name]
+                return
+            entry = self._models.pop(name, None)
+            if entry is None:
+                raise ServingError(
+                    f"unknown model {name!r}; "
+                    f"loaded: {sorted(self._models)}")
+            for alias, target in list(self._aliases.items()):
+                if target == name:
+                    del self._aliases[alias]
+            while entry.busy:      # let an in-flight batch finish
+                self._work.wait(0.05)
+            entry.busy = True      # fence: no worker can re-claim it
+        try:
+            if drain:
+                while True:
+                    batch = entry.batcher.take(force=True)
+                    if not batch:
+                        break
+                    self._run_batch(entry, batch, entry.batch_counter)
+                    entry.batch_counter += 1
+            else:
+                _fail_pending(entry, ServingError(
+                    f"model {name!r} unloaded before serving"))
+        finally:
+            entry.busy = False
+
+    def alias(self, name: str, target: str) -> None:
+        """Point a public name at a hosted model (versioned rollover:
+        ``alias("resnet", "resnet@v2")``). Re-aliasing is allowed."""
+        with self._work:
+            if name in self._models:
+                raise ConfigurationError(
+                    f"{name!r} is a loaded model; aliases cannot shadow it")
+            self._resolve_locked(target)   # must resolve now
+            self._aliases[name] = target
+
+    def warmup(self, name: str) -> None:
+        """Bind scratch + run per-size verification before real traffic."""
+        with self._work:
+            entry = self._resolve_locked(name)
+            while entry.busy:
+                self._work.wait(0.05)
+            entry.busy = True
+        try:
+            entry.engine.warmup((1, entry.batcher.max_batch))
+        finally:
+            with self._work:
+                entry.busy = False
+                self._work.notify_all()
+
+    def models(self) -> List[str]:
+        with self._work:
+            return sorted(self._models)
+
+    def plan(self, model: str):
+        """The compiled :class:`ExecutionPlan` serving ``model`` (resolves
+        aliases) — e.g. for input shape/dtype introspection."""
+        with self._work:
+            return self._resolve_locked(model).plan
+
+    def aliases(self) -> Dict[str, str]:
+        with self._work:
+            return dict(self._aliases)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop workers; serve (or fail) whatever is still queued."""
+        with self._work:
+            if not self._running:
+                return
+            self._running = False
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads = []
+        if drain:
+            self.drain()
+        else:
+            with self._work:
+                entries = list(self._models.values())
+            for entry in entries:
+                _fail_pending(entry, ServingError(
+                    "server closed before serving"))
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, model: str, x) -> InferenceFuture:
+        """Enqueue one request; returns its future immediately.
+
+        Validation failures (wrong shape) resolve the future with the
+        error instead of raising, so a bad request can never stall or
+        poison a batch; an unknown model name raises right away.
+        """
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            entry = self._resolve_locked(model)
+        # Validate/coerce outside the lock — a dtype conversion copies the
+        # payload, and concurrent submitters must not serialize on it.
+        future = InferenceFuture(model=entry.name)
+        try:
+            payload = coerce_payload(entry.plan, x)
+        except ReproError as error:
+            future._fail(error)
+            return future
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            if self._models.get(entry.name) is not entry:
+                future._fail(ServingError(
+                    f"model {entry.name!r} was unloaded"))
+                return future
+            entry.batcher.submit(payload, future=future, model=entry.name)
+            self._work.notify()
+        return future
+
+    def submit_many(self, model: str,
+                    xs: Sequence) -> List[InferenceFuture]:
+        return [self.submit(model, x) for x in xs]
+
+    def predict(self, model: str, x,
+                timeout: Optional[float] = 60.0) -> np.ndarray:
+        """Blocking convenience: submit, (drain if no workers), result."""
+        future = self.submit(model, x)
+        if not self._threads:
+            self.drain()
+        return future.result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Execution (workers, or the caller in workers=0 mode)
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Serve at most one *ready* batch (size- or deadline-flush) on
+        the calling thread; returns the number of requests served."""
+        with self._work:
+            claim = self._claim_locked(self._clock())
+        if claim is None:
+            return 0
+        self._execute(claim)
+        return len(claim[1])
+
+    def drain(self) -> int:
+        """Force-serve everything queued, FIFO across models; returns the
+        number of requests served on this thread. A model whose worker is
+        mid-batch is waited for (its queue cannot be claimed while busy),
+        so no queued request is left behind; in-flight batches resolve
+        their own futures. Never reads the clock outside the executor, so
+        drained stats are bit-identical to the legacy synchronous
+        scheduler's."""
+        total = 0
+        while True:
+            with self._work:
+                claim = self._claim_locked(None, force=True)
+                if claim is None:
+                    if not any(entry.busy and entry.batcher.pending
+                               for entry in self._models.values()):
+                        return total
+                    self._work.wait(0.05)   # a worker holds the model
+                    continue
+            self._execute(claim)
+            total += len(claim[1])
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                claim = None
+                while self._running:
+                    now = self._clock()
+                    claim = self._claim_locked(now)
+                    if claim is not None:
+                        break
+                    self._work.wait(self._wait_timeout_locked(now))
+                if claim is None:
+                    return          # server closed
+            self._execute(claim)
+
+    def _claim_locked(self, now: Optional[float], force: bool = False
+                      ) -> Optional[Tuple[_HostedModel,
+                                          List[ServedRequest], int]]:
+        best = None
+        for entry in self._models.values():
+            if entry.busy or not entry.batcher.pending:
+                continue
+            if force or entry.batcher.ready(now):
+                oldest = entry.batcher.oldest_enqueued_at()
+                if best is None or oldest < best[0]:
+                    best = (oldest, entry)
+        if best is None:
+            return None
+        entry = best[1]
+        batch = entry.batcher.take(force=True)
+        entry.busy = True
+        batch_id = entry.batch_counter
+        entry.batch_counter += 1
+        return entry, batch, batch_id
+
+    def _wait_timeout_locked(self, now: float) -> Optional[float]:
+        """Seconds until the earliest pending deadline (None = sleep until
+        notified: nothing queued, or only size-flush batchers filling)."""
+        timeout = None
+        for entry in self._models.values():
+            if entry.busy or not entry.batcher.pending:
+                continue
+            deadline = entry.batcher.next_deadline()
+            if deadline is None:
+                continue
+            remaining = max(0.0, deadline - now)
+            timeout = remaining if timeout is None \
+                else min(timeout, remaining)
+        return timeout
+
+    def _execute(self, claim: Tuple[_HostedModel, List[ServedRequest],
+                                    int]) -> None:
+        entry, batch, batch_id = claim
+        try:
+            self._run_batch(entry, batch, batch_id)
+        finally:
+            with self._work:
+                entry.busy = False
+                self._work.notify_all()
+
+    def _run_batch(self, entry: _HostedModel,
+                   batch: List[ServedRequest], batch_id: int) -> None:
+        try:
+            seconds = execute_batch(entry.engine, batch, self._clock,
+                                    batch_id)
+        except Exception:
+            entry.errors += 1      # futures already failed by the executor
+            return
+        entry.requests += len(batch)
+        entry.batches += 1
+        entry.serve_seconds += seconds
+        entry.latencies_ms.extend(r.latency_ms for r in batch)
+        entry.fpga_shares.extend(r.fpga_ms for r in batch)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, ModelStats]:
+        """Per-model snapshot: p50/p95/p99 wall + simulated-FPGA latency,
+        queue depth, mean batch fill. Merge across models with
+        ``ModelStats.merge``."""
+        with self._work:
+            return {name: entry.snapshot()
+                    for name, entry in sorted(self._models.items())}
+
+    def format_stats(self) -> str:
+        snapshots = self.stats()
+        if not snapshots:
+            return "no models loaded"
+        return "\n".join(stats.format() for stats in snapshots.values())
+
+    # ------------------------------------------------------------------
+    def _resolve_locked(self, name: str) -> _HostedModel:
+        seen = []
+        while name in self._aliases:
+            if name in seen:
+                raise ServingError(f"alias cycle: {' -> '.join(seen)}")
+            seen.append(name)
+            name = self._aliases[name]
+        entry = self._models.get(name)
+        if entry is None:
+            raise ServingError(
+                f"unknown model {name!r}; loaded: {sorted(self._models)}"
+                + (f"; aliases: {self._aliases}" if self._aliases else ""))
+        return entry

@@ -446,6 +446,45 @@ class TestDeprecationShims:
             with pytest.raises(KeyError):
                 get_baseline("alexnet")
 
+    def test_batch_scheduler_warns_and_serve_stats_bit_identical(self):
+        """The legacy submit/run surface warns, and its ServeStats equal
+        Deployment.serve's field for field (same injected clock model)."""
+        from repro.serve import BatchScheduler
+
+        class FakeClock:
+            def __init__(self):
+                self.now = 0.0
+
+            def __call__(self):
+                self.now += 0.001
+                return self.now
+
+        rng = np.random.default_rng(4)
+        pipeline = Pipeline(PipelineConfig(batch=4), model=make_mlp())
+        pipeline.calibrate([rng.normal(size=(8, 12)).astype(np.float32)])
+        deployment = pipeline.deploy()
+        payloads = [rng.normal(size=(12,)).astype(np.float32)
+                    for _ in range(10)]
+
+        new_stats = deployment.serve(payloads, clock=FakeClock())
+
+        scheduler = BatchScheduler(deployment.engine, max_batch=4,
+                                   clock=FakeClock())
+        with pytest.warns(DeprecationWarning, match="BatchScheduler"):
+            requests = [scheduler.submit(p) for p in payloads]
+            legacy_stats = scheduler.run()
+        assert legacy_stats == new_stats          # bit-identical dataclass
+        assert legacy_stats.latencies_ms == new_stats.latencies_ms
+        assert all(r.done for r in requests)
+
+    def test_deployment_scheduler_helper_warns(self):
+        rng = np.random.default_rng(5)
+        pipeline = Pipeline(PipelineConfig(batch=4), model=make_mlp())
+        pipeline.calibrate([rng.normal(size=(8, 12)).astype(np.float32)])
+        deployment = pipeline.deploy()
+        with pytest.warns(DeprecationWarning, match="Deployment.scheduler"):
+            deployment.scheduler()
+
     def test_export_model_warns_and_matches_build_artifact(self, tmp_path):
         from repro.serve import export_model
         from repro.serve.export import build_artifact

@@ -195,7 +195,9 @@ class TestPlanSimulation:
 
 
 # ----------------------------------------------------------------------
-# Scheduler
+# Batch forming + execution (DynamicBatcher via the legacy facade's
+# internals; the async ModelServer surface is covered in
+# tests/test_serve_server.py)
 # ----------------------------------------------------------------------
 class FakeClock:
     def __init__(self):
@@ -206,69 +208,100 @@ class FakeClock:
         return self.now
 
 
-class TestBatchScheduler:
+class TestBatchServing:
     def make(self, tmp_path, max_batch=4):
+        from repro.serve import ModelServer
+
         _, plan, _ = quantized_plan("resnet_tiny", tmp_path)
         engine = InferenceEngine(plan)
-        return engine, BatchScheduler(engine, max_batch=max_batch,
-                                      clock=FakeClock())
+        server = ModelServer(workers=0, clock=FakeClock())
+        server.add_engine("model", engine, batch=max_batch)
+        return engine, server
 
     def test_coalesces_fifo_into_micro_batches(self, tmp_path):
-        engine, scheduler = self.make(tmp_path, max_batch=4)
+        engine, server = self.make(tmp_path, max_batch=4)
         rng = np.random.default_rng(0)
-        requests = [scheduler.submit(
-            rng.normal(size=(3, 16, 16)).astype(np.float32))
+        futures = [server.submit(
+            "model", rng.normal(size=(3, 16, 16)).astype(np.float32))
             for _ in range(10)]
-        stats = scheduler.run()
+        assert server.drain() == 10
+        stats = server.stats()["model"]
         assert stats.requests == 10
         assert stats.batches == 3
-        assert [r.batch_size for r in requests] == [4] * 8 + [2] * 2
-        assert scheduler.pending == 0
+        assert [f.request.batch_size for f in futures] == [4] * 8 + [2] * 2
+        assert [f.request.batch_id for f in futures] == \
+            [0] * 4 + [1] * 4 + [2] * 2
+        assert stats.queue_depth == 0
 
     def test_batched_results_match_single_request_inference(self, tmp_path):
-        engine, scheduler = self.make(tmp_path, max_batch=8)
+        engine, server = self.make(tmp_path, max_batch=8)
         rng = np.random.default_rng(1)
         payloads = [rng.normal(size=(3, 16, 16)).astype(np.float32)
                     for _ in range(6)]
-        requests = [scheduler.submit(p) for p in payloads]
-        scheduler.run()
-        for request, payload in zip(requests, payloads):
+        futures = server.submit_many("model", payloads)
+        server.drain()
+        for future, payload in zip(futures, payloads):
             expected = engine.plan.forward(payload[None])[0]
-            np.testing.assert_allclose(request.result, expected,
+            np.testing.assert_allclose(future.result(timeout=0), expected,
                                        rtol=1e-5, atol=1e-5)
 
     def test_submit_validates_shape_and_coerces_dtype(self, tmp_path):
+        from repro.serve import ModelServer
+
         _, plan, _ = quantized_plan("lstm_lm", tmp_path)
-        scheduler = BatchScheduler(InferenceEngine(plan), max_batch=8,
-                                   clock=FakeClock())
+        server = ModelServer(workers=0, clock=FakeClock())
+        server.add_engine("lm", InferenceEngine(plan), batch=8)
         rng = np.random.default_rng(2)
         for _ in range(3):
-            scheduler.submit(rng.integers(0, 40, size=(12,), dtype=np.int64))
-        with pytest.raises(ConfigurationError):
-            scheduler.submit(rng.integers(0, 40, size=(9,), dtype=np.int64))
-        coerced = scheduler.submit(
-            rng.integers(0, 40, size=(12,)).astype(np.int32))
-        assert coerced.payload.dtype == plan.input_dtype
-        stats = scheduler.run()
+            server.submit("lm",
+                          rng.integers(0, 40, size=(12,), dtype=np.int64))
+        bad = server.submit("lm",
+                            rng.integers(0, 40, size=(9,), dtype=np.int64))
+        assert isinstance(bad.exception(), ConfigurationError)
+        coerced = server.submit(
+            "lm", rng.integers(0, 40, size=(12,)).astype(np.int32))
+        server.drain()
+        assert coerced.request.payload.dtype == plan.input_dtype
+        stats = server.stats()["lm"]
         assert stats.batches == 1 and stats.requests == 4
 
     def test_latency_and_fpga_accounting(self, tmp_path):
-        engine, scheduler = self.make(tmp_path, max_batch=4)
+        engine, server = self.make(tmp_path, max_batch=4)
         rng = np.random.default_rng(3)
-        requests = [scheduler.submit(
-            rng.normal(size=(3, 16, 16)).astype(np.float32))
+        futures = [server.submit(
+            "model", rng.normal(size=(3, 16, 16)).astype(np.float32))
             for _ in range(4)]
-        stats = scheduler.run()
-        assert all(r.latency_ms > 0 for r in requests)
+        server.drain()
+        stats = server.stats()["model"].to_serve_stats()
+        assert all(f.latency_ms > 0 for f in futures)
         assert stats.latency_ms_mean > 0
         assert stats.fpga_ms_total == pytest.approx(
             engine.fpga_latency_ms(4))
         assert "simulated FPGA" in stats.format()
 
     def test_rejects_batched_payload(self, tmp_path):
-        _, scheduler = self.make(tmp_path)
+        _, server = self.make(tmp_path)
+        future = server.submit(
+            "model", np.zeros((2, 3, 16, 16), dtype=np.float32))
         with pytest.raises(ConfigurationError):
-            scheduler.submit(np.zeros((2, 3, 16, 16), dtype=np.float32))
+            future.result(timeout=0)
+
+
+class TestLegacySchedulerFacade:
+    """The deprecated submit/step/run surface still works (and warns)."""
+
+    def test_warns_and_serves(self, tmp_path):
+        _, plan, batch = quantized_plan("resnet_tiny", tmp_path)
+        engine = InferenceEngine(plan)
+        scheduler = BatchScheduler(engine, max_batch=2, clock=FakeClock())
+        with pytest.warns(DeprecationWarning, match="BatchScheduler"):
+            requests = [scheduler.submit(payload) for payload in batch]
+            stats = scheduler.run()
+        assert stats.requests == len(batch)
+        assert all(r.done for r in requests)
+        assert scheduler.pending == 0
+        with pytest.warns(DeprecationWarning, match="BatchScheduler.step"):
+            assert scheduler.step() == []
 
 
 # ----------------------------------------------------------------------
