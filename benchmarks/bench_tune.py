@@ -1,0 +1,87 @@
+"""Autotune cost: cold search vs cached re-tune.
+
+The claim gated here is the one the persistent :class:`EvalCache` exists
+for: **re-tunes are incremental**. A cold ``tune()`` prices every
+candidate through the full cost model (whole-network cycle simulation +
+layerwise quantization-MSE proxy); a second run over the same
+model/device/space answers every candidate from the on-disk cache and
+must finish at least **5x** faster. In practice the cached run skips all
+simulate/quantize work and lands 10x+ ahead, so the gate sits well above
+timer noise.
+
+Each scenario runs three times and the best time is kept (the standard
+interference-robust choice on shared CI runners). Results are written to
+``BENCH_tune.json`` (uploaded by the CI `tune` job) so the search cost
+trajectory — evaluations, cold/warm seconds, speedup — is tracked per PR.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.autotune import tune
+from repro.serve.cli import build_model
+
+DEVICE = "XCZU3EG"
+BUDGET = 60
+SEED = 0
+GATE = 5.0
+ROUNDS = 3
+REPORT_PATH = os.environ.get("BENCH_TUNE_OUT", "BENCH_tune.json")
+
+
+def run_tune(model, sample_input, cache_path):
+    started = time.perf_counter()
+    result = tune(model, device=DEVICE, objective="pareto", budget=BUDGET,
+                  seed=SEED, sample_input=sample_input, cache=cache_path,
+                  serve_batches=(1, 8, 16), weight_bits=(4, 8),
+                  refine_layers=False)
+    return time.perf_counter() - started, result
+
+
+def test_cached_retune_speedup(tmp_path):
+    model, sample = build_model("resnet_tiny", seed=0)
+    sample_input = sample(np.random.default_rng(1), 4)
+
+    cold_seconds, warm_seconds = [], []
+    results = []
+    for round_index in range(ROUNDS):
+        cache_path = str(tmp_path / f"cache_{round_index}.json")
+        seconds, cold = run_tune(model, sample_input, cache_path)
+        cold_seconds.append(seconds)
+        seconds, warm = run_tune(model, sample_input, cache_path)
+        warm_seconds.append(seconds)
+        assert warm.best.candidate == cold.best.candidate
+        assert warm.cache_stats["hits"] == len(warm.evaluations)
+        results.append((cold, warm))
+
+    best_cold = min(cold_seconds)
+    best_warm = min(warm_seconds)
+    speedup = best_cold / best_warm
+    cold, warm = results[0]
+    report = {
+        "device": DEVICE,
+        "budget": BUDGET,
+        "candidates_evaluated": len(cold.evaluations),
+        "frontier_size": len(cold.frontier),
+        "best": cold.best.candidate.describe(),
+        "cold_seconds": best_cold,
+        "warm_seconds": best_warm,
+        "speedup": speedup,
+        "gate": GATE,
+        "cache_entries": warm.cache_stats["entries"],
+        "cold_seconds_all": cold_seconds,
+        "warm_seconds_all": warm_seconds,
+    }
+    with open(REPORT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"\ncold {best_cold * 1e3:.1f} ms, warm {best_warm * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x (gate {GATE}x); report -> {REPORT_PATH}")
+
+    # The report is written before the gate asserts — CI keeps it even
+    # (especially) when the gate fails.
+    assert speedup >= GATE, (
+        f"cached re-tune only {speedup:.2f}x faster than cold search "
+        f"(gate {GATE}x): cold {best_cold:.3f}s, warm {best_warm:.3f}s")

@@ -35,12 +35,24 @@ usage: python -m repro <command> [args...]
 commands:
   quantize    configure -> calibrate -> deploy a zoo model via repro.api
   export      alias of 'quantize' (the historical spelling)
+  tune        hardware-aware design-space exploration (repro.autotune):
+              pick quantization config + FPGA design for a model + device
   serve       serving artifacts: export | info | run | up (live server)
   experiment  regenerate a paper table/figure (runner CLI)
-  registry    list registered quantization schemes and methods
+  registry    list schemes, methods, search strategies, the device
+              catalog and the Table VII reference designs
 
 'python -m repro <command> --help' shows each command's flags.
 """
+
+# Friendly aliases for the tune CLI (full zoo names also accepted).
+_TUNE_MODEL_ALIASES = {
+    "resnet": "resnet_tiny",
+    "mobilenet": "mobilenet_v2",
+    "lstm": "lstm_lm",
+    "gru": "gru_speech",
+    "yolo": "yolo_lite",
+}
 
 
 def run_quantize(model_name: str, out, scheme: str = "msq", bits: int = 4,
@@ -106,12 +118,122 @@ def _cmd_quantize(argv: List[str], prog: str = "quantize") -> int:
                         seed=args.seed)
 
 
+def run_tune(model_name: str, device: str, objective: str = "latency",
+             strategy=None, budget: int = 50, seed: int = 0,
+             accuracy=None, cache=None, out=None, top: int = 10,
+             serve_batches=(1, 16), backends=None,
+             weight_bits=(4,)) -> int:
+    """The ``python -m repro tune`` flow: build a zoo model, run the
+    autotuner for the device, print the Pareto frontier, write the JSON
+    report."""
+    import numpy as np
+
+    from repro.autotune import tune
+    from repro.serve.cli import build_model
+
+    model, sample = build_model(_TUNE_MODEL_ALIASES.get(model_name,
+                                                        model_name),
+                                seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    sample_input = sample(rng, 4)
+    kwargs = {}
+    if backends:
+        kwargs["backends"] = tuple(backends)
+    if accuracy == "calibration":
+        # The calibration proxy scores candidates on real forward passes;
+        # synthesize its batches from the model's own sampler.
+        kwargs["calibration"] = [sample(rng, 8) for _ in range(2)]
+    result = tune(model, device=device, objective=objective,
+                  strategy=strategy, budget=budget, seed=seed,
+                  accuracy=accuracy, cache=cache,
+                  sample_input=sample_input,
+                  serve_batches=tuple(serve_batches),
+                  weight_bits=tuple(weight_bits), **kwargs)
+    print(result.format_table(limit=top))
+    best = result.best
+    print(f"\nchosen: {best.candidate.describe()} — "
+          f"{best.latency_ms_per_request:.3f} ms/request, "
+          f"{best.requests_per_second:.1f} req/s "
+          f"(strategy: {result.strategy}, "
+          f"{len(result.evaluations)} candidates, "
+          f"cache hits {result.cache_stats.get('hits', 0)})")
+    print(f"config: {result.config().describe()}")
+    if result.layer_ratios:
+        print(f"per-layer ratio refinements: {len(result.layer_ratios)} "
+              f"layers")
+    if out is not None:
+        result.save_report(out)
+        print(f"report written to {out}")
+    return 0
+
+
+def _cmd_tune(argv: List[str]) -> int:
+    from repro.autotune import OBJECTIVES, list_strategies
+    from repro.serve import list_backends
+    from repro.serve.cli import MODEL_ZOO
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Hardware-aware design-space exploration: search "
+                    "quantization config x FPGA design for a model and "
+                    "device, print the Pareto frontier, write a JSON "
+                    "report.")
+    parser.add_argument("--model", default="resnet_tiny",
+                        choices=sorted(set(MODEL_ZOO)
+                                       | set(_TUNE_MODEL_ALIASES)))
+    parser.add_argument("--device", required=True,
+                        help="catalog device (e.g. zu3eg, XC7Z045; see "
+                             "'python -m repro registry')")
+    parser.add_argument("--objective", default="latency",
+                        choices=OBJECTIVES)
+    parser.add_argument("--strategy", default=None,
+                        choices=sorted(list_strategies()),
+                        help="default: grid for small spaces, else greedy")
+    parser.add_argument("--budget", type=int, default=50,
+                        help="max unique candidates to price")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--accuracy", default=None,
+                        choices=("mse", "calibration", "gaussian"),
+                        help="accuracy proxy (default: layerwise MSE)")
+    parser.add_argument("--cache", default=None,
+                        help="persistent evaluation-cache path "
+                             "(re-tunes become incremental)")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON tuning report here")
+    parser.add_argument("--top", type=int, default=10,
+                        help="ranked candidates to print")
+    parser.add_argument("--serve-batches", type=int, nargs="+",
+                        default=(1, 16),
+                        help="serving micro-batch sizes to search")
+    parser.add_argument("--bits", type=int, nargs="+", default=(4,),
+                        help="weight bit-widths to search")
+    parser.add_argument("--backends", nargs="+", default=None,
+                        choices=list_backends(),
+                        help="serving kernel backends to search")
+    args = parser.parse_args(argv)
+    return run_tune(args.model, args.device, objective=args.objective,
+                    strategy=args.strategy, budget=args.budget,
+                    seed=args.seed, accuracy=args.accuracy,
+                    cache=args.cache, out=args.out, top=args.top,
+                    serve_batches=args.serve_batches,
+                    backends=args.backends, weight_bits=args.bits)
+
+
 def _cmd_registry(argv: List[str]) -> int:
     from repro.api import list_methods, list_schemes
+    from repro.autotune import list_accuracy_proxies, list_strategies
+    from repro.fpga.devices import get_device, list_devices
+    from repro.fpga.resources import (
+        design_resources,
+        peak_throughput_gops,
+        reference_designs,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro registry",
-        description="List the registered schemes and methods.")
+        description="List the registered schemes, methods, search "
+                    "strategies, accuracy proxies, the device catalog "
+                    "and the Table VII reference designs.")
     parser.parse_args(argv)
     print("schemes:")
     for name, description in list_schemes().items():
@@ -119,6 +241,23 @@ def _cmd_registry(argv: List[str]) -> int:
     print("methods:")
     for name, display in list_methods().items():
         print(f"  {name:10s} {display}")
+    print("search strategies (python -m repro tune --strategy):")
+    for name, description in sorted(list_strategies().items()):
+        print(f"  {name:10s} {description}")
+    print("accuracy proxies (python -m repro tune --accuracy):")
+    for name, description in list_accuracy_proxies().items():
+        print(f"  {name:12s} {description}")
+    print("devices (python -m repro tune --device):")
+    for name in list_devices():
+        device = get_device(name)
+        print(f"  {name:10s} LUT {device.lut:>8,}  FF {device.ff:>8,}  "
+              f"BRAM36 {device.bram36:>5g}  DSP {device.dsp:>5,}")
+    print("reference designs (Table VII):")
+    for name, design in reference_designs().items():
+        usage = design_resources(design)
+        print(f"  {name:6s} {design.describe():44s} "
+              f"peak {peak_throughput_gops(design):6.1f} GOPS  "
+              f"LUT {usage.lut:>9,.0f}  DSP {usage.dsp:>5,.0f}")
     return 0
 
 
@@ -133,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_quantize(rest)
         if command == "export":
             return _cmd_quantize(rest, prog="export")
+        if command == "tune":
+            return _cmd_tune(rest)
         if command == "registry":
             return _cmd_registry(rest)
         if command == "serve":

@@ -18,6 +18,7 @@ from typing import Mapping, Optional, Tuple, Union
 
 from repro.api.registry import get_method, get_scheme
 from repro.errors import ConfigurationError
+from repro.fpga.resources import GemmDesign
 from repro.quant.formatting import format_signature
 from repro.quant.partition import PartitionRatio
 from repro.quant.trainer import QATConfig
@@ -49,9 +50,18 @@ class PipelineConfig:
         :class:`~repro.quant.partition.PartitionRatio`. The default 2:1 is
         the paper's XC7Z045 optimum. Only MSQ consumes it.
     design:
-        Accelerator design point used to price deployments
-        (:func:`repro.fpga.resources.reference_designs` key). D2-3 is the
-        paper's best published point.
+        Accelerator design point used to price deployments: a
+        :func:`repro.fpga.resources.reference_designs` key (D2-3 — the
+        paper's best published point — by default), an
+        ``"auto:<device>[@<batch>]"`` string (run the §VI-A
+        characterization search for that device), or a concrete
+        :class:`~repro.fpga.resources.GemmDesign` (what
+        :meth:`from_tuning` stores — the autotuner's winning design).
+    layer_ratios:
+        Optional per-layer SP2-fraction overrides (``{name-substring:
+        fraction}``), the autotuner's §V-B-guarded refinement. Consumed by
+        ``calibrate()`` (PTQ); ``fit()`` rejects it — QAT trains at the
+        global PE ratio.
     batch:
         Default micro-batch size of deployments built from this config.
     """
@@ -77,8 +87,12 @@ class PipelineConfig:
     # A {name-substring: bits} mapping; stored as sorted (name, bits) pairs
     # so the frozen config stays hashable.
     layer_bits: Optional[Mapping[str, int]] = None
-    # Deployment target
-    design: str = "D2-3"
+    # {name-substring: SP2 fraction} per-layer ratio overrides (autotune's
+    # §V-B-guarded refinement); stored sorted for hashability. PTQ-only.
+    layer_ratios: Optional[Mapping[str, float]] = None
+    # Deployment target: reference-design name, "auto:<device>", or a
+    # concrete GemmDesign (hashable — frozen dataclass).
+    design: Union[str, "GemmDesign"] = "D2-3"
     batch: int = 16
 
     def __post_init__(self):
@@ -99,6 +113,26 @@ class PipelineConfig:
                 raise ConfigurationError(
                     f"{label} must be an int >= 2, got {bits!r}")
         PartitionRatio.coerce(self.ratio)            # raises on malformed
+        if self.layer_ratios is not None:
+            normalized = {}
+            for pattern, fraction in dict(self.layer_ratios).items():
+                normalized[pattern] = PartitionRatio.coerce(
+                    float(fraction)).sp2_fraction
+            object.__setattr__(self, "layer_ratios",
+                               tuple(sorted(normalized.items())))
+        if isinstance(self.design, str) \
+                and self.design.lower().startswith("auto:"):
+            # Validate the full spec now (device and batch suffix); the
+            # search itself runs at deploy time (memoized in
+            # repro.fpga.characterize).
+            from repro.fpga.characterize import parse_auto_spec
+
+            parse_auto_spec(self.design)
+        elif not isinstance(self.design, (str, GemmDesign)):
+            raise ConfigurationError(
+                f"design must be a reference-design name, an "
+                f"'auto:<device>' string or a GemmDesign, "
+                f"got {self.design!r}")
         if self.lr_schedule not in _LR_SCHEDULES:
             raise ConfigurationError(
                 f"unknown lr_schedule {self.lr_schedule!r}; "
@@ -122,6 +156,31 @@ class PipelineConfig:
         """A copy with the given fields changed (re-validated)."""
         return replace(self, **changes)
 
+    @classmethod
+    def from_tuning(cls, result, **overrides) -> "PipelineConfig":
+        """Build the config an autotune run chose.
+
+        ``result`` is a :class:`repro.autotune.TuneResult`; the returned
+        config carries the tuned ratio/bits/serving batch, the winning
+        :class:`~repro.fpga.resources.GemmDesign` as its deployment
+        target, and any per-layer ratio refinements. ``overrides`` patch
+        individual fields (e.g. ``epochs=...`` for a QAT run — pass
+        ``layer_ratios=None`` too in that case, QAT trains at the global
+        PE ratio).
+        """
+        candidate = result.best.candidate
+        fields = dict(
+            scheme="msq",
+            weight_bits=candidate.weight_bits,
+            act_bits=candidate.act_bits,
+            ratio=candidate.ratio,
+            layer_ratios=dict(result.layer_ratios) or None,
+            design=result.design,
+            batch=candidate.serve_batch,
+        )
+        fields.update(overrides)
+        return cls(**fields)
+
     def to_qat_config(self) -> QATConfig:
         """The ADMM trainer's config view of this pipeline config."""
         return QATConfig(
@@ -137,6 +196,13 @@ class PipelineConfig:
             layer_bits=dict(self.layer_bits) if self.layer_bits is not None
             else None)
 
+    @property
+    def design_label(self) -> str:
+        """Short printable name of the deployment design target."""
+        if isinstance(self.design, GemmDesign):
+            return self.design.name or self.design.describe()
+        return self.design
+
     def describe(self) -> str:
         """One-line label through the shared formatting helper."""
         return format_signature(
@@ -145,4 +211,4 @@ class PipelineConfig:
             bits=f"{self.weight_bits}/{self.act_bits}",
             ratio=self.partition_ratio.describe() if self.scheme == "msq"
             else None,
-            design=self.design)
+            design=self.design_label)

@@ -35,7 +35,7 @@ import numpy as np
 from repro.api.config import PipelineConfig
 from repro.api.registry import get_method
 from repro.errors import ConfigurationError
-from repro.fpga.resources import GemmDesign, reference_designs
+from repro.fpga.resources import GemmDesign
 from repro.nn.module import Module
 from repro.quant.baselines.common import train_baseline
 from repro.quant.partition import sp2_row_fraction_of
@@ -65,15 +65,13 @@ def _batch_input(batch) -> Optional[np.ndarray]:
     return None
 
 
-def _resolve_design(config: PipelineConfig,
-                    design: Optional[GemmDesign]) -> GemmDesign:
-    if design is not None:
-        return design
-    designs = reference_designs()
-    if config.design not in designs:
-        raise ConfigurationError(
-            f"unknown design {config.design!r}; available: {sorted(designs)}")
-    return designs[config.design]
+def _resolve_design(config: PipelineConfig, design) -> GemmDesign:
+    """Resolve a deploy-time design spec (``design=`` argument wins over
+    the config's target); accepts a :class:`GemmDesign`, a reference
+    name, or ``"auto:<device>[@<batch>]"``."""
+    from repro.fpga.characterize import resolve_design
+
+    return resolve_design(design if design is not None else config.design)
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +155,7 @@ class Deployment:
     """
 
     def __init__(self, artifact, batch: int = 16,
-                 design: Optional[GemmDesign] = None,
+                 design=None,
                  backend: str = DEFAULT_BACKEND,
                  max_wait_ms: Optional[float] = None):
         if int(batch) < 1:
@@ -165,6 +163,10 @@ class Deployment:
         if max_wait_ms is not None and max_wait_ms < 0:
             raise ConfigurationError(
                 f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if isinstance(design, str):
+            from repro.fpga.characterize import resolve_design
+
+            design = resolve_design(design)
         self.artifact = artifact
         self.plan = ExecutionPlan(artifact, backend=backend)
         self.engine = InferenceEngine(self.plan, design=design)
@@ -291,6 +293,7 @@ class Pipeline:
         self.config = config
         self.model = model
         self.result: Optional[QuantizedModel] = None
+        self.tuned = None          # latest autotune.TuneResult (tune())
 
     # ------------------------------------------------------------------
     def fit(self, make_batches: Callable[[int], Iterable],
@@ -307,6 +310,11 @@ class Pipeline:
         Like ``calibrate()``, the first training batch's input is remembered
         as the deploy-time sample unless ``sample_input=`` overrides it.
         """
+        if self.config.layer_ratios is not None:
+            raise ConfigurationError(
+                "layer_ratios is a PTQ-only refinement (calibrate()); QAT "
+                "trains at the global PE ratio — rebuild the config with "
+                "layer_ratios=None to fit() it")
         model = self._model(model)
         captured: Dict[str, np.ndarray] = {}
 
@@ -373,7 +381,9 @@ class Pipeline:
             skip_modules=self.config.skip_modules,
             act_skip_modules=self.config.act_skip_modules,
             layer_bits=dict(self.config.layer_bits)
-            if self.config.layer_bits is not None else None)
+            if self.config.layer_bits is not None else None,
+            layer_ratios=dict(self.config.layer_ratios)
+            if self.config.layer_ratios is not None else None)
         self.result = QuantizedModel(
             model=model, layer_results=layer_results, config=self.config,
             act_quantizers={
@@ -388,15 +398,71 @@ class Pipeline:
                sample_input: Optional[np.ndarray] = None,
                design: Optional[GemmDesign] = None,
                name: str = "model", path=None,
-               backend: str = DEFAULT_BACKEND,
+               backend: Optional[str] = None,
                max_wait_ms: Optional[float] = None) -> Deployment:
-        """Deploy the latest ``fit()``/``calibrate()`` result."""
+        """Deploy the latest ``fit()``/``calibrate()`` result.
+
+        ``backend`` defaults to the tuned backend after a ``tune()``
+        (otherwise the stack default).
+        """
         if self.result is None:
             raise ConfigurationError(
                 "nothing to deploy; run fit() or calibrate() first")
+        if backend is None:
+            backend = self.tuned.backend if self.tuned is not None \
+                else DEFAULT_BACKEND
         return self.result.deploy(batch=batch, sample_input=sample_input,
                                   design=design, name=name, path=path,
                                   backend=backend, max_wait_ms=max_wait_ms)
+
+    # ------------------------------------------------------------------
+    def tune(self, device, objective: str = "latency",
+             model: Optional[Module] = None,
+             sample_input: Optional[np.ndarray] = None,
+             apply: bool = True, **tune_kwargs):
+        """Hardware-aware design-space exploration for this pipeline.
+
+        Runs :func:`repro.autotune.tune` for ``device`` over the model's
+        workloads (per-layer ratios, weight bits, design block shapes,
+        serving batch, backend) and — with ``apply=True``, the default —
+        replaces this pipeline's config with the tuned one, so the usual
+        ``calibrate()``/``deploy()`` calls pick up the chosen
+        quantization settings and :class:`GemmDesign` automatically::
+
+            pipeline = Pipeline(model=model)
+            result = pipeline.tune("zu3eg", sample_input=x, budget=50)
+            pipeline.calibrate(batches)
+            deployment = pipeline.deploy()      # tuned design + backend
+
+        A previous ``fit()``/``calibrate()`` result contributes its model,
+        layer results and remembered sample input. Tune **before**
+        quantizing when you can: after ``calibrate()``/``fit()`` the
+        in-place-quantized weights feed the MSE accuracy proxy, which
+        biases its ranking toward the config already applied
+        (re-projecting at the incumbent ratio/bits is near-lossless) —
+        the hardware side (latency/feasibility) is unaffected. Returns the
+        :class:`repro.autotune.TuneResult` (``.frontier``, ``.best``,
+        ``.format_table()``, ``.save_report(path)``). Keyword arguments
+        (``strategy=``, ``budget=``, ``seed=``, ``cache=``,
+        ``accuracy=``, space overrides, ...) forward to the tuner.
+        """
+        from repro.autotune import tune as autotune_tune
+
+        layer_results = None
+        if model is None and self.result is not None:
+            model = self.result.model
+            layer_results = self.result.layer_results
+            if sample_input is None:
+                sample_input = self.result.sample_input
+        else:
+            model = self._model(model)
+        result = autotune_tune(model, device=device, objective=objective,
+                               sample_input=sample_input,
+                               layer_results=layer_results, **tune_kwargs)
+        self.tuned = result
+        if apply:
+            self.config = result.config()
+        return result
 
     # ------------------------------------------------------------------
     def _model(self, model: Optional[Module]) -> Module:

@@ -1,0 +1,76 @@
+"""Hardware-aware design-space exploration (the paper's loop, automated).
+
+The paper's central claim is that the SP2:fixed ratio should be chosen to
+*match the target FPGA's resource profile* (Fig. 2, Tables VII-IX). This
+package closes that loop automatically::
+
+    from repro.autotune import tune
+
+    result = tune(model, device="zu3eg", objective="latency",
+                  sample_input=x, budget=50, seed=0)
+    print(result.format_table())          # Pareto frontier + top candidates
+    config = result.config()              # ready-to-run PipelineConfig
+    design = result.design                # the tuned GemmDesign
+
+or, one level up, ``Pipeline.tune(...)`` (:mod:`repro.api`) and
+``python -m repro tune`` (CLI).
+
+Pieces:
+
+- :class:`SearchSpace` / :class:`Candidate` (:mod:`.space`) — the design
+  space: accelerator geometry, bits, serving batch, backend;
+- :class:`CostModel` (:mod:`.cost`) — feasibility (``check_fits`` + the
+  §VI-A LUT cap) and simulated latency/throughput via the calibrated FPGA
+  models, plus a pluggable accuracy proxy
+  (``@register_accuracy_proxy``: ``mse`` | ``calibration`` | ``gaussian``);
+- :mod:`.strategies` — ``@register_strategy`` registry with ``grid``,
+  ``greedy`` (seeded from the device's Fig.-2 characterization ratio) and
+  ``random``/``evolutionary`` built in;
+- :class:`EvalCache` (:mod:`.cache`) — persistent, content-hash-keyed
+  evaluation store, so re-tunes are incremental;
+- :func:`tune` / :class:`TuneResult` (:mod:`.tuner`) — the front door:
+  deterministic seeded search, Pareto frontier, deployable result.
+"""
+
+from repro.autotune.cache import EvalCache
+from repro.autotune.cost import (
+    CandidateEvaluation,
+    CostModel,
+    get_accuracy_proxy,
+    list_accuracy_proxies,
+    register_accuracy_proxy,
+    scale_workloads,
+)
+from repro.autotune.space import Candidate, SearchSpace
+from repro.autotune.strategies import (
+    get_strategy,
+    list_strategies,
+    register_strategy,
+)
+from repro.autotune.tuner import (
+    OBJECTIVES,
+    TuneResult,
+    pareto_frontier,
+    refine_layer_ratios,
+    tune,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateEvaluation",
+    "CostModel",
+    "EvalCache",
+    "OBJECTIVES",
+    "SearchSpace",
+    "TuneResult",
+    "get_accuracy_proxy",
+    "get_strategy",
+    "list_accuracy_proxies",
+    "list_strategies",
+    "pareto_frontier",
+    "refine_layer_ratios",
+    "register_accuracy_proxy",
+    "register_strategy",
+    "scale_workloads",
+    "tune",
+]

@@ -1,0 +1,105 @@
+"""Persistent evaluation cache: re-tunes are incremental.
+
+Every candidate evaluation is keyed by a content hash of the candidate
+*and* its evaluation context (device, workload dimensions, accuracy-proxy
+name, model-weight digest), so a cache entry is only ever reused when it
+would be recomputed identically. The store is one human-readable JSON
+file; writes are atomic (tmp + rename) so an interrupted tune never
+corrupts it.
+
+A second tune over the same model/device answers every repeated candidate
+from the cache — ``benchmarks/bench_tune.py`` gates the cached re-tune at
+>= 5x the cold search.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+CACHE_FORMAT = "repro-autotune-cache/1"
+
+
+def workload_fingerprint(workloads) -> str:
+    """Digest of the GEMM workload dimensions (per-request shapes)."""
+    digest = hashlib.sha256()
+    for w in workloads:
+        digest.update(repr((w.name, w.rows, w.reduction, w.kernel_positions,
+                            w.columns, w.sequential_columns,
+                            w.groups)).encode())
+    return digest.hexdigest()[:16]
+
+
+def model_fingerprint(model) -> str:
+    """Digest of the model's quantizable weights (the proxy's input)."""
+    from repro.quant.admm import collect_quantizable
+
+    digest = hashlib.sha256()
+    for name, param in collect_quantizable(model):
+        array = np.ascontiguousarray(np.asarray(param.data))
+        digest.update(name.encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def evaluation_key(candidate, context: str) -> str:
+    """Cache key of one candidate in one evaluation context."""
+    digest = hashlib.sha256()
+    digest.update(context.encode())
+    digest.update(candidate.key().encode())
+    return digest.hexdigest()[:32]
+
+
+class EvalCache:
+    """On-disk (or in-memory, ``path=None``) evaluation store."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = os.fspath(path) if path is not None else None
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and os.path.exists(self.path):
+            self.load()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") == CACHE_FORMAT:
+            self._entries = dict(payload.get("entries", {}))
+
+    def get(self, key: str) -> Optional[dict]:
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        self._entries[key] = record
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op for in-memory caches)."""
+        if self.path is None:
+            return
+        payload = {"format": CACHE_FORMAT, "entries": self._entries}
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, self.path)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}

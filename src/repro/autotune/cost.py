@@ -1,0 +1,277 @@
+"""Candidate pricing: hardware cost model + pluggable accuracy proxy.
+
+One :class:`CostModel` prices every candidate the strategies propose:
+
+- **hardware** — :func:`repro.fpga.resources.design_utilization` /
+  :func:`check_fits` for feasibility (all budgets <= 100% *and* the §VI-A
+  routability LUT cap) and :func:`repro.fpga.accelerator.simulate_network`
+  for latency/throughput. All latencies are **milliseconds** (the
+  stack-wide convention, see :mod:`repro.fpga.accelerator`).
+- **accuracy** — a pluggable proxy registered via
+  :func:`register_accuracy_proxy`. The default ``"mse"`` proxy is the
+  layerwise quantization MSE of projecting the model's weights at the
+  candidate's ratio/bits (cheap, no forward passes); ``"calibration"``
+  runs the quantized model on calibration batches and scores the output
+  error; ``"gaussian"`` needs no model at all (a fixed synthetic Gaussian
+  sample — the paper's Fig. 3 weight-distribution argument).
+
+Proxy values are *lower-is-better* and comparable only within one tune
+run — they rank candidates, they are not accuracy predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.accelerator import simulate_network
+from repro.fpga.gemm import GemmWorkload
+from repro.fpga.resources import design_utilization
+from repro.autotune.space import Candidate
+
+# ----------------------------------------------------------------------
+# Accuracy-proxy registry
+# ----------------------------------------------------------------------
+_PROXIES: Dict[str, Callable] = {}
+
+
+def register_accuracy_proxy(name: str) -> Callable:
+    """Register a proxy factory: ``factory(model, calibration, seed)`` ->
+    ``proxy(candidate) -> float`` (lower is better)."""
+
+    def decorate(factory: Callable) -> Callable:
+        _PROXIES[name] = factory
+        return factory
+
+    return decorate
+
+
+def get_accuracy_proxy(name: str, model=None, calibration=None,
+                       seed: int = 0) -> Callable:
+    if name not in _PROXIES:
+        raise ConfigurationError(
+            f"unknown accuracy proxy {name!r}; "
+            f"available: {sorted(_PROXIES)}")
+    return _PROXIES[name](model=model, calibration=calibration, seed=seed)
+
+
+def list_accuracy_proxies() -> Dict[str, str]:
+    return {name: (factory.__doc__ or "").strip().splitlines()[0]
+            for name, factory in sorted(_PROXIES.items())}
+
+
+def _quantize_mse(weights: Sequence, bits: int, ratio) -> float:
+    """Size-weighted mean quantization MSE of projecting ``weights``."""
+    from repro.api.registry import get_scheme
+    from repro.quant.quantizers import quantization_mse
+
+    quantizer = get_scheme("msq").make(bits, ratio=ratio)
+    total_error = 0.0
+    total_size = 0
+    for weight in weights:
+        weight = np.asarray(weight, dtype=np.float64)
+        result = quantizer.quantize(weight)
+        total_error += quantization_mse(weight, result) * weight.size
+        total_size += weight.size
+    return total_error / total_size if total_size else 0.0
+
+
+@register_accuracy_proxy("mse")
+def layerwise_mse_proxy(model=None, calibration=None, seed: int = 0):
+    """Layerwise quantization MSE of the model's weights (the default)."""
+    from repro.quant.admm import collect_quantizable
+
+    if model is None:
+        raise ConfigurationError(
+            "the 'mse' accuracy proxy needs a model; pass model= or use "
+            "accuracy='gaussian' for hardware-only tuning")
+    weights = [np.array(param.data, dtype=np.float64, copy=True)
+               for _, param in collect_quantizable(model)]
+    cache: Dict[tuple, float] = {}
+
+    def proxy(candidate: Candidate) -> float:
+        key = (candidate.weight_bits, candidate.block_out_sp2,
+               candidate.block_out_fixed)
+        if key not in cache:
+            cache[key] = _quantize_mse(weights, candidate.weight_bits,
+                                       candidate.ratio)
+        return cache[key]
+
+    return proxy
+
+
+@register_accuracy_proxy("gaussian")
+def gaussian_mse_proxy(model=None, calibration=None, seed: int = 0):
+    """Quantization MSE of a fixed synthetic Gaussian sample (no model)."""
+    sample = np.random.default_rng(seed).normal(size=(64, 64)) * 0.05
+    cache: Dict[tuple, float] = {}
+
+    def proxy(candidate: Candidate) -> float:
+        key = (candidate.weight_bits, candidate.block_out_sp2,
+               candidate.block_out_fixed)
+        if key not in cache:
+            cache[key] = _quantize_mse([sample], candidate.weight_bits,
+                                       candidate.ratio)
+        return cache[key]
+
+    return proxy
+
+
+@register_accuracy_proxy("calibration")
+def calibration_eval_proxy(model=None, calibration=None, seed: int = 0):
+    """Output MSE of the weight-quantized model on calibration batches."""
+    from repro.quant.admm import collect_quantizable
+    from repro.serve.export import eager_forward
+
+    if model is None or not calibration:
+        raise ConfigurationError(
+            "the 'calibration' accuracy proxy needs model= and "
+            "calibration= batches")
+    batches = [np.asarray(batch) for batch in calibration]
+    params = list(collect_quantizable(model))
+    originals = [np.array(param.data, copy=True) for _, param in params]
+    reference = [eager_forward(model, batch) for batch in batches]
+    cache: Dict[tuple, float] = {}
+
+    def proxy(candidate: Candidate) -> float:
+        from repro.api.registry import get_scheme
+
+        key = (candidate.weight_bits, candidate.block_out_sp2,
+               candidate.block_out_fixed)
+        if key in cache:
+            return cache[key]
+        quantizer = get_scheme("msq").make(candidate.weight_bits,
+                                           ratio=candidate.ratio)
+        try:
+            for (_, param), original in zip(params, originals):
+                param.data = quantizer.quantize(
+                    original.astype(np.float64)).values.astype(
+                        original.dtype)
+            errors = [float(np.mean((eager_forward(model, batch)
+                                     - ref) ** 2))
+                      for batch, ref in zip(batches, reference)]
+        finally:
+            for (_, param), original in zip(params, originals):
+                param.data = np.array(original, copy=True)
+        cache[key] = float(np.mean(errors))
+        return cache[key]
+
+    return proxy
+
+
+# ----------------------------------------------------------------------
+# Evaluation record
+# ----------------------------------------------------------------------
+@dataclass
+class CandidateEvaluation:
+    """Priced candidate: hardware metrics + accuracy proxy + feasibility.
+
+    ``latency_ms`` is the simulated accelerator time of one serving
+    micro-batch (milliseconds); ``latency_ms_per_request`` divides by the
+    micro-batch size. ``fits`` requires every resource <= 100% *and* LUT
+    under the routability cap — the same constraints the §VI-A
+    characterization walk enforces.
+    """
+
+    candidate: Candidate
+    fits: bool
+    utilization: Dict[str, float]
+    latency_ms: float
+    latency_ms_per_request: float
+    throughput_gops: float
+    requests_per_second: float
+    peak_gops: float
+    accuracy_proxy: float
+    proxy_name: str
+    from_cache: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "candidate": self.candidate.as_dict(),
+            "fits": self.fits,
+            "utilization": dict(self.utilization),
+            "latency_ms": self.latency_ms,
+            "latency_ms_per_request": self.latency_ms_per_request,
+            "throughput_gops": self.throughput_gops,
+            "requests_per_second": self.requests_per_second,
+            "peak_gops": self.peak_gops,
+            "accuracy_proxy": self.accuracy_proxy,
+            "proxy_name": self.proxy_name,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "CandidateEvaluation":
+        record = dict(record)
+        candidate = Candidate.from_dict(record.pop("candidate"))
+        return cls(candidate=candidate, **record)
+
+
+class CostModel:
+    """Price candidates on one device for one workload set.
+
+    ``workloads_fn(serve_batch)`` returns the GEMM workload list of one
+    micro-batch (``ExecutionPlan.workloads`` for a deployed model;
+    :func:`scale_workloads` for a static per-request list).
+    """
+
+    def __init__(self, workloads_fn: Callable[[int], List[GemmWorkload]],
+                 lut_cap: float = 0.80,
+                 accuracy_proxy: Optional[Callable] = None,
+                 proxy_name: str = "none",
+                 sim_kwargs: Optional[dict] = None):
+        self.workloads_fn = workloads_fn
+        self.lut_cap = lut_cap
+        self.accuracy_proxy = accuracy_proxy
+        self.proxy_name = proxy_name
+        self.sim_kwargs = dict(sim_kwargs or {})
+        self.evaluations = 0
+
+    def evaluate(self, candidate: Candidate) -> CandidateEvaluation:
+        from repro.fpga.resources import peak_throughput_gops
+
+        self.evaluations += 1
+        design = candidate.design()
+        util = design_utilization(design)
+        fits = (all(value <= 1.0 + 1e-9 for value in util.values())
+                and util["lut"] <= self.lut_cap + 1e-9)
+        performance = simulate_network(
+            self.workloads_fn(candidate.serve_batch), design,
+            **self.sim_kwargs)
+        latency_ms = performance.latency_ms
+        per_request = latency_ms / candidate.serve_batch
+        proxy = (self.accuracy_proxy(candidate)
+                 if self.accuracy_proxy is not None else 0.0)
+        return CandidateEvaluation(
+            candidate=candidate,
+            fits=fits,
+            utilization={name: float(value)
+                         for name, value in util.items()},
+            latency_ms=float(latency_ms),
+            latency_ms_per_request=float(per_request),
+            throughput_gops=float(performance.throughput_gops),
+            requests_per_second=float(1000.0 / per_request),
+            peak_gops=float(peak_throughput_gops(design)),
+            accuracy_proxy=float(proxy),
+            proxy_name=self.proxy_name,
+        )
+
+
+def scale_workloads(workloads: Sequence[GemmWorkload],
+                    batch: int) -> List[GemmWorkload]:
+    """Per-request workloads scaled to a serving micro-batch.
+
+    Batched requests fill additional output-position lanes, so ``columns``
+    scales with the micro-batch size — the same rule
+    ``serve.ir.Graph.workloads`` applies.
+    """
+    if batch == 1:
+        return list(workloads)
+    return [GemmWorkload(name=w.name, rows=w.rows, reduction=w.reduction,
+                         kernel_positions=w.kernel_positions,
+                         columns=w.columns * batch,
+                         sequential_columns=w.sequential_columns,
+                         groups=w.groups)
+            for w in workloads]

@@ -1,0 +1,299 @@
+"""The design space: what the autotuner is allowed to pick.
+
+A :class:`Candidate` is one fully-specified point of the co-search —
+accelerator geometry (``Bat``/``Blk_in``/``Blk_out,fixed``/``Blk_out,sp2``),
+quantization bit-widths, serving micro-batch size and kernel backend. The
+candidate's PE-column ratio *is* the SP2:fixed quantization ratio handed to
+Algorithm 2, which is the paper's central co-design rule (§V-B: "the PE
+ratio is used as the desired SP2/fixed-point ratio").
+
+A :class:`SearchSpace` enumerates candidates for one device. The fixed
+core is sized by the §VI-A rule (full DSP budget, shrunk until the BRAM/FF
+buffer budget fits — :meth:`SearchSpace.fixed_columns`), and the SP2 core
+grows in register-array tiles under the routability LUT cap — exactly the
+constraints :mod:`repro.fpga.characterize` walks, generalized to a
+multi-dimensional space the strategies can search.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fpga.characterize import DEFAULT_LUT_CAP, SP2_COLUMN_STEP
+from repro.fpga.devices import get_device
+from repro.fpga.resources import GemmDesign
+from repro.quant.partition import PartitionRatio
+from repro.serve.backends import DEFAULT_BACKEND
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the design space: accelerator + quantization + serving.
+
+    ``block_out_sp2 / block_out_fixed`` doubles as the SP2:fixed row ratio
+    Algorithm 2 trains/projects at (the co-design contract), so a candidate
+    fully determines both the FPGA design and the quantization config.
+    """
+
+    device: str                  # catalog name (e.g. "XC7Z045")
+    batch: int                   # Bat (hardware lanes)
+    block_in: int                # Blk_in
+    block_out_fixed: int         # Blk_out,fixed (DSP core columns)
+    block_out_sp2: int           # Blk_out,sp2 (LUT core columns)
+    weight_bits: int = 4
+    act_bits: int = 4
+    serve_batch: int = 1         # serving micro-batch size
+    backend: str = DEFAULT_BACKEND   # serving kernel backend
+    freq_mhz: float = 100.0
+
+    def design(self) -> GemmDesign:
+        """The :class:`GemmDesign` this candidate describes."""
+        return GemmDesign(
+            get_device(self.device), self.batch, self.block_in,
+            self.block_out_fixed, self.block_out_sp2,
+            weight_bits=self.weight_bits, act_bits=self.act_bits,
+            freq_mhz=self.freq_mhz,
+            name=f"tuned:{self.device}")
+
+    @property
+    def ratio(self) -> PartitionRatio:
+        """SP2:fixed row ratio implied by the PE-column split."""
+        return PartitionRatio(sp2=float(self.block_out_sp2),
+                              fixed=float(self.block_out_fixed))
+
+    @property
+    def sp2_fraction(self) -> float:
+        total = self.block_out_fixed + self.block_out_sp2
+        return self.block_out_sp2 / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "device": self.device, "batch": self.batch,
+            "block_in": self.block_in,
+            "block_out_fixed": self.block_out_fixed,
+            "block_out_sp2": self.block_out_sp2,
+            "weight_bits": self.weight_bits, "act_bits": self.act_bits,
+            "serve_batch": self.serve_batch, "backend": self.backend,
+            "freq_mhz": self.freq_mhz,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Candidate":
+        return cls(**record)
+
+    def key(self) -> str:
+        """Stable identity string (cache key component, tie-breaker)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def describe(self) -> str:
+        return (f"{self.device} Bat={self.batch} Blkin={self.block_in} "
+                f"Blkout={self.block_out_fixed}+{self.block_out_sp2} "
+                f"W{self.weight_bits}A{self.act_bits} "
+                f"b={self.serve_batch} [{self.backend}]")
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Enumerable design space for one device.
+
+    ``sp2_columns=None`` (default) bounds the SP2 axis per
+    (batch, block_in, bits) combination at the largest column count that
+    fits under ``lut_cap`` — the §VI-A routability constraint — stepping
+    in register-array tiles of ``sp2_step``. The fixed core is always
+    sized by :meth:`fixed_columns` (full-DSP, buffer-shrunk), matching
+    how the paper sizes its Table VII points.
+    """
+
+    device: str
+    batches: Tuple[int, ...] = (1,)
+    block_ins: Tuple[int, ...] = (16,)
+    weight_bits: Tuple[int, ...] = (4,)
+    act_bits: Tuple[int, ...] = (4,)
+    serve_batches: Tuple[int, ...] = (1,)
+    backends: Tuple[str, ...] = (DEFAULT_BACKEND,)
+    sp2_columns: Optional[Tuple[int, ...]] = None
+    sp2_step: int = SP2_COLUMN_STEP
+    lut_cap: float = DEFAULT_LUT_CAP
+    freq_mhz: float = 100.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "device", get_device(self.device).name)
+        for label in ("batches", "block_ins", "weight_bits", "act_bits",
+                      "serve_batches", "backends"):
+            values = tuple(getattr(self, label))
+            if not values:
+                raise ConfigurationError(f"search space {label} is empty")
+            object.__setattr__(self, label, values)
+        if self.sp2_columns is not None:
+            object.__setattr__(self, "sp2_columns",
+                               tuple(sorted(set(self.sp2_columns))))
+        if not 0.0 < self.lut_cap <= 1.0:
+            raise ConfigurationError(
+                f"lut_cap must be in (0, 1], got {self.lut_cap}")
+        # Per-geometry memo (not a dataclass field: hashing/equality stay
+        # value-based; the cache is just an attribute on the frozen
+        # instance).
+        object.__setattr__(self, "_geometry_cache", {})
+
+    # ------------------------------------------------------------------
+    # Geometry rules — delegated to the one §VI-A walk in
+    # repro.fpga.characterize, so the tuner's space can never diverge
+    # from the characterization search it mirrors. Memoized per
+    # (batch, block_in, bits) geometry.
+    # ------------------------------------------------------------------
+    def _characterized(self, batch: int, block_in: int, weight_bits: int,
+                       act_bits: int):
+        from repro.fpga.characterize import characterize_device
+
+        key = (batch, block_in, weight_bits, act_bits)
+        cache = self._geometry_cache
+        if key not in cache:
+            result = characterize_device(
+                self.device, batch=batch, block_in=block_in,
+                weight_bits=weight_bits, act_bits=act_bits,
+                lut_cap=self.lut_cap, sp2_step=self.sp2_step,
+                freq_mhz=self.freq_mhz)
+            options = tuple(c["block_out_sp2"] for c in result.candidates
+                            if c["fits"])
+            cache[key] = (result.design.block_out_fixed,
+                          options or (0,),
+                          result.design.block_out_sp2)
+        return cache[key]
+
+    def fixed_columns(self, batch: int, block_in: int,
+                      weight_bits: int, act_bits: int) -> int:
+        """Fixed-core column count: full DSP budget, shrunk to fit buffers
+        (the §VI-A sizing rule, via :func:`characterize_device`)."""
+        return self._characterized(batch, block_in, weight_bits,
+                                   act_bits)[0]
+
+    def sp2_options(self, batch: int, block_in: int,
+                    weight_bits: int, act_bits: int) -> Tuple[int, ...]:
+        """SP2 column counts to examine for one geometry combination."""
+        if self.sp2_columns is not None:
+            return self.sp2_columns
+        return self._characterized(batch, block_in, weight_bits,
+                                   act_bits)[1]
+
+    # ------------------------------------------------------------------
+    # Enumeration / sampling
+    # ------------------------------------------------------------------
+    def _build(self, batch: int, block_in: int, weight_bits: int,
+               act_bits: int, sp2: int, serve_batch: int,
+               backend: str) -> Candidate:
+        return Candidate(
+            device=self.device, batch=batch, block_in=block_in,
+            block_out_fixed=self.fixed_columns(batch, block_in,
+                                               weight_bits, act_bits),
+            block_out_sp2=sp2, weight_bits=weight_bits, act_bits=act_bits,
+            serve_batch=serve_batch, backend=backend,
+            freq_mhz=self.freq_mhz)
+
+    def candidates(self) -> List[Candidate]:
+        """The full grid, in deterministic order."""
+        out: List[Candidate] = []
+        for batch, block_in, wbits, abits in itertools.product(
+                self.batches, self.block_ins, self.weight_bits,
+                self.act_bits):
+            for sp2 in self.sp2_options(batch, block_in, wbits, abits):
+                for serve_batch, backend in itertools.product(
+                        self.serve_batches, self.backends):
+                    out.append(self._build(batch, block_in, wbits, abits,
+                                           sp2, serve_batch, backend))
+        return out
+
+    @property
+    def size(self) -> int:
+        """Grid cardinality, computed arithmetically (no Candidate
+        objects; one memoized characterization per geometry)."""
+        total = 0
+        for batch, block_in, wbits, abits in itertools.product(
+                self.batches, self.block_ins, self.weight_bits,
+                self.act_bits):
+            total += len(self.sp2_options(batch, block_in, wbits, abits))
+        return total * len(self.serve_batches) * len(self.backends)
+
+    def seed_candidates(self) -> List[Candidate]:
+        """Resource-guided seeds: the §VI-A characterization optimum (the
+        device's Fig.-2 ratio) for every (batch, bits) combination."""
+        seeds: List[Candidate] = []
+        for batch, block_in, wbits, abits in itertools.product(
+                self.batches, self.block_ins, self.weight_bits,
+                self.act_bits):
+            best_sp2 = self._characterized(batch, block_in, wbits,
+                                           abits)[2]
+            seeds.append(self._build(
+                batch, block_in, wbits, abits, best_sp2,
+                self.serve_batches[0], self.backends[0]))
+        return seeds
+
+    def neighbors(self, candidate: Candidate) -> List[Candidate]:
+        """Single-field moves from ``candidate``, all within the space."""
+        moves: List[Candidate] = []
+
+        def adjacent(options: Sequence, value) -> List:
+            options = list(options)
+            if value not in options:
+                return options[:1]
+            index = options.index(value)
+            return [options[i] for i in (index - 1, index + 1)
+                    if 0 <= i < len(options)]
+
+        sp2_options = self.sp2_options(candidate.batch, candidate.block_in,
+                                       candidate.weight_bits,
+                                       candidate.act_bits)
+        for sp2 in adjacent(sp2_options, candidate.block_out_sp2):
+            moves.append(replace(candidate, block_out_sp2=sp2))
+        for batch in adjacent(self.batches, candidate.batch):
+            moves.append(self._build(batch, candidate.block_in,
+                                     candidate.weight_bits,
+                                     candidate.act_bits,
+                                     candidate.block_out_sp2,
+                                     candidate.serve_batch,
+                                     candidate.backend))
+        for bits in adjacent(self.weight_bits, candidate.weight_bits):
+            moves.append(self._build(candidate.batch, candidate.block_in,
+                                     bits, candidate.act_bits,
+                                     candidate.block_out_sp2,
+                                     candidate.serve_batch,
+                                     candidate.backend))
+        for serve_batch in adjacent(self.serve_batches,
+                                    candidate.serve_batch):
+            moves.append(replace(candidate, serve_batch=serve_batch))
+        for backend in self.backends:
+            if backend != candidate.backend:
+                moves.append(replace(candidate, backend=backend))
+        # Clamp SP2 columns of cross-geometry moves back into their own
+        # feasible range (a batch/bits move changes what fits).
+        clamped: List[Candidate] = []
+        for move in moves:
+            options = self.sp2_options(move.batch, move.block_in,
+                                       move.weight_bits, move.act_bits)
+            if move.block_out_sp2 not in options:
+                move = replace(move, block_out_sp2=min(
+                    options, key=lambda o: abs(o - move.block_out_sp2)))
+            clamped.append(move)
+        return clamped
+
+    def random_candidate(self, rng) -> Candidate:
+        """One uniformly-sampled candidate (seeded ``rng`` for determinism)."""
+        batch = int(rng.choice(self.batches))
+        block_in = int(rng.choice(self.block_ins))
+        wbits = int(rng.choice(self.weight_bits))
+        abits = int(rng.choice(self.act_bits))
+        sp2_options = self.sp2_options(batch, block_in, wbits, abits)
+        return self._build(batch, block_in, wbits, abits,
+                           int(rng.choice(sp2_options)),
+                           int(rng.choice(self.serve_batches)),
+                           str(rng.choice(self.backends)))
+
+    def mutate(self, candidate: Candidate, rng) -> Candidate:
+        """One random single-field move (evolutionary perturbation)."""
+        moves = self.neighbors(candidate)
+        if not moves:
+            return candidate
+        return moves[int(rng.integers(len(moves)))]

@@ -1,0 +1,150 @@
+"""Search strategies behind the ``@register_strategy`` registry.
+
+A strategy decides *which* candidates to price; the evaluator handed to it
+owns budget accounting, deduplication, the persistent cache and the
+objective ordering. The contract:
+
+- ``evaluator.evaluate(candidate)`` prices one candidate (or returns the
+  existing evaluation for a repeat, consuming no budget) and returns
+  ``None`` once the budget is exhausted — strategies just stop then;
+- ``evaluator.remaining`` is the unused budget;
+- ``evaluator.sort_key(evaluation)`` is the objective ordering (lower is
+  better; infeasible candidates always rank last) — what greedy descent
+  and evolutionary selection optimize.
+
+Three built-ins cover the space-size regimes:
+
+- ``grid`` — exhaustive enumeration, the right tool for small spaces;
+- ``greedy`` — resource-guided hill climbing seeded from the device's
+  §VI-A characterization optimum (the Fig.-2 ratio), the paper's own
+  walk generalized to every axis;
+- ``random`` (alias ``evolutionary``) — seeded random sampling plus
+  mutation of the elite, for spaces too big to enumerate.
+
+Writing a new strategy is one function + one decorator; see
+``docs/architecture.md`` ("writing a new search strategy").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+_STRATEGIES: Dict[str, "StrategyEntry"] = {}
+
+
+class StrategyEntry:
+    """One registered search strategy."""
+
+    def __init__(self, name: str, func: Callable, description: str):
+        self.name = name
+        self.func = func
+        self.description = description
+
+    def __call__(self, space, evaluator, rng):
+        return self.func(space, evaluator, rng)
+
+
+def register_strategy(name: str, description: str = "",
+                      aliases: tuple = ()) -> Callable:
+    """Decorator registering a search strategy under ``name``."""
+
+    def decorate(func: Callable) -> Callable:
+        entry = StrategyEntry(name, func, description
+                              or (func.__doc__ or "").strip().splitlines()[0])
+        _STRATEGIES[name] = entry
+        for alias in aliases:
+            _STRATEGIES[alias] = entry
+        return func
+
+    return decorate
+
+
+def get_strategy(name: str) -> StrategyEntry:
+    if name not in _STRATEGIES:
+        raise ConfigurationError(
+            f"unknown search strategy {name!r}; "
+            f"available: {sorted(_STRATEGIES)}")
+    return _STRATEGIES[name]
+
+
+def list_strategies() -> Dict[str, str]:
+    """Canonical name -> description (aliases folded in)."""
+    return {entry.name: entry.description
+            for entry in {id(e): e for e in _STRATEGIES.values()}.values()}
+
+
+# ----------------------------------------------------------------------
+# Built-in strategies
+# ----------------------------------------------------------------------
+@register_strategy("grid", "exhaustive enumeration (small spaces)")
+def grid_search(space, evaluator, rng) -> None:
+    """Evaluate the whole grid in deterministic order, budget permitting."""
+    for candidate in space.candidates():
+        if evaluator.evaluate(candidate) is None:
+            return
+
+
+@register_strategy("greedy",
+                   "resource-guided hill climb from the Fig.-2 ratio seed")
+def greedy_search(space, evaluator, rng) -> None:
+    """Hill-climb from the device's characterization optimum.
+
+    Seeds every (batch, bits) geometry at the ratio the §VI-A walk picks
+    for the device, then repeatedly moves to the best improving neighbor
+    (single-field moves) until a local optimum or budget exhaustion.
+    """
+    best = None
+    for seed in space.seed_candidates():
+        evaluation = evaluator.evaluate(seed)
+        if evaluation is None:
+            return
+        if best is None or evaluator.sort_key(evaluation) \
+                < evaluator.sort_key(best):
+            best = evaluation
+    while best is not None and evaluator.remaining > 0:
+        improved = None
+        for neighbor in space.neighbors(best.candidate):
+            evaluation = evaluator.evaluate(neighbor)
+            if evaluation is None:
+                return
+            if evaluator.sort_key(evaluation) < evaluator.sort_key(
+                    improved if improved is not None else best):
+                improved = evaluation
+        if improved is None:
+            return          # local optimum
+        best = improved
+
+
+@register_strategy("random",
+                   "seeded random sampling + elite mutation (large spaces)",
+                   aliases=("evolutionary",))
+def random_search(space, evaluator, rng) -> None:
+    """Random population, then evolutionary refinement of the elite.
+
+    Half the budget samples the space uniformly; the rest mutates the
+    current elite (best quartile) one field at a time. Fully determined
+    by the tuner's seed.
+    """
+    population: List = []
+    sample_budget = max(evaluator.remaining // 2, 1)
+    for _ in range(sample_budget):
+        evaluation = evaluator.evaluate(space.random_candidate(rng))
+        if evaluation is None:
+            return
+        population.append(evaluation)
+    # Repeats cost no budget, so bound total attempts too — a small space
+    # can be exhausted with budget left over.
+    attempts = 0
+    max_attempts = evaluator.remaining * 4 + 16
+    while evaluator.remaining > 0 and population and attempts < max_attempts:
+        attempts += 1
+        population.sort(key=evaluator.sort_key)
+        elite = population[:max(len(population) // 4, 1)]
+        parent = elite[int(rng.integers(len(elite)))]
+        child = space.mutate(parent.candidate, rng)
+        evaluation = evaluator.evaluate(child)
+        if evaluation is None:
+            return
+        population.append(evaluation)

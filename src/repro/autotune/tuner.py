@@ -1,0 +1,431 @@
+"""The tuner: hardware-aware design-space exploration, end to end.
+
+:func:`tune` closes the paper's co-design loop automatically: given a
+model (or a raw workload list), a target device and an objective, it
+searches over per-layer SP2:fixed ratios, weight bits, ``GemmDesign``
+block shapes, serving batch size and kernel backend — pricing every
+candidate with the calibrated FPGA cost models and a pluggable accuracy
+proxy — and returns a ranked :class:`TuneResult` whose best candidate is
+directly deployable (``result.config()`` is a ready-to-run
+``PipelineConfig`` carrying the tuned ``GemmDesign``).
+
+Determinism contract: with a fixed ``seed`` the search trajectory, the
+Pareto frontier and the chosen design are identical run to run (no
+wall-clock anywhere in the scoring path), which is what lets the rewired
+Table VII experiment *assert* that the tuner rediscovers the paper's
+published design points.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.devices import get_device
+from repro.fpga.gemm import GemmWorkload
+from repro.fpga.report import format_table
+from repro.fpga.resources import GemmDesign
+from repro.autotune.cache import (
+    EvalCache,
+    evaluation_key,
+    model_fingerprint,
+    workload_fingerprint,
+)
+from repro.autotune.cost import (
+    CandidateEvaluation,
+    CostModel,
+    get_accuracy_proxy,
+    scale_workloads,
+)
+from repro.autotune.space import Candidate, SearchSpace
+from repro.autotune.strategies import get_strategy
+
+OBJECTIVES = ("latency", "throughput", "pareto")
+
+
+# ----------------------------------------------------------------------
+# Objective ordering + Pareto dominance
+# ----------------------------------------------------------------------
+def _objective_key(objective: str) -> Callable[[CandidateEvaluation], tuple]:
+    """Total order over evaluations: feasible first, then the objective,
+    then accuracy proxy, then the candidate key (deterministic ties)."""
+
+    def key(evaluation: CandidateEvaluation) -> tuple:
+        primary = (evaluation.latency_ms_per_request
+                   if objective in ("latency", "pareto")
+                   else -evaluation.requests_per_second)
+        return (0 if evaluation.fits else 1, primary,
+                evaluation.accuracy_proxy, evaluation.candidate.key())
+
+    return key
+
+
+def pareto_frontier(evaluations: Sequence[CandidateEvaluation]
+                    ) -> List[CandidateEvaluation]:
+    """Non-dominated feasible candidates, minimizing
+    (latency/request, accuracy proxy); sorted by latency."""
+    feasible = [e for e in evaluations if e.fits]
+    frontier = []
+    for candidate in feasible:
+        dominated = any(
+            other is not candidate
+            and other.latency_ms_per_request <= candidate.latency_ms_per_request
+            and other.accuracy_proxy <= candidate.accuracy_proxy
+            and (other.latency_ms_per_request < candidate.latency_ms_per_request
+                 or other.accuracy_proxy < candidate.accuracy_proxy)
+            for other in feasible)
+        if not dominated:
+            frontier.append(candidate)
+    # Identical metric pairs can survive together; keep one per metric
+    # point (first in deterministic key order).
+    frontier.sort(key=lambda e: (e.latency_ms_per_request,
+                                 e.accuracy_proxy, e.candidate.key()))
+    deduped: List[CandidateEvaluation] = []
+    for evaluation in frontier:
+        if deduped and (deduped[-1].latency_ms_per_request,
+                        deduped[-1].accuracy_proxy) == (
+                            evaluation.latency_ms_per_request,
+                            evaluation.accuracy_proxy):
+            continue
+        deduped.append(evaluation)
+    return deduped
+
+
+class Evaluator:
+    """Budgeted, cached, deduplicating front of the cost model.
+
+    The object handed to strategies: owns the unique-candidate budget, the
+    persistent cache and the objective ordering. Repeated candidates are
+    answered from the in-run table without consuming budget.
+    """
+
+    def __init__(self, cost_model: CostModel, cache: EvalCache,
+                 context: str, budget: int, objective: str):
+        self.cost_model = cost_model
+        self.cache = cache
+        self.context = context
+        self.remaining = int(budget)
+        self.sort_key = _objective_key(objective)
+        self.evaluations: Dict[str, CandidateEvaluation] = {}
+
+    def evaluate(self, candidate: Candidate
+                 ) -> Optional[CandidateEvaluation]:
+        key = evaluation_key(candidate, self.context)
+        if key in self.evaluations:
+            return self.evaluations[key]
+        if self.remaining <= 0:
+            return None
+        record = self.cache.get(key)
+        if record is not None:
+            evaluation = CandidateEvaluation.from_dict(record)
+            evaluation.from_cache = True
+        else:
+            evaluation = self.cost_model.evaluate(candidate)
+            self.cache.put(key, evaluation.to_dict())
+        self.remaining -= 1
+        self.evaluations[key] = evaluation
+        return evaluation
+
+    def ranked(self) -> List[CandidateEvaluation]:
+        return sorted(self.evaluations.values(), key=self.sort_key)
+
+
+# ----------------------------------------------------------------------
+# Per-layer ratio refinement (§V-B-guarded)
+# ----------------------------------------------------------------------
+_REFINE_OFFSETS = (-0.2, -0.1, -0.05, 0.0, 0.05, 0.1, 0.2)
+
+
+def _layer_tiles(rows: int, sp2_fraction: float, block_out_fixed: int,
+                 block_out_sp2: int) -> int:
+    """Output-tile count of one layer's row split (the slower core gates)."""
+    rows_sp2 = int(round(rows * sp2_fraction))
+    rows_fixed = rows - rows_sp2
+    tiles_fixed = ceil(rows_fixed / block_out_fixed) if rows_fixed else 0
+    tiles_sp2 = (ceil(rows_sp2 / block_out_sp2)
+                 if rows_sp2 and block_out_sp2 else
+                 (10 ** 9 if rows_sp2 else 0))
+    return max(tiles_fixed, tiles_sp2)
+
+
+def refine_layer_ratios(model, candidate: Candidate) -> Dict[str, float]:
+    """Per-layer SP2 fractions around the design's PE ratio.
+
+    For each quantizable layer, try small offsets from the hardware
+    fraction and keep the one with the lowest quantization MSE, subject to
+    the §V-B balance guard: the layer's output-tile count (the slower
+    core's) must not exceed what the design fraction costs — an imbalanced
+    split "may result in under-utilization of the certain GEMM core", so
+    only latency-neutral refinements are accepted. Returns only the layers
+    whose best fraction differs from the design fraction.
+    """
+    from repro.api.registry import get_scheme
+    from repro.quant.admm import collect_quantizable
+    from repro.quant.partition import to_gemm_matrix
+    from repro.quant.quantizers import quantization_mse
+
+    base = candidate.sp2_fraction
+    overrides: Dict[str, float] = {}
+    for name, param in collect_quantizable(model):
+        weight = np.asarray(param.data, dtype=np.float64)
+        rows = to_gemm_matrix(weight).shape[0]
+        base_tiles = _layer_tiles(rows, base, candidate.block_out_fixed,
+                                  candidate.block_out_sp2)
+        best_fraction, best_mse = base, None
+        for offset in _REFINE_OFFSETS:
+            fraction = min(max(base + offset, 0.0), 1.0)
+            if _layer_tiles(rows, fraction, candidate.block_out_fixed,
+                            candidate.block_out_sp2) > base_tiles:
+                continue
+            quantizer = get_scheme("msq").make(candidate.weight_bits,
+                                               ratio=fraction)
+            mse = quantization_mse(weight, quantizer.quantize(weight))
+            # Strict improvement required; ties keep the fraction closest
+            # to the hardware ratio (offset 0.0 is evaluated first among
+            # equals via the sorted offsets walk below).
+            if best_mse is None or mse < best_mse - 1e-18 or (
+                    abs(mse - best_mse) <= 1e-18
+                    and abs(fraction - base) < abs(best_fraction - base)):
+                best_fraction, best_mse = fraction, mse
+        if abs(best_fraction - base) > 1e-12:
+            overrides[name] = float(best_fraction)
+    return overrides
+
+
+# ----------------------------------------------------------------------
+# Result handle
+# ----------------------------------------------------------------------
+@dataclass
+class TuneResult:
+    """Everything one tune run produced, ranked and deployable."""
+
+    device: str
+    objective: str
+    strategy: str
+    seed: int
+    budget: int
+    proxy: str
+    evaluations: List[CandidateEvaluation]   # ranked, best first
+    frontier: List[CandidateEvaluation]      # Pareto, by latency
+    best: CandidateEvaluation
+    layer_ratios: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def design(self) -> GemmDesign:
+        """The winning accelerator design, ready for deployment."""
+        return self.best.candidate.design()
+
+    @property
+    def backend(self) -> str:
+        return self.best.candidate.backend
+
+    def config(self, **overrides):
+        """A ready-to-run :class:`~repro.api.config.PipelineConfig`."""
+        from repro.api.config import PipelineConfig
+
+        return PipelineConfig.from_tuning(self, **overrides)
+
+    # ------------------------------------------------------------------
+    def format_table(self, limit: Optional[int] = 10) -> str:
+        """The frontier (and top candidates) as a plain-text table."""
+        def rows_of(evaluations):
+            return [[e.candidate.describe(),
+                     e.candidate.ratio.describe(),
+                     f"{e.latency_ms_per_request:.3f}",
+                     f"{e.requests_per_second:.1f}",
+                     f"{e.accuracy_proxy:.2e}",
+                     f"{e.utilization['lut']:.0%}",
+                     "yes" if e.fits else "NO"]
+                    for e in evaluations]
+
+        headers = ["candidate", "ratio", "ms/req", "req/s", "proxy",
+                   "LUT", "fits"]
+        out = [format_table(headers, rows_of(self.frontier),
+                            title=f"Pareto frontier — {self.device} "
+                                  f"({self.objective}, {self.strategy})")]
+        ranked = self.evaluations[:limit] if limit else self.evaluations
+        out.append(format_table(headers, rows_of(ranked),
+                                title=f"Top candidates "
+                                      f"({len(self.evaluations)} evaluated)"))
+        return "\n\n".join(out)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready report (what ``repro tune --out`` writes)."""
+        return {
+            "device": self.device,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget": self.budget,
+            "accuracy_proxy": self.proxy,
+            "best": self.best.to_dict(),
+            "frontier": [e.to_dict() for e in self.frontier],
+            "evaluations": [e.to_dict() for e in self.evaluations],
+            "layer_ratios": dict(self.layer_ratios),
+            "cache": dict(self.cache_stats),
+        }
+
+    def save_report(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Workload derivation
+# ----------------------------------------------------------------------
+def _workloads_from_model(model, sample_input,
+                          layer_results=None) -> Callable:
+    """Lower the model once; workload dims depend only on layer shapes."""
+    from repro.serve.export import build_artifact
+    from repro.serve.ir import lower_artifact
+
+    if sample_input is None:
+        raise ConfigurationError(
+            "tune() needs a sample input to derive the model's GEMM "
+            "workloads; pass sample_input= (or workloads=)")
+    artifact = build_artifact(model, np.asarray(sample_input),
+                              layer_results=layer_results or {},
+                              verify=False)
+    return lower_artifact(artifact).workloads
+
+
+# ----------------------------------------------------------------------
+# The front door
+# ----------------------------------------------------------------------
+def tune(model=None, *, device, workloads=None, objective: str = "latency",
+         strategy: Optional[str] = None, budget: int = 64, seed: int = 0,
+         cache=None, accuracy: Optional[str] = None, calibration=None,
+         sample_input=None, layer_results=None,
+         space: Optional[SearchSpace] = None,
+         refine_layers: Optional[bool] = None,
+         sim_kwargs: Optional[dict] = None,
+         **space_overrides) -> TuneResult:
+    """Search quantization config x FPGA design for one model and device.
+
+    Parameters
+    ----------
+    model:
+        The model to tune for (weights feed the accuracy proxy, layer
+        shapes the cost model). Omit it to tune hardware-only from an
+        explicit ``workloads`` list.
+    device:
+        Catalog device name (``"XC7Z045"``, ``"zu3eg"``, ...) or
+        :class:`~repro.fpga.devices.Device`.
+    workloads:
+        Per-request :class:`GemmWorkload` list (network-scale shape
+        tables, e.g. ``repro.fpga.workloads.WORKLOADS``); derived from
+        ``model`` + ``sample_input`` when omitted.
+    objective:
+        ``"latency"`` | ``"throughput"`` | ``"pareto"`` (latency vs.
+        accuracy-proxy frontier; the frontier is reported for every
+        objective, the objective decides the *ranking*).
+    strategy:
+        Registered strategy name; default picks ``"grid"`` when the space
+        fits the budget, else ``"greedy"``.
+    budget:
+        Maximum number of *unique* candidates priced.
+    cache:
+        ``EvalCache``, path string, or ``None`` (in-memory only).
+        Persistent caches make re-tunes incremental.
+    accuracy:
+        Proxy name (``"mse"`` | ``"calibration"`` | ``"gaussian"``).
+        Default: ``"mse"`` with a model, ``"gaussian"`` without.
+    refine_layers:
+        Per-layer ratio refinement of the winner (default: on when a
+        model is available).
+    space / space_overrides:
+        A prebuilt :class:`SearchSpace`, or keyword overrides for the
+        default one (``batches=(1, 4)``, ``serve_batches=...``, ...).
+    """
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; use one of {OBJECTIVES}")
+    device_name = device.name if hasattr(device, "name") \
+        else get_device(device).name
+    if space is None:
+        space = SearchSpace(device=device_name, **space_overrides)
+    elif space_overrides:
+        raise ConfigurationError(
+            "pass either space= or space overrides, not both")
+    if space.device != device_name:
+        raise ConfigurationError(
+            f"space is for {space.device}, tune target is {device_name}")
+
+    # Workload source ---------------------------------------------------
+    if workloads is None:
+        if model is None:
+            raise ConfigurationError(
+                "tune() needs a model (for workload derivation and the "
+                "accuracy proxy) or an explicit workloads= list")
+        workloads_fn = _workloads_from_model(model, sample_input,
+                                             layer_results)
+    elif callable(workloads):
+        workloads_fn = workloads
+    else:
+        base = list(workloads)
+        workloads_fn = lambda batch: scale_workloads(base, batch)  # noqa: E731
+
+    # Accuracy proxy ----------------------------------------------------
+    proxy_name = accuracy if accuracy is not None else (
+        "mse" if model is not None else "gaussian")
+    proxy = get_accuracy_proxy(proxy_name, model=model,
+                               calibration=calibration, seed=seed)
+
+    # Cache + context fingerprint --------------------------------------
+    # Everything that changes what evaluate() would compute must be in
+    # the context: device, proxy, workload dims, model weights, the
+    # feasibility cap and simulator overrides — a cached record is only
+    # reused when it would be recomputed identically.
+    if not isinstance(cache, EvalCache):
+        cache = EvalCache(cache)
+    context = "|".join([
+        device_name, proxy_name,
+        f"lut_cap={space.lut_cap:g}",
+        "sim=" + json.dumps(sim_kwargs or {}, sort_keys=True, default=str),
+        workload_fingerprint(workloads_fn(1)),
+        model_fingerprint(model) if model is not None else "no-model",
+    ])
+
+    cost_model = CostModel(workloads_fn, lut_cap=space.lut_cap,
+                           accuracy_proxy=proxy, proxy_name=proxy_name,
+                           sim_kwargs=sim_kwargs)
+    evaluator = Evaluator(cost_model, cache, context, budget, objective)
+
+    # Search ------------------------------------------------------------
+    if strategy is None:
+        strategy = "grid" if space.size <= budget else "greedy"
+    rng = np.random.default_rng(seed)
+    get_strategy(strategy)(space, evaluator, rng)
+    cache.save()
+
+    ranked = evaluator.ranked()
+    if not ranked:
+        raise ConfigurationError("the search evaluated no candidates "
+                                 "(budget must be >= 1)")
+    frontier = pareto_frontier(ranked)
+    if not frontier:
+        worst = ranked[0]
+        breakdown = ", ".join(f"{k.upper()} {v:.1%}"
+                              for k, v in worst.utilization.items())
+        raise ConfigurationError(
+            f"no feasible design for {device_name} within the search "
+            f"space (closest: {worst.candidate.describe()} at {breakdown})")
+    best = ranked[0]
+
+    # Per-layer refinement ---------------------------------------------
+    if refine_layers is None:
+        refine_layers = model is not None
+    layer_ratios = (refine_layer_ratios(model, best.candidate)
+                    if refine_layers and model is not None else {})
+
+    return TuneResult(
+        device=device_name, objective=objective, strategy=strategy,
+        seed=seed, budget=budget, proxy=proxy_name,
+        evaluations=ranked, frontier=frontier, best=best,
+        layer_ratios=layer_ratios, cache_stats=dict(cache.stats))

@@ -19,8 +19,14 @@ class QuantizationError(ReproError):
     """A quantization invariant was violated (e.g. value outside levels)."""
 
 
-class ResourceError(ReproError):
-    """A hardware design does not fit on the selected FPGA device."""
+class ResourceError(ConfigurationError):
+    """A hardware design does not fit on the selected FPGA device.
+
+    Subclasses :class:`ConfigurationError`: an over-budget design is a
+    configuration mistake, and the message carries the full per-resource
+    utilization breakdown (LUT/FF/BRAM/DSP) so the caller can see *which*
+    budget overflowed and by how much.
+    """
 
 
 class ShapeError(ReproError, ValueError):

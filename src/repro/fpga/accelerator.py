@@ -15,6 +15,15 @@ cannot see:
 FPS figures assume one image per run (the paper reports per-image latency;
 the Bat lanes of the XC7Z045 design are filled by output positions, not by
 separate images — see gemm.py).
+
+**Latency unit convention: milliseconds.** Every simulated latency in this
+package is reported in ms — ``NetworkPerformance.latency_ms`` here, the
+``fpga_ms``/``fpga_ms_total`` counters in :mod:`repro.serve.engine` /
+:mod:`repro.serve.scheduler` (which are plain sums of this module's
+``latency_ms`` over served micro-batches), and the autotuner's
+``latency_ms`` columns. A regression test
+(``tests/test_autotune.py::TestLatencyUnitConvention``) pins the served
+and simulated numbers to each other on identical workloads.
 """
 
 from __future__ import annotations
@@ -71,6 +80,11 @@ class NetworkPerformance:
 
     @property
     def latency_ms(self) -> float:
+        """End-to-end latency in **milliseconds** (cycles / kHz).
+
+        The one latency-unit convention of the whole stack: serve-side
+        ``fpga_ms`` counters and autotune scores are sums of this value.
+        """
         return self.total_cycles / (self.design.freq_mhz * 1e3)
 
     @property

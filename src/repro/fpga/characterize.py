@@ -13,12 +13,17 @@ The search mirrors the paper's procedure exactly:
 
 On the paper's devices this reproduces the published optima: 1:1.5 on
 XC7Z020 and 1:2 on XC7Z045.
+
+:func:`resolve_design` is the one spelling-to-:class:`GemmDesign` resolver
+shared by ``repro.api`` and ``repro.serve``: a reference-design name
+(``"D2-3"``), an ``"auto:<device>[@<batch>]"`` request (run this search),
+or an already-built design all resolve through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.fpga.devices import Device, get_device
@@ -27,6 +32,7 @@ from repro.fpga.resources import (
     design_utilization,
     max_block_out_fixed,
     peak_throughput_gops,
+    reference_designs,
 )
 from repro.quant.partition import PartitionRatio
 
@@ -111,3 +117,74 @@ def characterize_device(device, batch: int = 1, block_in: int = 16,
         utilization=design_utilization(best),
         candidates=candidates,
     )
+
+
+# ----------------------------------------------------------------------
+# Design-spec resolution (shared by repro.api and repro.serve)
+# ----------------------------------------------------------------------
+_AUTO_CACHE: Dict[Tuple[str, int], GemmDesign] = {}
+
+
+def parse_auto_spec(spec: str, default_batch: int = 1) -> Tuple[Device, int]:
+    """Parse + validate an ``"auto:<device>[@<batch>]"`` spec.
+
+    The one parser behind :func:`resolve_design` and
+    ``PipelineConfig`` validation, so a malformed spec fails the same way
+    at configuration time and at deploy time.
+    """
+    target = spec[len("auto:"):]
+    batch = default_batch
+    if "@" in target:
+        target, _, batch_text = target.partition("@")
+        try:
+            batch = int(batch_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed auto design spec {spec!r}; use "
+                f"'auto:<device>' or 'auto:<device>@<batch>'") from None
+        if batch < 1:
+            raise ConfigurationError(
+                f"auto design batch must be >= 1, got {spec!r}")
+    return get_device(target), batch       # raises on unknown device
+
+
+def resolve_design(spec, batch: int = 1) -> GemmDesign:
+    """Resolve any accepted design spelling to a :class:`GemmDesign`.
+
+    Accepted forms:
+
+    - a :class:`GemmDesign` — returned as-is;
+    - a reference-design name (``"D2-3"``, Table VII);
+    - ``"auto:<device>[@<batch>]"`` — run the §VI-A characterization
+      search for that device (e.g. ``"auto:zu3eg"``, ``"auto:XC7Z045@4"``)
+      and use the design it discovers. Results are memoized per
+      ``(device, batch)``, so repeated resolutions are free.
+
+    ``batch`` is the Bat lane count used when an ``auto:`` spec carries no
+    explicit ``@<batch>`` suffix.
+    """
+    if isinstance(spec, GemmDesign):
+        return spec
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"cannot interpret design spec {spec!r}; pass a GemmDesign, a "
+            f"reference-design name or an 'auto:<device>' string")
+    if spec.lower().startswith("auto:"):
+        device, batch = parse_auto_spec(spec, default_batch=batch)
+        key = (device.name, batch)
+        if key not in _AUTO_CACHE:
+            result = characterize_device(device, batch=batch)
+            design = result.design
+            _AUTO_CACHE[key] = GemmDesign(
+                design.device, design.batch, design.block_in,
+                design.block_out_fixed, design.block_out_sp2,
+                weight_bits=design.weight_bits, act_bits=design.act_bits,
+                freq_mhz=design.freq_mhz,
+                name=f"auto:{device.name}@{batch}")
+        return _AUTO_CACHE[key]
+    designs = reference_designs()
+    if spec not in designs:
+        raise ConfigurationError(
+            f"unknown design {spec!r}; available: {sorted(designs)} "
+            f"or 'auto:<device>'")
+    return designs[spec]

@@ -196,13 +196,22 @@ def design_utilization(design: GemmDesign,
 
 
 def check_fits(design: GemmDesign) -> None:
-    """Raise :class:`ResourceError` if the design overflows its device."""
+    """Raise :class:`ResourceError` if the design overflows its device.
+
+    The error message reports the utilization of *every* resource
+    (LUT/FF/BRAM/DSP), with the overflowing ones flagged, so a failed fit
+    is immediately actionable — which budget overflowed and by how much.
+    """
     util = design_utilization(design)
-    for resource, value in util.items():
-        if value > 1.0 + 1e-9:
-            raise ResourceError(
-                f"{design.describe()} exceeds {resource.upper()} budget "
-                f"({value:.1%})")
+    over = [name for name, value in util.items() if value > 1.0 + 1e-9]
+    if over:
+        breakdown = ", ".join(
+            f"{name.upper()} {value:.1%}"
+            + (" (over)" if name in over else "")
+            for name, value in util.items())
+        raise ResourceError(
+            f"{design.describe()} exceeds {design.device.name}'s "
+            f"{'/'.join(name.upper() for name in over)} budget: {breakdown}")
 
 
 def peak_throughput_gops(design: GemmDesign) -> float:

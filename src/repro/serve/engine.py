@@ -188,7 +188,13 @@ class InferenceEngine:
 
     # ------------------------------------------------------------------
     def fpga_latency_ms(self, batch_size: int) -> float:
-        """Simulated accelerator latency of one micro-batch of this size."""
+        """Simulated accelerator latency of one micro-batch of this size.
+
+        Milliseconds — exactly
+        ``simulate_network(plan.workloads(batch_size), design).latency_ms``
+        (the stack-wide ms convention; see :mod:`repro.fpga.accelerator`),
+        cached per batch size.
+        """
         if batch_size not in self._fpga_latency_cache:
             performance = self.plan.simulate(self.design, batch=batch_size)
             self._fpga_latency_cache[batch_size] = performance.latency_ms

@@ -40,7 +40,9 @@ def post_training_quantize(
         quantize_activations: bool = True,
         skip_modules: Sequence[str] = (),
         act_skip_modules: Sequence[str] = (),
-        layer_bits: Optional[Mapping[str, int]] = None) -> Dict[str, object]:
+        layer_bits: Optional[Mapping[str, int]] = None,
+        layer_ratios: Optional[Mapping[str, float]] = None
+        ) -> Dict[str, object]:
     """Quantize ``model`` in place without training; returns layer results.
 
     ``calibration_batches`` yields model inputs (numpy arrays are wrapped in
@@ -51,7 +53,9 @@ def post_training_quantize(
     mirrors the QAT path (``quantize_activations`` for weight-only runs,
     ``skip_modules``/``act_skip_modules`` substring filters, ``layer_bits``
     per-layer bit-width overrides) so one ``PipelineConfig`` means the same
-    thing in both stages.
+    thing in both stages. ``layer_ratios`` maps name substrings to SP2
+    fractions — the autotuner's per-layer refinement — overriding
+    ``ratio`` for matching layers (first match wins; MSQ only).
     """
     model.eval()
     act_quantizers = {}
@@ -78,13 +82,21 @@ def post_training_quantize(
                 return bits
         return weight_bits
 
-    quantizers: Dict[int, object] = {}
+    base_ratio = PartitionRatio.coerce(ratio)
+
+    def ratio_for(name: str) -> PartitionRatio:
+        for pattern, fraction in dict(layer_ratios or {}).items():
+            if pattern in name:
+                return PartitionRatio.coerce(float(fraction))
+        return base_ratio
+
+    quantizers: Dict[tuple, object] = {}
     results: Dict[str, object] = {}
     for param_name, param in collect_quantizable(model, skip=skip_modules):
-        bits = bits_for(param_name)
-        if bits not in quantizers:
-            quantizers[bits] = entry.make(bits, ratio=ratio, alpha=alpha)
-        result = quantizers[bits].quantize(param.data.astype(np.float64))
+        key = (bits_for(param_name), ratio_for(param_name))
+        if key not in quantizers:
+            quantizers[key] = entry.make(key[0], ratio=key[1], alpha=alpha)
+        result = quantizers[key].quantize(param.data.astype(np.float64))
         param.data = result.values.astype(param.data.dtype)
         results[param_name] = result
     return results

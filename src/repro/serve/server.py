@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ReproError, ServingError
-from repro.fpga.resources import GemmDesign, reference_designs
+from repro.fpga.resources import GemmDesign
 from repro.serve.backends import DEFAULT_BACKEND
 from repro.serve.batcher import DynamicBatcher, ServedRequest, coerce_payload
 from repro.serve.engine import InferenceEngine, ThroughputStats
@@ -190,7 +190,13 @@ class ModelServer:
              design: Optional[GemmDesign] = None,
              warmup: bool = False) -> str:
         """Host a model under ``name`` from an artifact path (or anything
-        with an ``.engine``, e.g. an ``api.Deployment``)."""
+        with an ``.engine``, e.g. an ``api.Deployment``).
+
+        ``design`` prices the model's simulated-FPGA latency: a
+        :class:`GemmDesign`, a reference-design name (``"D2-3"``), or
+        ``"auto:<device>[@<batch>]"`` to run the §VI-A characterization
+        search for a cataloged device (e.g. ``design="auto:zu3eg"``).
+        """
         if hasattr(source, "engine"):
             # A deployment is already compiled: backend/design were fixed
             # then, so overriding them here would be silently ignored.
@@ -202,12 +208,9 @@ class ModelServer:
             return self.add(name, source, batch=batch,
                             max_wait_ms=max_wait_ms, warmup=warmup)
         if isinstance(design, str):
-            designs = reference_designs()
-            if design not in designs:
-                raise ConfigurationError(
-                    f"unknown design {design!r}; "
-                    f"available: {sorted(designs)}")
-            design = designs[design]
+            from repro.fpga.characterize import resolve_design
+
+            design = resolve_design(design)
         engine = InferenceEngine.load(source, backend=backend,
                                       design=design)
         return self._host(name, engine,

@@ -1,0 +1,655 @@
+"""The autotune subsystem: search space, cost model, strategies, cache,
+tuner acceptance (Pareto frontier feasibility, end-to-end deploy
+bit-exactness, determinism, Table VII rediscovery), API/CLI/server
+integration, and the stack-wide latency-unit (ms) convention."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    Candidate,
+    CostModel,
+    EvalCache,
+    SearchSpace,
+    get_accuracy_proxy,
+    list_strategies,
+    pareto_frontier,
+    register_strategy,
+    scale_workloads,
+    tune,
+)
+from repro.autotune.cache import (
+    evaluation_key,
+    model_fingerprint,
+    workload_fingerprint,
+)
+from repro.autotune.strategies import _STRATEGIES
+from repro.errors import ConfigurationError, ResourceError
+from repro.fpga.characterize import resolve_design
+from repro.fpga.gemm import GemmWorkload
+from repro.fpga.resources import check_fits, reference_designs
+from repro.fpga.workloads import WORKLOADS
+from repro.serve.cli import build_model
+from repro.serve.export import eager_forward
+
+
+def tiny_workloads():
+    return [
+        GemmWorkload("conv1", rows=32, reduction=27, columns=64),
+        GemmWorkload("conv2", rows=64, reduction=288, columns=64),
+        GemmWorkload("fc", rows=10, reduction=64),
+    ]
+
+
+@pytest.fixture(scope="module")
+def resnet_setup():
+    model, sample = build_model("resnet_tiny", seed=0)
+    x = sample(np.random.default_rng(1), 8)
+    return model, x
+
+
+# ----------------------------------------------------------------------
+# Search space
+# ----------------------------------------------------------------------
+class TestSearchSpace:
+    def test_candidates_deterministic(self):
+        space = SearchSpace(device="XC7Z020")
+        first = [c.key() for c in space.candidates()]
+        second = [c.key() for c in space.candidates()]
+        assert first == second and first
+
+    def test_sp2_options_respect_lut_cap(self):
+        space = SearchSpace(device="XC7Z020", lut_cap=0.80)
+        options = space.sp2_options(1, 16, 4, 4)
+        assert options == (0, 8, 16, 24)      # D1-1..D1-3 + the 1:0.5 point
+
+    def test_fixed_columns_full_dsp(self):
+        space = SearchSpace(device="XC7Z020")
+        assert space.fixed_columns(1, 16, 4, 4) == 16
+        space45 = SearchSpace(device="XC7Z045")
+        assert space45.fixed_columns(4, 16, 4, 4) == 16
+
+    def test_device_alias_normalized(self):
+        assert SearchSpace(device="zu3eg").device == "XCZU3EG"
+
+    def test_candidate_ratio_matches_pe_split(self):
+        candidate = Candidate(device="XC7Z045", batch=4, block_in=16,
+                              block_out_fixed=16, block_out_sp2=32)
+        assert candidate.ratio.sp2_fraction == pytest.approx(2 / 3)
+        assert candidate.design().ratio_string == "1:2"
+
+    def test_neighbors_stay_in_space(self):
+        space = SearchSpace(device="XC7Z020", weight_bits=(4, 8),
+                            serve_batches=(1, 16))
+        for candidate in space.candidates():
+            for neighbor in space.neighbors(candidate):
+                options = space.sp2_options(
+                    neighbor.batch, neighbor.block_in,
+                    neighbor.weight_bits, neighbor.act_bits)
+                assert neighbor.block_out_sp2 in options
+
+    def test_random_and_mutate_seeded(self):
+        space = SearchSpace(device="XC7Z045", batches=(1, 4),
+                            serve_batches=(1, 8, 16))
+        a = space.random_candidate(np.random.default_rng(3))
+        b = space.random_candidate(np.random.default_rng(3))
+        assert a == b
+        assert space.mutate(a, np.random.default_rng(4)) == \
+            space.mutate(a, np.random.default_rng(4))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace(device="XC7Z020", batches=())
+
+
+# ----------------------------------------------------------------------
+# Cost model + proxies
+# ----------------------------------------------------------------------
+class TestCostModel:
+    def test_feasibility_honors_lut_cap(self):
+        model = CostModel(lambda b: scale_workloads(tiny_workloads(), b),
+                          lut_cap=0.80)
+        fits = model.evaluate(Candidate("XC7Z020", 1, 16, 16, 24))
+        over = model.evaluate(Candidate("XC7Z020", 1, 16, 16, 48))
+        assert fits.fits and not over.fits
+        assert over.utilization["lut"] > 0.80
+
+    def test_latency_in_ms_and_per_request(self):
+        model = CostModel(lambda b: scale_workloads(tiny_workloads(), b))
+        one = model.evaluate(Candidate("XC7Z020", 1, 16, 16, 16,
+                                       serve_batch=1))
+        many = model.evaluate(Candidate("XC7Z020", 1, 16, 16, 16,
+                                        serve_batch=16))
+        assert one.latency_ms_per_request == pytest.approx(one.latency_ms)
+        assert many.latency_ms_per_request == pytest.approx(
+            many.latency_ms / 16)
+        # Batching amortizes: per-request latency must not get worse.
+        assert many.latency_ms_per_request <= one.latency_ms_per_request
+
+    def test_evaluation_roundtrips_through_dict(self):
+        from repro.autotune.cost import CandidateEvaluation
+
+        model = CostModel(lambda b: tiny_workloads())
+        evaluation = model.evaluate(Candidate("XC7Z020", 1, 16, 16, 8))
+        clone = CandidateEvaluation.from_dict(
+            json.loads(json.dumps(evaluation.to_dict())))
+        assert clone.candidate == evaluation.candidate
+        assert clone.latency_ms == evaluation.latency_ms
+        assert clone.utilization == evaluation.utilization
+
+    def test_scale_workloads_scales_columns_only(self):
+        scaled = scale_workloads(tiny_workloads(), 4)
+        for base, new in zip(tiny_workloads(), scaled):
+            assert new.columns == base.columns * 4
+            assert (new.rows, new.reduction) == (base.rows, base.reduction)
+
+
+class TestAccuracyProxies:
+    def test_mse_proxy_deterministic(self, resnet_setup):
+        model, _ = resnet_setup
+        proxy_a = get_accuracy_proxy("mse", model=model)
+        proxy_b = get_accuracy_proxy("mse", model=model)
+        candidate = Candidate("XC7Z020", 1, 16, 16, 16)
+        assert proxy_a(candidate) == proxy_b(candidate) > 0
+
+    def test_mse_proxy_does_not_mutate_model(self, resnet_setup):
+        model, _ = resnet_setup
+        from repro.quant.admm import collect_quantizable
+
+        before = [np.array(p.data, copy=True)
+                  for _, p in collect_quantizable(model)]
+        get_accuracy_proxy("mse", model=model)(
+            Candidate("XC7Z020", 1, 16, 16, 16))
+        after = [p.data for _, p in collect_quantizable(model)]
+        for b, a in zip(before, after):
+            assert np.array_equal(b, a)
+
+    def test_calibration_proxy_restores_weights(self, resnet_setup):
+        model, x = resnet_setup
+        from repro.quant.admm import collect_quantizable
+
+        before = [np.array(p.data, copy=True)
+                  for _, p in collect_quantizable(model)]
+        reference = eager_forward(model, x)
+        proxy = get_accuracy_proxy("calibration", model=model,
+                                   calibration=[x])
+        value = proxy(Candidate("XC7Z020", 1, 16, 16, 16))
+        assert value > 0
+        for b, (_, p) in zip(before, collect_quantizable(model)):
+            assert np.array_equal(b, p.data)
+        assert np.array_equal(eager_forward(model, x), reference)
+
+    def test_gaussian_proxy_needs_no_model(self):
+        proxy = get_accuracy_proxy("gaussian", seed=0)
+        assert proxy(Candidate("XC7Z020", 1, 16, 16, 16)) > 0
+
+    def test_unknown_proxy(self):
+        with pytest.raises(ConfigurationError):
+            get_accuracy_proxy("nope")
+
+    def test_mse_proxy_requires_model(self):
+        with pytest.raises(ConfigurationError):
+            get_accuracy_proxy("mse")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ["grid", "greedy", "random",
+                                          "evolutionary"])
+    def test_all_find_the_paper_optimum(self, strategy):
+        result = tune(device="XC7Z045", workloads=WORKLOADS["resnet18"](),
+                      objective="latency", strategy=strategy, budget=40,
+                      seed=0, batches=(4,))
+        assert result.best.candidate.block_out_sp2 == 32   # D2-3
+        assert result.best.candidate.block_out_fixed == 16
+
+    def test_budget_respected(self):
+        result = tune(device="XC7Z020", workloads=tiny_workloads(),
+                      strategy="grid", budget=2, seed=0)
+        assert len(result.evaluations) <= 2
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            tune(device="XC7Z020", workloads=tiny_workloads(),
+                 strategy="simulated-annealing")
+
+    def test_custom_strategy_registers_and_runs(self):
+        name = "test-first-only"
+
+        @register_strategy(name, "evaluate only the first candidate")
+        def first_only(space, evaluator, rng):
+            evaluator.evaluate(space.candidates()[0])
+
+        try:
+            assert name in list_strategies()
+            result = tune(device="XC7Z020", workloads=tiny_workloads(),
+                          strategy=name, budget=10, seed=0)
+            assert len(result.evaluations) == 1
+        finally:
+            _STRATEGIES.pop(name, None)
+
+    def test_greedy_uses_fig2_seed(self):
+        # With budget 1 greedy can only afford its seed — which must be
+        # the characterization optimum, not an arbitrary corner.
+        result = tune(device="XC7Z020", workloads=WORKLOADS["resnet18"](),
+                      strategy="greedy", budget=1, seed=0, batches=(1,))
+        assert result.best.candidate.block_out_sp2 == 24   # 1:1.5
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class TestEvalCache:
+    def test_persistent_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = EvalCache(path)
+        cache.put("k1", {"value": 1})
+        cache.save()
+        reloaded = EvalCache(path)
+        assert reloaded.get("k1") == {"value": 1}
+        assert reloaded.hits == 1
+
+    def test_retune_hits_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        workloads = tiny_workloads()
+        cold = tune(device="XC7Z020", workloads=workloads, budget=10,
+                    seed=0, cache=path)
+        warm = tune(device="XC7Z020", workloads=workloads, budget=10,
+                    seed=0, cache=path)
+        assert cold.cache_stats["hits"] == 0
+        assert warm.cache_stats["hits"] == len(warm.evaluations) > 0
+        assert warm.best.candidate == cold.best.candidate
+        assert warm.best.from_cache
+
+    def test_key_depends_on_model_weights(self, resnet_setup):
+        model, _ = resnet_setup
+        fp_a = model_fingerprint(model)
+        other, _ = build_model("resnet_tiny", seed=5)
+        assert fp_a != model_fingerprint(other)
+        candidate = Candidate("XC7Z020", 1, 16, 16, 16)
+        assert evaluation_key(candidate, fp_a) != \
+            evaluation_key(candidate, model_fingerprint(other))
+
+    def test_key_depends_on_workloads(self):
+        a = workload_fingerprint(tiny_workloads())
+        b = workload_fingerprint(WORKLOADS["resnet18"]())
+        assert a != b
+
+    def test_in_memory_cache_save_is_noop(self):
+        cache = EvalCache(None)
+        cache.put("k", {"v": 1})
+        cache.save()               # must not raise
+        assert cache.get("k") == {"v": 1}
+
+    def test_lut_cap_change_invalidates_cache(self, tmp_path):
+        """A cached fits= verdict computed under one LUT cap must never
+        answer a tune run under a different cap."""
+        path = str(tmp_path / "cache.json")
+        loose = tune(device="XC7Z020", workloads=tiny_workloads(),
+                     budget=10, seed=0, cache=path, lut_cap=1.0,
+                     sp2_columns=(0, 8, 16, 24))
+        assert loose.best.fits
+        tight = tune(device="XC7Z020", workloads=tiny_workloads(),
+                     budget=10, seed=0, cache=path, lut_cap=0.5,
+                     sp2_columns=(0, 8, 16, 24))
+        assert tight.cache_stats["hits"] == 0          # different context
+        for evaluation in tight.frontier:
+            assert evaluation.utilization["lut"] <= 0.5 + 1e-9
+
+    def test_sim_kwargs_change_invalidates_cache(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        base = tune(device="XC7Z020", workloads=tiny_workloads(),
+                    budget=10, seed=0, cache=path)
+        slower = tune(device="XC7Z020", workloads=tiny_workloads(),
+                      budget=10, seed=0, cache=path,
+                      sim_kwargs={"dram_gbps": 0.1})
+        assert slower.cache_stats["hits"] == 0
+        assert slower.best.latency_ms > base.best.latency_ms
+
+
+# ----------------------------------------------------------------------
+# Tuner acceptance
+# ----------------------------------------------------------------------
+class TestTuneAcceptance:
+    @pytest.fixture(scope="class")
+    def tuned(self, resnet_setup):
+        model, x = resnet_setup
+        return tune(model, device="zu3eg", objective="pareto",
+                    budget=30, seed=0, sample_input=x,
+                    serve_batches=(1, 8))
+
+    def test_frontier_nonempty_and_all_fit(self, tuned):
+        assert tuned.frontier
+        for evaluation in tuned.frontier:
+            assert evaluation.fits
+            check_fits(evaluation.candidate.design())   # must not raise
+
+    def test_deterministic_under_seed(self, resnet_setup, tuned):
+        model, x = resnet_setup
+        again = tune(model, device="zu3eg", objective="pareto",
+                     budget=30, seed=0, sample_input=x,
+                     serve_batches=(1, 8))
+        assert again.best.candidate == tuned.best.candidate
+        assert [e.candidate.key() for e in again.evaluations] == \
+            [e.candidate.key() for e in tuned.evaluations]
+        assert again.layer_ratios == tuned.layer_ratios
+
+    def test_top_candidate_deploys_bit_exact(self, resnet_setup, tuned):
+        from repro.api import Pipeline
+
+        model, x = resnet_setup
+        pipeline = Pipeline(tuned.config(), model=model)
+        pipeline.calibrate([x])
+        deployment = pipeline.deploy(batch=x.shape[0])
+        outputs = deployment.predict(x)
+        assert np.array_equal(outputs, eager_forward(model, x))
+        assert deployment.engine.design.device.name == "XCZU3EG"
+
+    def test_result_config_carries_tuned_choices(self, tuned):
+        config = tuned.config()
+        best = tuned.best.candidate
+        assert config.weight_bits == best.weight_bits
+        assert config.partition_ratio.sp2_fraction == pytest.approx(
+            best.sp2_fraction)
+        assert config.design.block_out_sp2 == best.block_out_sp2
+        assert config.batch == best.serve_batch
+
+    def test_pareto_frontier_is_nondominated(self, tuned):
+        frontier = tuned.frontier
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (b.latency_ms_per_request
+                             <= a.latency_ms_per_request
+                             and b.accuracy_proxy <= a.accuracy_proxy
+                             and (b.latency_ms_per_request
+                                  < a.latency_ms_per_request
+                                  or b.accuracy_proxy < a.accuracy_proxy))
+                assert not dominates
+
+    def test_rediscovers_table7_designs(self):
+        designs = reference_designs()
+        for device, batch, expected in (("XC7Z020", 1, "D1-3"),
+                                        ("XC7Z045", 4, "D2-3")):
+            result = tune(device=device,
+                          workloads=WORKLOADS["resnet18"](),
+                          objective="latency", budget=50, seed=0,
+                          batches=(batch,))
+            chosen = result.best.candidate
+            reference = designs[expected]
+            assert chosen.block_out_fixed == reference.block_out_fixed
+            assert chosen.block_out_sp2 == reference.block_out_sp2
+
+    def test_save_report(self, tuned, tmp_path):
+        path = tmp_path / "report.json"
+        tuned.save_report(path)
+        report = json.loads(path.read_text())
+        assert report["device"] == "XCZU3EG"
+        assert report["frontier"]
+        assert report["best"]["fits"] is True
+
+    def test_format_table_mentions_frontier(self, tuned):
+        text = tuned.format_table()
+        assert "Pareto frontier" in text
+        assert "XCZU3EG" in text
+
+    def test_objective_validation(self, resnet_setup):
+        model, x = resnet_setup
+        with pytest.raises(ConfigurationError):
+            tune(model, device="zu3eg", objective="speed", sample_input=x)
+
+    def test_throughput_objective_prefers_batching(self, resnet_setup):
+        model, x = resnet_setup
+        result = tune(model, device="XC7Z045", objective="throughput",
+                      budget=30, seed=0, sample_input=x,
+                      serve_batches=(1, 16))
+        assert result.best.candidate.serve_batch == 16
+
+    def test_needs_model_or_workloads(self):
+        with pytest.raises(ConfigurationError):
+            tune(device="XC7Z020")
+
+    def test_infeasible_space_reports_utilization(self):
+        with pytest.raises(ConfigurationError, match="LUT"):
+            tune(device="XC7Z020", workloads=tiny_workloads(),
+                 budget=4, seed=0, sp2_columns=(200,))
+
+
+# ----------------------------------------------------------------------
+# Pipeline / config / server integration
+# ----------------------------------------------------------------------
+class TestPipelineIntegration:
+    def test_pipeline_tune_applies_config(self, resnet_setup):
+        from repro.api import Pipeline
+
+        model, x = resnet_setup
+        pipeline = Pipeline(model=model)
+        result = pipeline.tune("zu3eg", sample_input=x, budget=20, seed=0)
+        assert pipeline.tuned is result
+        assert pipeline.config.design.device.name == "XCZU3EG"
+        pipeline.calibrate([x])
+        deployment = pipeline.deploy(batch=x.shape[0])
+        assert np.array_equal(deployment.predict(x),
+                              eager_forward(model, x))
+
+    def test_pipeline_tune_apply_false(self, resnet_setup):
+        from repro.api import Pipeline, PipelineConfig
+
+        model, x = resnet_setup
+        config = PipelineConfig()
+        pipeline = Pipeline(config, model=model)
+        pipeline.tune("zu3eg", sample_input=x, budget=10, seed=0,
+                      apply=False)
+        assert pipeline.config is config
+
+    def test_from_tuning_overrides(self, resnet_setup):
+        from repro.api import PipelineConfig
+
+        model, x = resnet_setup
+        result = tune(model, device="zu3eg", budget=10, seed=0,
+                      sample_input=x)
+        config = PipelineConfig.from_tuning(result, batch=32,
+                                            layer_ratios=None)
+        assert config.batch == 32
+        assert config.layer_ratios is None
+
+    def test_fit_rejects_layer_ratios(self):
+        from repro.api import Pipeline, PipelineConfig
+
+        config = PipelineConfig(layer_ratios={"fc": 0.5})
+        with pytest.raises(ConfigurationError, match="layer_ratios"):
+            Pipeline(config).fit(lambda e: iter(()), lambda m, b: None,
+                                 model=build_model("resnet_tiny")[0])
+
+    def test_layer_ratio_overrides_reach_ptq(self, rng):
+        from repro.api import Pipeline, PipelineConfig
+
+        model, sample = build_model("resnet_tiny", seed=2)
+        x = sample(rng, 4)
+        config = PipelineConfig(ratio="2:1", layer_ratios={"fc": 0.0})
+        quantized = Pipeline(config, model=model).calibrate([x])
+        fc = quantized.layer_results["fc.weight"]
+        assert fc.partition.num_sp2 == 0      # override forced all-fixed
+        others = [r for name, r in quantized.layer_results.items()
+                  if name != "fc.weight"]
+        assert any(r.partition.num_sp2 > 0 for r in others)
+
+    def test_config_design_accepts_auto_string(self):
+        from repro.api import PipelineConfig
+
+        config = PipelineConfig(design="auto:zu3eg")
+        assert config.design == "auto:zu3eg"
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(design="auto:nonexistent-part")
+
+    def test_config_rejects_malformed_auto_batch_at_construction(self):
+        from repro.api import PipelineConfig
+
+        with pytest.raises(ConfigurationError, match="malformed"):
+            PipelineConfig(design="auto:zu3eg@garbage")
+        with pytest.raises(ConfigurationError):
+            PipelineConfig(design="auto:zu3eg@0")
+        assert PipelineConfig(design="auto:zu3eg@4").design == \
+            "auto:zu3eg@4"
+
+    def test_resolve_design_specs(self):
+        assert resolve_design("D2-3").block_out_sp2 == 32
+        auto = resolve_design("auto:XC7Z045@4")
+        assert (auto.block_out_fixed, auto.block_out_sp2) == (16, 32)
+        assert resolve_design(auto) is auto
+        with pytest.raises(ConfigurationError):
+            resolve_design("D9-9")
+        with pytest.raises(ConfigurationError):
+            resolve_design("auto:XC7Z045@four")
+        with pytest.raises(ConfigurationError):
+            resolve_design(42)
+
+    def test_server_load_auto_design(self, resnet_setup, tmp_path, rng):
+        from repro.api import Pipeline
+        from repro.serve import ModelServer
+
+        model, x = resnet_setup
+        pipeline = Pipeline(model=model)
+        pipeline.calibrate([x])
+        path = str(tmp_path / "model.npz")
+        pipeline.deploy(path=path)
+        with ModelServer(workers=0) as server:
+            server.load("m", path, design="auto:zu3eg")
+            engine = server._models["m"].engine
+            assert engine.design.device.name == "XCZU3EG"
+            assert np.array_equal(server.predict("m", x[0]),
+                                  eager_forward(model, x[:1])[0])
+
+
+# ----------------------------------------------------------------------
+# check_fits reporting (satellite)
+# ----------------------------------------------------------------------
+class TestCheckFitsReporting:
+    def test_message_has_all_resources(self):
+        design = Candidate("XC7Z020", 1, 16, 16, 200).design()
+        with pytest.raises(ResourceError) as info:
+            check_fits(design)
+        message = str(info.value)
+        for resource in ("LUT", "FF", "BRAM36", "DSP"):
+            assert resource in message
+        assert "%" in message and "(over)" in message
+
+    def test_resource_error_is_configuration_error(self):
+        design = Candidate("XC7Z020", 1, 16, 16, 200).design()
+        with pytest.raises(ConfigurationError):
+            check_fits(design)
+
+
+# ----------------------------------------------------------------------
+# Latency-unit convention (satellite): ms everywhere
+# ----------------------------------------------------------------------
+class TestLatencyUnitConvention:
+    def test_served_fpga_ms_equals_simulate_network(self, resnet_setup):
+        from repro.api import Pipeline
+        from repro.fpga.accelerator import simulate_network
+
+        model, x = resnet_setup
+        pipeline = Pipeline(model=model)
+        pipeline.calibrate([x])
+        deployment = pipeline.deploy(batch=4)
+        payloads = [x[i % x.shape[0]] for i in range(10)]
+        stats = deployment.serve(payloads)
+        # 10 requests at max_batch 4 -> micro-batches of 4, 4, 2.
+        design = deployment.engine.design
+        expected = sum(
+            simulate_network(deployment.plan.workloads(size),
+                             design).latency_ms
+            for size in (4, 4, 2))
+        assert stats.fpga_ms_total == pytest.approx(expected, rel=1e-12)
+
+    def test_engine_price_is_plan_simulate_ms(self, resnet_setup):
+        from repro.api import Pipeline
+
+        model, x = resnet_setup
+        pipeline = Pipeline(model=model)
+        pipeline.calibrate([x])
+        deployment = pipeline.deploy(batch=4)
+        engine = deployment.engine
+        assert engine.fpga_latency_ms(3) == pytest.approx(
+            deployment.plan.simulate(engine.design, batch=3).latency_ms)
+
+    def test_latency_ms_is_milliseconds(self):
+        from repro.fpga.accelerator import simulate_network
+
+        design = reference_designs()["D1-1"]
+        performance = simulate_network(tiny_workloads(), design)
+        # cycles at freq_mhz MHz: ms = cycles / (MHz * 1e3), and fps/GOPS
+        # must be consistent with that same ms figure.
+        assert performance.latency_ms == pytest.approx(
+            performance.total_cycles / (design.freq_mhz * 1e3))
+        assert performance.fps == pytest.approx(
+            1000.0 / performance.latency_ms)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestTuneCli:
+    def test_tune_smoke_writes_report(self, tmp_path):
+        from repro.api.cli import main
+
+        out = tmp_path / "report.json"
+        code = main(["tune", "--model", "resnet", "--device", "zu3eg",
+                     "--budget", "12", "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["device"] == "XCZU3EG"
+        assert report["frontier"]
+
+    def test_registry_lists_devices_and_designs(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["registry"]) == 0
+        output = capsys.readouterr().out
+        assert "XCZU3EG" in output
+        assert "D2-3" in output
+        assert "greedy" in output
+
+    def test_tune_unknown_device_fails_cleanly(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["tune", "--model", "resnet", "--device", "xyz999",
+                     "--budget", "4"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_tune_calibration_proxy_from_cli(self, capsys):
+        """--accuracy calibration must synthesize its own batches."""
+        from repro.api.cli import main
+
+        assert main(["tune", "--model", "lstm", "--device", "XC7Z020",
+                     "--budget", "6", "--accuracy", "calibration"]) == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+
+
+def test_pareto_frontier_empty_for_infeasible():
+    model = CostModel(lambda b: tiny_workloads(), lut_cap=0.80)
+    evaluations = [model.evaluate(Candidate("XC7Z020", 1, 16, 16, 96))]
+    assert not evaluations[0].fits
+    assert pareto_frontier(evaluations) == []
+
+
+def test_cli_subprocess_smoke(tmp_path):
+    """The documented CI smoke line, end to end in a real process."""
+    out = tmp_path / "tune.json"
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "tune", "--model", "resnet",
+         "--device", "zu3eg", "--budget", "12", "--out", str(out)],
+        capture_output=True, text=True, env={"PYTHONPATH": "src"},
+        cwd=str(__import__("pathlib").Path(__file__).parent.parent))
+    assert result.returncode == 0, result.stderr
+    assert "Pareto frontier" in result.stdout
+    assert out.exists()

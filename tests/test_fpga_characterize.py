@@ -68,3 +68,54 @@ class TestConstraints:
     def test_8bit_characterization_runs(self):
         result = characterize_device("XC7Z020", batch=1, weight_bits=8)
         assert result.design.block_out_fixed == 8
+
+
+class TestBatchDependentSearch:
+    """The §VI-A walk at different batch lane counts: SP2 costs grow per
+    batch lane, so the affordable SP2 share shrinks as batch grows."""
+
+    def test_more_batch_lanes_fewer_sp2_columns(self):
+        one = characterize_device("XC7Z045", batch=1)
+        four = characterize_device("XC7Z045", batch=4)
+        # Absolute columns shrink: each column costs Bat x Blk_in MAC
+        # lanes, each lane pricier per the batch-dependent curves.
+        assert four.design.block_out_sp2 < one.design.block_out_sp2
+
+    def test_every_batch_stays_under_cap(self):
+        for batch in (1, 2, 4, 8):
+            result = characterize_device("XC7Z045", batch=batch)
+            assert result.utilization["lut"] <= 0.80 + 1e-9
+            assert result.utilization["bram36"] <= 1.0 + 1e-9
+            assert result.utilization["ff"] <= 1.0 + 1e-9
+
+    def test_fixed_core_shrinks_on_bram_poor_parts(self):
+        """XCZU5CG (4.2 BRAM-Kb/DSP in Fig. 2) cannot buffer the full-DSP
+        fixed core; the search must shrink it below the DSP bound."""
+        from repro.fpga.devices import get_device
+        from repro.fpga.resources import max_block_out_fixed
+
+        result = characterize_device("XCZU5CG", batch=1)
+        dsp_bound = max_block_out_fixed(get_device("XCZU5CG"), 1, 16)
+        assert result.design.block_out_fixed < dsp_bound
+
+
+class TestResolveDesign:
+    def test_auto_matches_characterization(self):
+        from repro.fpga.characterize import resolve_design
+
+        design = resolve_design("auto:XC7Z020")
+        reference = characterize_device("XC7Z020", batch=1).design
+        assert design.block_out_sp2 == reference.block_out_sp2
+        assert design.name == "auto:XC7Z020@1"
+
+    def test_auto_is_memoized(self):
+        from repro.fpga.characterize import resolve_design
+
+        assert resolve_design("auto:zu3eg") is resolve_design("auto:zu3eg")
+
+    def test_auto_batch_suffix(self):
+        from repro.fpga.characterize import resolve_design
+
+        design = resolve_design("auto:XC7Z045@4")
+        assert design.batch == 4
+        assert (design.block_out_fixed, design.block_out_sp2) == (16, 32)

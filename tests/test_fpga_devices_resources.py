@@ -5,13 +5,17 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, ResourceError
-from repro.fpga.devices import get_device, list_devices, resource_ratios
+from repro.fpga.devices import Device, get_device, list_devices, \
+    resource_ratios
 from repro.fpga.resources import (
     GemmDesign,
+    bram_per_sp2_mac,
     check_fits,
     design_resources,
     design_utilization,
     dsp_per_mac,
+    ff_per_sp2_mac,
+    lut_per_sp2_mac,
     max_block_out_fixed,
     peak_throughput_gops,
     reference_designs,
@@ -129,3 +133,107 @@ class TestResourceModel:
 
     def test_sp2_fraction_feeds_algorithm2(self):
         assert reference_designs()["D2-3"].sp2_fraction == pytest.approx(2 / 3)
+
+
+class TestBatchDependentSp2Curves:
+    """The per-MAC SP2 cost curves are batch-dependent (more accumulator
+    lanes, wider output muxing); these pin the calibrated points and the
+    shapes of the LUT/FF/BRAM curves."""
+
+    def test_lut_calibration_points(self):
+        assert lut_per_sp2_mac(1) == pytest.approx(42.0)     # Table VIII Bat=1
+        assert lut_per_sp2_mac(4) == pytest.approx(50.4)     # Table VIII Bat=4
+
+    def test_ff_calibration_points(self):
+        assert ff_per_sp2_mac(1) == pytest.approx(20.0)
+        assert ff_per_sp2_mac(4) == pytest.approx(20.0 + 3 * 6.4)
+
+    def test_lut_ff_strictly_increasing_in_batch(self):
+        for batch in range(1, 8):
+            assert lut_per_sp2_mac(batch + 1) > lut_per_sp2_mac(batch)
+            assert ff_per_sp2_mac(batch + 1) > ff_per_sp2_mac(batch)
+
+    def test_bram_decreasing_with_floor(self):
+        values = [bram_per_sp2_mac(batch) for batch in range(1, 32)]
+        assert all(b >= a for a, b in zip(values[1:], values))   # non-incr
+        assert values[0] == pytest.approx(0.044)
+        assert bram_per_sp2_mac(100) == pytest.approx(0.01)      # floor
+
+    def test_design_resources_track_the_curves(self):
+        """Adding one batch lane to an SP2-heavy design must add exactly
+        the per-MAC curve delta times the MAC count."""
+        device = get_device("XC7Z045")
+        one = GemmDesign(device, 1, 16, 16, 16)
+        two = GemmDesign(device, 2, 16, 16, 16)
+        # sp2 macs: batch * block_in * block_out_sp2
+        lut_delta = (design_resources(two).lut - design_resources(one).lut)
+        expected_sp2 = (two.sp2_macs * lut_per_sp2_mac(2)
+                        - one.sp2_macs * lut_per_sp2_mac(1))
+        expected_fixed = (two.fixed_macs - one.fixed_macs) * 38.6328125
+        assert lut_delta == pytest.approx(expected_sp2 + expected_fixed)
+
+
+class TestMaxBlockOutFixedBoundary:
+    """max_block_out_fixed at the exact DSP-budget boundary."""
+
+    def test_exact_budget_boundary(self):
+        # 220 DSPs / (220/256 per MAC) = exactly 256 MACs; at
+        # batch*block_in = 16 that is exactly 16 columns.
+        device = get_device("XC7Z020")
+        assert max_block_out_fixed(device, 1, 16) == 16
+        # One DSP less and the 16th column no longer fits.
+        shy = Device("TESTSHY", lut=device.lut, ff=device.ff,
+                     bram36=device.bram36, dsp=device.dsp - 1)
+        assert max_block_out_fixed(shy, 1, 16) == 15
+
+    def test_floor_is_one_column(self):
+        """Even when not a single column fits the budget, the function
+        reports 1 (the caller's check_fits then rejects the design)."""
+        tiny = Device("TESTTINY", lut=1000, ff=1000, bram36=10, dsp=4)
+        assert max_block_out_fixed(tiny, 4, 64) == 1
+
+    def test_boundary_scales_with_bits(self):
+        device = get_device("XC7Z045")
+        full = max_block_out_fixed(device, 4, 16, weight_bits=4)
+        assert max_block_out_fixed(device, 4, 16, weight_bits=8) == full // 2
+        assert max_block_out_fixed(device, 4, 16, weight_bits=16) == full // 4
+
+    def test_budget_shared_across_batch_lanes(self):
+        # XC7Z020's budget is exactly 256 MACs, so the column bound
+        # divides exactly: 16 columns at Bat=1, 4 at Bat=4.
+        device = get_device("XC7Z020")
+        assert max_block_out_fixed(device, 1, 16) == 16
+        assert max_block_out_fixed(device, 4, 16) == 4
+        # On a non-divisible budget the floor is per-configuration
+        # (1047 MACs -> 65 columns at Bat=1, not 4 x 16).
+        z045 = get_device("XC7Z045")
+        assert max_block_out_fixed(z045, 1, 16) == 65
+        assert max_block_out_fixed(z045, 4, 16) == 16
+
+
+class TestUtilizationOnEveryDevice:
+    """design_utilization must be sane for the characterized design of
+    every cataloged part (not just the two the paper builds)."""
+
+    @pytest.mark.parametrize("name", sorted(list_devices()))
+    def test_characterized_design_utilization(self, name):
+        from repro.fpga.characterize import characterize_device
+
+        result = characterize_device(name, batch=1)
+        util = design_utilization(result.design)
+        assert set(util) == {"lut", "ff", "bram36", "dsp"}
+        for resource, value in util.items():
+            assert 0.0 < value <= 1.0 + 1e-9, (name, resource, value)
+        assert util["lut"] <= 0.80 + 1e-9
+        check_fits(result.design)        # must not raise
+
+    @pytest.mark.parametrize("name", sorted(list_devices()))
+    def test_shell_accounting_monotone(self, name):
+        from repro.fpga.characterize import characterize_device
+
+        design = characterize_device(name, batch=1).design
+        with_shell = design_utilization(design, include_shell=True)
+        without = design_utilization(design, include_shell=False)
+        assert with_shell["lut"] > without["lut"]
+        assert with_shell["ff"] > without["ff"]
+        assert with_shell["dsp"] == without["dsp"]
