@@ -38,9 +38,11 @@ commands:
   tune        hardware-aware design-space exploration (repro.autotune):
               pick quantization config + FPGA design for a model + device
   serve       serving artifacts: export | info | run | up (live server)
+              | cluster (multi-process router over N workers)
   experiment  regenerate a paper table/figure (runner CLI)
-  registry    list schemes, methods, search strategies, the device
-              catalog and the Table VII reference designs
+  registry    list schemes, methods, search strategies, serving backends,
+              cluster placements, the device catalog and the Table VII
+              reference designs
 
 'python -m repro <command> --help' shows each command's flags.
 """
@@ -228,6 +230,8 @@ def _cmd_registry(argv: List[str]) -> int:
         peak_throughput_gops,
         reference_designs,
     )
+    from repro.serve.backends import list_backends
+    from repro.serve.placement import list_placements
 
     parser = argparse.ArgumentParser(
         prog="python -m repro registry",
@@ -258,6 +262,13 @@ def _cmd_registry(argv: List[str]) -> int:
         print(f"  {name:6s} {design.describe():44s} "
               f"peak {peak_throughput_gops(design):6.1f} GOPS  "
               f"LUT {usage.lut:>9,.0f}  DSP {usage.dsp:>5,.0f}")
+    print("serving backends (python -m repro.serve run --backend):")
+    for name in list_backends():
+        print(f"  {name}")
+    print("cluster placements (python -m repro.serve cluster "
+          "--placement):")
+    for name, description in list_placements().items():
+        print(f"  {name:16s} {description}")
     return 0
 
 

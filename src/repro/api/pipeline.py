@@ -244,6 +244,35 @@ class Deployment:
         server.add(name, self, max_wait_ms=max_wait_ms, warmup=warmup)
         return server
 
+    def cluster(self, name: str = "model", workers: int = 2,
+                placement: str = "least_loaded",
+                max_wait_ms: Optional[float] = None,
+                capacity: int = 64, clock=None, **worker_kwargs):
+        """Serve this deployment from an in-process worker fleet.
+
+        Builds ``workers`` :class:`~repro.serve.cluster.LocalWorker`\\ s,
+        each hosting this deployment under ``name`` (versioned + aliased
+        for rolling restarts), behind a
+        :class:`~repro.serve.cluster.ClusterRouter` with the chosen
+        placement policy. With ``clock`` injected the whole cluster is
+        deterministic (drive it with ``router.pump()``/``drain()``) —
+        the same fleet the chaos tests run. For real multi-process
+        scaling, ``save()`` the artifact and use
+        ``ClusterRouter.spawn({name: path}, workers=N)``.
+        """
+        from repro.serve.cluster import ClusterRouter, LocalWorker
+
+        clock_kwargs = {} if clock is None else {"clock": clock}
+        fleet = [LocalWorker(f"w{index}", {name: self},
+                             max_batch=self.batch,
+                             max_wait_ms=max_wait_ms
+                             if max_wait_ms is not None
+                             else self.max_wait_ms,
+                             **clock_kwargs, **worker_kwargs)
+                 for index in range(workers)]
+        return ClusterRouter(fleet, placement, capacity=capacity,
+                             **clock_kwargs)
+
     def scheduler(self, **kwargs) -> BatchScheduler:
         """Deprecated: a legacy synchronous scheduler over this engine."""
         import warnings

@@ -39,4 +39,60 @@ class ExportError(ReproError):
 
 class ServingError(ReproError):
     """A request could not be served (unknown model, stopped server,
-    failed batch, malformed wire request)."""
+    failed batch, malformed wire request).
+
+    Every serving error carries a short machine-readable ``code`` (it
+    travels on the wire as the ``"code"`` field of an error response) and
+    a ``retryable`` flag — ``True`` means the request itself was fine and
+    a later retry may succeed (shed under overload, worker died), while
+    ``False`` means retrying the same request will fail the same way
+    (unknown model, bad shape, malformed frame).
+    """
+
+    code = "serving-error"
+    retryable = False
+
+
+class AdmissionError(ServingError):
+    """Request shed by admission control: every admissible worker is at
+    capacity. The request was never enqueued anywhere; retry later."""
+
+    code = "shed"
+    retryable = True
+
+
+class WorkerError(ServingError):
+    """A cluster worker failed while holding the request (crashed
+    mid-batch, connection lost, or the response never arrived). The
+    request may or may not have executed; it is safe to retry idempotent
+    inference."""
+
+    code = "worker-failed"
+    retryable = True
+
+    def __init__(self, message: str, code: str = "worker-failed"):
+        super().__init__(message)
+        self.code = code
+
+
+class FrameError(ServingError, ValueError):
+    """A wire frame violated the transport protocol.
+
+    ``code`` says how: ``"oversized"`` (frame exceeds the negotiated
+    cap), ``"bad-utf8"`` (payload is not UTF-8), ``"truncated"`` (stream
+    ended mid-frame), ``"bad-json"`` (payload is not JSON),
+    ``"not-object"`` (payload is JSON but not an object). The same codes
+    are answered by :func:`repro.serve.cli.serve_protocol` for malformed
+    stdin lines, so stdio and socket clients see one error vocabulary.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class TransportClosed(ServingError):
+    """The peer hung up (or a fault plan killed the connection)."""
+
+    code = "closed"
+    retryable = True

@@ -41,6 +41,16 @@ deprecated single-model facade over the same machinery.
 line (``run --backend fused`` picks the kernels; ``up`` starts a
 multi-model server speaking JSON-lines on stdin/stdout); see
 :mod:`repro.serve.cli`.
+
+Above the single process sits the distributed tier
+(:mod:`repro.serve.cluster`): a :class:`ClusterRouter` places requests
+across N worker processes (each a full ``ModelServer`` speaking the same
+protocol over the length-framed transport of
+:mod:`repro.serve.transport`), with pluggable placement policies
+(:mod:`repro.serve.placement`), admission control, rolling restarts, and
+deterministic fault injection (:class:`FaultPlan` + in-process
+:class:`FakeTransport`) for chaos testing without sockets or sleeps.
+``python -m repro.serve cluster`` is the CLI front door.
 """
 
 from repro.serve.artifact import ServeArtifact
@@ -63,7 +73,28 @@ from repro.serve.scheduler import (
     ServeStats,
     execute_batch,
 )
+from repro.serve.cluster import (
+    ClusterRouter,
+    LocalWorker,
+    ProcessWorker,
+    RoutedRequest,
+    RouterStats,
+)
+from repro.serve.placement import (
+    PlacementPolicy,
+    WorkerView,
+    get_placement,
+    list_placements,
+    register_placement,
+)
 from repro.serve.server import ModelServer, ModelStats
+from repro.serve.transport import (
+    FakeTransport,
+    FaultPlan,
+    SocketTransport,
+    array_from_wire,
+    array_to_wire,
+)
 
 __all__ = [
     "ServeArtifact",
@@ -92,4 +123,19 @@ __all__ = [
     "BatchScheduler",
     "ServedRequest",
     "ServeStats",
+    "ClusterRouter",
+    "LocalWorker",
+    "ProcessWorker",
+    "RoutedRequest",
+    "RouterStats",
+    "PlacementPolicy",
+    "WorkerView",
+    "register_placement",
+    "get_placement",
+    "list_placements",
+    "FaultPlan",
+    "FakeTransport",
+    "SocketTransport",
+    "array_to_wire",
+    "array_from_wire",
 ]

@@ -28,7 +28,17 @@ from typing import Callable, Dict
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    FrameError,
+    ReproError,
+    ServingError,
+)
+from repro.serve.transport import (
+    MAX_MESSAGE_BYTES,
+    array_from_wire,
+    array_to_wire,
+)
 
 
 def _resnet_tiny(rng):
@@ -175,23 +185,48 @@ def cmd_run(args) -> int:
     return 0
 
 
-def serve_protocol(server, lines, out) -> int:
+def _error_fields(error) -> Dict:
+    """The typed error vocabulary every error response line carries."""
+    return {"error": str(error),
+            "code": getattr(error, "code", "bad-request"),
+            "retryable": bool(getattr(error, "retryable", False))}
+
+
+def serve_protocol(server, lines, out,
+                   max_line_bytes: int = MAX_MESSAGE_BYTES) -> int:
     """Drive a :class:`ModelServer` over the JSON-lines wire protocol.
 
-    ``lines`` is any iterable of text lines (sys.stdin, a pipe, a list in
-    tests); responses are written to ``out`` as one JSON object per line.
+    ``lines`` is any iterable of protocol lines: text (sys.stdin, a pipe,
+    a list in tests), raw ``bytes`` (a framed transport), or
+    :class:`FrameError` instances (a transport that already detected a
+    malformed frame — :func:`repro.serve.transport.frame_lines` yields
+    them). Responses are written to ``out`` as one JSON object per line.
+
+    Every malformed line is *answered*, never fatal, with a typed
+    ``"code"`` shared with the cluster transport: ``oversized`` /
+    ``bad-utf8`` / ``truncated`` (frame level), ``bad-json`` /
+    ``not-object`` / ``bad-request`` / ``unknown-op`` (message level),
+    plus whatever code the server's own errors carry (``unknown-model``,
+    ``shed``, ...). Payloads arrive as ``"input"`` (JSON list) or
+    ``"input_b64"`` (base64 + dtype + shape, answered in kind).
+
     Inference responses preserve submission order (FIFO is a serving
     guarantee, so head-of-line blocking here is by design) and are
     flushed as soon as their future resolves — a done-callback fires the
     flush from the worker thread, so a strict request-then-response
     client works even while this loop is blocked reading the next line.
-    A ``{"op": "stats"}`` line emits a statistics object immediately.
-    Returns the number of inference requests answered.
+    A ``{"op": "stats"}`` line emits a statistics object immediately
+    (``"detail": true`` for full mergeable per-model dumps; an ``"id"``
+    is echoed back). Returns the number of inference requests answered.
     """
     import threading
 
-    outstanding = []   # (request id, model, future) in submission order
-    wire = threading.Lock()   # guards `outstanding` and response writes
+    # (request id, model, future, binary?) in submission order
+    outstanding = []
+    # Guards `outstanding` and response writes. Reentrant because a
+    # cluster router's stats() *drives* its workers: futures resolve
+    # (and their flush callbacks fire) on this thread, under this lock.
+    wire = threading.RLock()
 
     def emit(payload) -> None:
         out.write(json.dumps(payload) + "\n")
@@ -200,64 +235,111 @@ def serve_protocol(server, lines, out) -> int:
         except (AttributeError, ValueError):
             pass
 
-    def response(request_id, model, future):
+    def response(request_id, model, future, binary):
         error = future.exception(timeout=None)
         if error is not None:
-            return {"id": request_id, "model": model, "error": str(error)}
+            return {"id": request_id, "model": model,
+                    **_error_fields(error)}
         request = future.request
-        return {
+        payload = {
             "id": request_id, "model": model,
-            "output": np.asarray(future.result()).tolist(),
             "latency_ms": round(request.latency_ms, 3),
             "batch_id": request.batch_id,
             "batch_size": request.batch_size,
         }
+        result = np.asarray(future.result())
+        if binary:
+            payload.update(array_to_wire(result, key="output"))
+        else:
+            payload["output"] = result.tolist()
+        return payload
 
     def flush_completed() -> None:
         with wire:
             while outstanding and outstanding[0][2].done():
-                request_id, model, future = outstanding.pop(0)
-                emit(response(request_id, model, future))
+                request_id, model, future, binary = outstanding.pop(0)
+                emit(response(request_id, model, future, binary))
 
     served = 0
     for line in lines:
+        if isinstance(line, FrameError):
+            # The transport already classified this frame as malformed.
+            with wire:
+                emit(_error_fields(line))
+            continue
+        if isinstance(line, (bytes, bytearray)):
+            raw = bytes(line)
+            if len(raw) > max_line_bytes:
+                with wire:
+                    emit({"error": f"request line is {len(raw)} bytes; "
+                                   f"cap is {max_line_bytes}",
+                          "code": "oversized", "retryable": False})
+                continue
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                with wire:
+                    emit({"error": f"request line is not UTF-8: {error}",
+                          "code": "bad-utf8", "retryable": False})
+                continue
+        elif len(line) > max_line_bytes:
+            with wire:
+                emit({"error": f"request line is {len(line)} chars; "
+                               f"cap is {max_line_bytes}",
+                      "code": "oversized", "retryable": False})
+            continue
         line = line.strip()
         if not line:
             continue
         try:
             message = json.loads(line)
-            if not isinstance(message, dict):
-                raise ValueError("request must be a JSON object")
         except ValueError as error:
             with wire:
-                emit({"error": f"malformed request: {error}"})
+                emit({"error": f"malformed request: {error}",
+                      "code": "bad-json", "retryable": False})
+            continue
+        if not isinstance(message, dict):
+            with wire:
+                emit({"error": "request must be a JSON object, got "
+                               f"{type(message).__name__}",
+                      "code": "not-object", "retryable": False})
             continue
         op = message.get("op", "infer")
         if op == "stats":
             with wire:
-                emit_stats(server, emit)
+                emit_stats(server, emit,
+                           detail=bool(message.get("detail")),
+                           request_id=message.get("id"))
             continue
         if op != "infer":
             with wire:
-                emit({"error": f"unknown op {op!r}"})
+                emit({"id": message.get("id"),
+                      "error": f"unknown op {op!r}",
+                      "code": "unknown-op", "retryable": False})
             continue
         model = message.get("model")
-        if model is None or "input" not in message:
+        binary = "input_b64" in message
+        if model is None or (not binary and "input" not in message):
             with wire:
-                emit({"error": "infer request needs 'model' and 'input'",
-                      "id": message.get("id")})
+                emit({"id": message.get("id"),
+                      "error": "infer request needs 'model' and 'input' "
+                               "(or 'input_b64' + dtype + shape)",
+                      "code": "bad-request", "retryable": False})
             continue
         try:
-            # np.asarray can itself reject ragged/mixed-type input; a bad
-            # request must answer an error line, never kill the server.
-            future = server.submit(model, np.asarray(message["input"]))
+            # Decode/np.asarray can reject bad payloads (ragged lists,
+            # byte-count mismatches); a bad request must answer an error
+            # line, never kill the server.
+            payload = (array_from_wire(message, "input") if binary
+                       else np.asarray(message["input"]))
+            future = server.submit(model, payload)
         except (ServingError, ValueError, TypeError) as error:
             with wire:
                 emit({"id": message.get("id"), "model": model,
-                      "error": str(error)})
+                      **_error_fields(error)})
             continue
         with wire:
-            outstanding.append((message.get("id"), model, future))
+            outstanding.append((message.get("id"), model, future, binary))
         served += 1
         # Resolution (possibly on a worker thread) flushes the head of
         # the line; calling it here too covers already-failed submits.
@@ -267,36 +349,59 @@ def serve_protocol(server, lines, out) -> int:
     server.drain()
     with wire:
         while outstanding:
-            request_id, model, future = outstanding.pop(0)
-            emit(response(request_id, model, future))
+            request_id, model, future, binary = outstanding.pop(0)
+            emit(response(request_id, model, future, binary))
     return served
 
 
-def emit_stats(server, emit) -> None:
-    """Write one ``{"op": "stats"}`` response line for every model."""
-    emit({"op": "stats",
-          "models": {name: {
-              "requests": stats.requests,
-              "batches": stats.batches,
-              "requests_per_second": round(stats.requests_per_second, 1),
-              "latency_ms_p50": round(stats.latency_ms_p50, 3),
-              "latency_ms_p95": round(stats.latency_ms_p95, 3),
-              "latency_ms_p99": round(stats.latency_ms_p99, 3),
-              "mean_batch_fill": round(stats.mean_batch_fill, 3),
-              "queue_depth": stats.queue_depth,
-          } for name, stats in server.stats().items()}})
+def emit_stats(server, emit, detail: bool = False,
+               request_id=None) -> None:
+    """Write one ``{"op": "stats"}`` response line for every model.
+
+    ``detail=True`` dumps full mergeable per-model statistics
+    (``ModelStats.to_wire``) plus the server's alias map — what the
+    cluster router aggregates; the default is a human-oriented summary.
+    """
+    if detail:
+        payload = {"op": "stats",
+                   "models": {name: stats.to_wire()
+                              for name, stats in server.stats().items()},
+                   "aliases": (server.aliases()
+                               if hasattr(server, "aliases") else {})}
+    else:
+        payload = {"op": "stats",
+                   "models": {name: {
+                       "requests": stats.requests,
+                       "batches": stats.batches,
+                       "requests_per_second":
+                           round(stats.requests_per_second, 1),
+                       "latency_ms_p50": round(stats.latency_ms_p50, 3),
+                       "latency_ms_p95": round(stats.latency_ms_p95, 3),
+                       "latency_ms_p99": round(stats.latency_ms_p99, 3),
+                       "mean_batch_fill": round(stats.mean_batch_fill, 3),
+                       "queue_depth": stats.queue_depth,
+                   } for name, stats in server.stats().items()}}
+    if request_id is not None:
+        payload["id"] = request_id
+    emit(payload)
 
 
-def cmd_up(args) -> int:
-    from repro.serve.server import ModelServer
-
+def parse_model_specs(specs) -> list:
+    """``--model NAME=PATH`` (repeatable) -> ``[(name, path), ...]``."""
     hosted = []
-    for spec in args.model:
+    for spec in specs:
         name, equals, path = spec.partition("=")
         if not equals or not name or not path:
             raise ConfigurationError(
                 f"--model expects name=path, got {spec!r}")
         hosted.append((name, path))
+    return hosted
+
+
+def cmd_up(args) -> int:
+    from repro.serve.server import ModelServer
+
+    hosted = parse_model_specs(args.model)
     server = ModelServer(workers=args.workers, max_batch=args.batch,
                          max_wait_ms=args.max_wait_ms)
     try:
@@ -314,6 +419,70 @@ def cmd_up(args) -> int:
     print(f"served {served} request(s)", file=sys.stderr)
     for line in server.format_stats().splitlines():
         print(line, file=sys.stderr)
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.serve.cluster import ClusterRouter
+
+    models = dict(parse_model_specs(args.model))
+    router = ClusterRouter.spawn(
+        models, workers=args.workers, placement=args.placement,
+        max_batch=args.batch, max_wait_ms=args.max_wait_ms,
+        backend=args.backend, capacity=args.capacity,
+        worker_threads=args.worker_threads)
+    try:
+        print(f"cluster up: {args.workers} worker process(es) hosting "
+              f"[{', '.join(sorted(models))}] "
+              f"(placement={args.placement}, backend={args.backend}, "
+              f"batch={args.batch}, capacity={args.capacity}/worker); "
+              "JSON-lines on stdin", file=sys.stderr)
+        # The router duck-types the ModelServer surface, so the wire
+        # protocol in front of a whole cluster is the PR 4 loop verbatim.
+        served = serve_protocol(router, sys.stdin, sys.stdout)
+        print(f"routed {served} request(s)", file=sys.stderr)
+        for line in router.format_stats().splitlines():
+            print(line, file=sys.stderr)
+    finally:
+        router.close()
+    return 0
+
+
+def cmd_cluster_worker(args) -> int:
+    """Internal: one cluster worker (spawned by :class:`ClusterRouter`).
+
+    Binds an ephemeral localhost port, announces ``PORT <n>`` on stdout,
+    accepts exactly one connection (its router), and serves the framed
+    protocol until the router hangs up.
+    """
+    import socket
+
+    from repro.serve.server import ModelServer
+    from repro.serve.transport import (FrameWriter, SocketTransport,
+                                       frame_lines)
+
+    hosted = parse_model_specs(args.model)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    print(f"PORT {listener.getsockname()[1]}", flush=True)
+    conn, _peer = listener.accept()
+    listener.close()
+    transport = SocketTransport(conn, send_direction="to_router")
+    server = ModelServer(workers=args.workers, max_batch=args.batch,
+                         max_wait_ms=args.max_wait_ms)
+    try:
+        for name, path in hosted:
+            versioned = f"{name}@v{args.generation}"
+            server.load(versioned, path, backend=args.backend,
+                        batch=args.batch)
+            server.alias(name, versioned)
+        served = serve_protocol(server, frame_lines(transport),
+                                FrameWriter(transport))
+        print(f"worker served {served} request(s)", file=sys.stderr)
+    finally:
+        server.close()
+        transport.close()
     return 0
 
 
@@ -373,6 +542,48 @@ def main(argv=None) -> int:
     up.add_argument("--warmup", action="store_true",
                     help="bind scratch + verify batch sizes before serving")
     up.set_defaults(func=cmd_up)
+
+    from repro.serve.placement import list_placements
+
+    cluster = sub.add_parser(
+        "cluster", help="route over N worker subprocesses "
+                        "(JSON-lines requests on stdin)")
+    cluster.add_argument("--model", action="append", required=True,
+                         metavar="NAME=PATH",
+                         help="host an artifact on every worker "
+                              "(repeatable)")
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="worker processes")
+    cluster.add_argument("--placement", default="least_loaded",
+                         choices=sorted(list_placements()),
+                         help="request placement policy")
+    cluster.add_argument("--batch", type=int, default=16)
+    cluster.add_argument("--max-wait-ms", type=float, default=2.0)
+    cluster.add_argument("--backend", default=DEFAULT_BACKEND,
+                         choices=list_backends())
+    cluster.add_argument("--capacity", type=int, default=64,
+                         help="per-worker in-flight cap; beyond it "
+                              "requests are shed with a retryable error")
+    cluster.add_argument("--worker-threads", type=int, default=2,
+                         help="serving threads inside each worker process")
+    cluster.set_defaults(func=cmd_cluster)
+
+    worker = sub.add_parser(
+        "cluster-worker",
+        help="internal: one cluster worker process (spawned by "
+             "'cluster'; announces PORT <n> on stdout)")
+    worker.add_argument("--model", action="append", required=True,
+                        metavar="NAME=PATH")
+    worker.add_argument("--batch", type=int, default=16)
+    worker.add_argument("--max-wait-ms", type=float, default=2.0)
+    worker.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=list_backends())
+    worker.add_argument("--workers", type=int, default=2,
+                        help="serving threads in this worker")
+    worker.add_argument("--generation", type=int, default=1,
+                        help="rollover generation (models load as "
+                             "name@v<generation> + alias)")
+    worker.set_defaults(func=cmd_cluster_worker)
 
     args = parser.parse_args(argv)
     try:

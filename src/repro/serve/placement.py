@@ -1,0 +1,174 @@
+"""Pluggable request placement for the cluster router.
+
+A placement policy answers one question: *given a request for model M,
+in which order should the router try the workers that host M?* The
+router then admits the request to the first worker in that order that
+is alive, accepting, and under its in-flight capacity — so a policy
+expresses preference, and admission control stays in one place.
+
+Policies register by name, same decorator idiom as the scheme/method/
+strategy/backend registries::
+
+    @register_placement("sticky")
+    class StickyPlacement(PlacementPolicy):
+        \"\"\"Route every request for a model to its lowest-index host.\"\"\"
+        def order(self, model, workers):
+            return sorted(workers, key=lambda w: w.index)
+
+Each policy sees :class:`WorkerView` snapshots (name, index, hosted
+models, liveness, in-flight load, capacity) — never the transport — so
+policies are trivially unit-testable and deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Type
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "WorkerView",
+    "PlacementPolicy",
+    "register_placement",
+    "get_placement",
+    "list_placements",
+]
+
+
+@dataclass(frozen=True)
+class WorkerView:
+    """What a placement policy may observe about one worker."""
+
+    name: str
+    index: int
+    models: FrozenSet[str]
+    alive: bool = True
+    accepting: bool = True
+    in_flight: int = 0
+    capacity: int = 0
+
+    @property
+    def load(self) -> float:
+        """In-flight requests as a fraction of capacity (0 when
+        uncapped)."""
+        return self.in_flight / self.capacity if self.capacity else 0.0
+
+
+class PlacementPolicy:
+    """Base class: subclass, implement ``order``, register by name.
+
+    One policy instance lives per router, so stateful policies (e.g. a
+    round-robin cursor) are supported and isolated per cluster.
+    """
+
+    name = "base"
+
+    def order(self, model: str,
+              workers: Sequence[WorkerView]) -> List[WorkerView]:
+        """Preference-ordered workers to try for one request.
+
+        ``workers`` are the alive workers hosting ``model``; returning a
+        prefix (or an empty list) is allowed — the router sheds the
+        request if no returned worker admits it.
+        """
+        raise NotImplementedError
+
+
+_PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {}
+
+
+def register_placement(name: str):
+    """Class decorator: register a :class:`PlacementPolicy` under
+    ``name`` (its docstring's first line becomes the description)."""
+
+    def deco(cls: Type[PlacementPolicy]) -> Type[PlacementPolicy]:
+        if not (isinstance(cls, type)
+                and issubclass(cls, PlacementPolicy)):
+            raise ConfigurationError(
+                f"@register_placement expects a PlacementPolicy subclass, "
+                f"got {cls!r}")
+        cls.name = name
+        _PLACEMENTS[name] = cls
+        return cls
+
+    return deco
+
+
+def get_placement(name: str) -> PlacementPolicy:
+    """A fresh policy instance for a router."""
+    if name not in _PLACEMENTS:
+        raise ConfigurationError(
+            f"unknown placement {name!r}; "
+            f"available: {sorted(_PLACEMENTS)}")
+    return _PLACEMENTS[name]()
+
+
+def list_placements() -> Dict[str, str]:
+    """name -> one-line description of every registered policy."""
+    return {name: (cls.__doc__ or "").strip().splitlines()[0]
+            for name, cls in sorted(_PLACEMENTS.items())}
+
+
+# ----------------------------------------------------------------------
+# Built-in policies
+# ----------------------------------------------------------------------
+@register_placement("least_loaded")
+class LeastLoadedPlacement(PlacementPolicy):
+    """Prefer the worker with the fewest in-flight requests (ties break
+    by worker index, so the order is deterministic)."""
+
+    def order(self, model: str,
+              workers: Sequence[WorkerView]) -> List[WorkerView]:
+        return sorted(workers, key=lambda w: (w.in_flight, w.index))
+
+
+@register_placement("replicated")
+class ReplicatedPlacement(PlacementPolicy):
+    """Round-robin across every replica of the model (hot models
+    replicated on all workers get an even request spread)."""
+
+    def __init__(self):
+        self._cursor: Dict[str, int] = {}
+
+    def order(self, model: str,
+              workers: Sequence[WorkerView]) -> List[WorkerView]:
+        if not workers:
+            return []
+        ranked = sorted(workers, key=lambda w: w.index)
+        start = self._cursor.get(model, 0) % len(ranked)
+        self._cursor[model] = start + 1
+        return ranked[start:] + ranked[:start]
+
+
+@register_placement("consistent_hash")
+class ConsistentHashPlacement(PlacementPolicy):
+    """Hash the model name onto a ring of workers: each model sticks to
+    one home worker (cache/scratch affinity), spilling to the next ring
+    successor only when the home is down or full."""
+
+    VNODES = 32    # virtual nodes per worker smooth the ring
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+    def order(self, model: str,
+              workers: Sequence[WorkerView]) -> List[WorkerView]:
+        ring = sorted(
+            (self._hash(f"{worker.name}#{vnode}"), worker.index, worker)
+            for worker in workers
+            for vnode in range(self.VNODES))
+        if not ring:
+            return []
+        point = self._hash(model)
+        start = next((position for position, entry in enumerate(ring)
+                      if entry[0] >= point), 0)
+        ordered, seen = [], set()
+        for _, _, worker in ring[start:] + ring[:start]:
+            if worker.index not in seen:
+                seen.add(worker.index)
+                ordered.append(worker)
+        return ordered

@@ -98,6 +98,36 @@ class ModelStats(ThroughputStats):
             f"queued {self.queue_depth}"
             + (f", errors {self.errors}" if self.errors else ""))
 
+    def to_wire(self) -> Dict:
+        """JSON-safe field dump (``{"op": "stats", "detail": true}``
+        responses); :meth:`from_wire` reconstructs a mergeable snapshot
+        on the other side."""
+        return {
+            "model": self.model, "backend": self.backend,
+            "max_batch": self.max_batch, "requests": self.requests,
+            "batches": self.batches, "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "latencies_ms": [float(value) for value in self.latencies_ms],
+            "fpga_ms_total": self.fpga_ms_total,
+            "queue_depth": self.queue_depth, "in_flight": self.in_flight,
+        }
+
+    @classmethod
+    def from_wire(cls, fields: Dict) -> "ModelStats":
+        return cls(
+            model=str(fields.get("model", "?")),
+            backend=str(fields.get("backend", "?")),
+            max_batch=int(fields.get("max_batch", 0)),
+            requests=int(fields.get("requests", 0)),
+            batches=int(fields.get("batches", 0)),
+            errors=int(fields.get("errors", 0)),
+            wall_seconds=float(fields.get("wall_seconds", 0.0)),
+            latencies_ms=[float(value)
+                          for value in fields.get("latencies_ms", [])],
+            fpga_ms_total=float(fields.get("fpga_ms_total", 0.0)),
+            queue_depth=int(fields.get("queue_depth", 0)),
+            in_flight=int(fields.get("in_flight", 0)))
+
 
 class _HostedModel:
     """One model's serving state: engine + batcher + counters.
@@ -539,7 +569,9 @@ class ModelServer:
             name = self._aliases[name]
         entry = self._models.get(name)
         if entry is None:
-            raise ServingError(
+            error = ServingError(
                 f"unknown model {name!r}; loaded: {sorted(self._models)}"
                 + (f"; aliases: {self._aliases}" if self._aliases else ""))
+            error.code = "unknown-model"
+            raise error
         return entry

@@ -89,3 +89,10 @@ def accuracy_of(model, x, y) -> float:
     acc = float((model(Tensor(x)).data.argmax(1) == y).mean())
     model.train(was_training)
     return acc
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "subprocess: spawns real worker subprocesses (cluster smoke "
+        "tests; everything else is in-process and deterministic)")

@@ -558,6 +558,137 @@ class TestStats:
             serve.merge(EngineStats())
 
 
+class TestStatsMergeEdgeCases:
+    """merge() corner cases the cluster stats path leans on: identity
+    with empty snapshots, hand-computed aggregates, merge="max" fields,
+    string collapse, windowed-list concatenation, wire round-trip."""
+
+    @staticmethod
+    def model_stats(model="m", backend="reference", max_batch=4,
+                    requests=0, batches=0, errors=0, wall_seconds=0.0,
+                    latencies_ms=(), fpga_ms_total=0.0, queue_depth=0,
+                    in_flight=0):
+        return ModelStats(model=model, backend=backend,
+                          max_batch=max_batch, requests=requests,
+                          batches=batches, errors=errors,
+                          wall_seconds=wall_seconds,
+                          latencies_ms=list(latencies_ms),
+                          fpga_ms_total=fpga_ms_total,
+                          queue_depth=queue_depth, in_flight=in_flight)
+
+    def test_merge_with_empty_stats_is_identity(self):
+        # An idle worker's snapshot must not perturb the aggregate.
+        busy = self.model_stats(requests=10, batches=3, wall_seconds=2.0,
+                                latencies_ms=[1.0, 2.0, 3.0],
+                                fpga_ms_total=0.5)
+        idle = self.model_stats()
+        merged = busy.merge(idle)
+        assert merged.requests == 10 and merged.batches == 3
+        assert merged.wall_seconds == pytest.approx(2.0)
+        assert merged.latencies_ms == [1.0, 2.0, 3.0]
+        assert merged.backend == "reference" and merged.model == "m"
+        assert merged.max_batch == 4
+
+    def test_merge_of_two_empties_stays_zero_and_finite(self):
+        merged = self.model_stats().merge(self.model_stats())
+        assert merged.requests == 0 and merged.batches == 0
+        # derived metrics must not divide by zero
+        assert merged.mean_batch_size == 0.0
+        assert merged.requests_per_second == 0.0
+        assert merged.latency_ms_mean == 0.0
+        assert merged.latency_ms_p99 == 0.0
+        assert merged.fpga_ms_per_request == 0.0
+        assert merged.mean_batch_fill == 0.0
+
+    def test_merge_no_arguments_copies(self):
+        stats = self.model_stats(requests=3, batches=1,
+                                 latencies_ms=[1.0])
+        merged = stats.merge()
+        assert merged is not stats
+        assert merged.requests == 3
+        assert merged.latencies_ms == [1.0]
+        merged.latencies_ms.append(9.0)       # no aliasing either
+        assert stats.latencies_ms == [1.0]
+
+    def test_hand_computed_aggregates(self):
+        # three workers with known numbers; check the merged snapshot
+        # field by field against the arithmetic
+        workers = [
+            self.model_stats(requests=6, batches=2, errors=1,
+                             wall_seconds=1.5,
+                             latencies_ms=[1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
+                             fpga_ms_total=0.6, queue_depth=1,
+                             in_flight=2),
+            self.model_stats(requests=4, batches=1, wall_seconds=0.5,
+                             latencies_ms=[10.0, 10.0, 10.0, 10.0],
+                             fpga_ms_total=0.4, queue_depth=0,
+                             in_flight=1),
+            self.model_stats(requests=2, batches=2, wall_seconds=2.0,
+                             latencies_ms=[5.0, 7.0], fpga_ms_total=1.0),
+        ]
+        merged = workers[0].merge(*workers[1:])
+        assert merged.requests == 12 and merged.batches == 5
+        assert merged.errors == 1
+        assert merged.wall_seconds == pytest.approx(4.0)
+        assert merged.queue_depth == 1 and merged.in_flight == 3
+        assert merged.mean_batch_size == pytest.approx(12 / 5)
+        assert merged.requests_per_second == pytest.approx(12 / 4.0)
+        assert merged.fpga_ms_per_request == pytest.approx(2.0 / 12)
+        expected = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0,
+                    10.0, 10.0, 10.0, 10.0, 5.0, 7.0]
+        assert merged.latencies_ms == expected
+        assert merged.latency_ms_mean == pytest.approx(
+            float(np.mean(expected)))
+        assert merged.latency_ms_p50 == pytest.approx(
+            float(np.percentile(expected, 50)))
+
+    def test_merge_max_field_takes_maximum_not_sum(self):
+        small = self.model_stats(max_batch=4, requests=1)
+        large = self.model_stats(max_batch=16, requests=1)
+        assert small.merge(large).max_batch == 16
+        assert large.merge(small).max_batch == 16     # either order
+
+    def test_string_fields_collapse_to_mixed_independently(self):
+        a = self.model_stats(model="m", backend="reference")
+        b = self.model_stats(model="m", backend="fused")
+        merged = a.merge(b)
+        assert merged.model == "m"              # equal strings survive
+        assert merged.backend == "mixed"        # unequal ones collapse
+        assert "mixed" in merged.format()
+
+    def test_merge_of_windowed_snapshots_concatenates_windows(self):
+        # Each worker's latency detail is window-bounded; the merged
+        # list is the concatenation of windows while lifetime counters
+        # keep the true totals.
+        deployment, _ = make_deployment(batch=2)
+        snapshots = []
+        for seed in (0, 1):
+            server = ModelServer(workers=0, stats_window=4,
+                                 clock=TickingClock())
+            server.add("mlp", deployment)
+            server.submit_many("mlp", payload_stream(10, seed=seed))
+            server.drain()
+            snapshots.append(server.stats()["mlp"])
+            server.close()
+        merged = snapshots[0].merge(snapshots[1])
+        assert merged.requests == 20            # lifetime totals sum
+        assert len(merged.latencies_ms) == 8    # windows concatenate
+        assert merged.latency_ms_p99 > 0
+
+    def test_wire_round_trip_preserves_merge_semantics(self):
+        # to_wire -> JSON -> from_wire must yield a snapshot that merges
+        # identically to the original (the cluster stats path).
+        local = self.model_stats(requests=5, batches=2, wall_seconds=1.0,
+                                 latencies_ms=[1.0, 2.0, 3.0, 4.0, 5.0],
+                                 fpga_ms_total=0.5, max_batch=8)
+        remote = ModelStats.from_wire(
+            json.loads(json.dumps(local.to_wire())))
+        assert remote == local
+        direct = local.merge(local)
+        via_wire = local.merge(remote)
+        assert via_wire == direct
+
+
 # ----------------------------------------------------------------------
 # Deployment integration + JSON-lines protocol
 # ----------------------------------------------------------------------
