@@ -1,9 +1,15 @@
 """Micro-benchmarks of the framework's hot kernels (proper timing loops).
 
 These quantify the library itself rather than a paper artifact: projection
-throughput, MSQ partition+quantize cost, the bit-exact integer GEMM, and a
-training step of the substrate.
+throughput, MSQ partition+quantize cost, the bit-exact integer GEMM, a
+training step of the substrate, and the serving backends' raw
+``CompiledModel.run`` latency (reference vs fused vs compiled-to-C),
+written to ``BENCH_kernels.json`` so CI tracks the kernel trajectory.
 """
+
+import json
+import os
+import time
 
 import numpy as np
 
@@ -60,6 +66,52 @@ def test_mixed_bitexact_gemm(benchmark):
     act_quant.observe(x)
     out = benchmark(mixed_gemm_bitexact, x, msq, act_quant)
     assert out["output"].shape == (32, 128)
+
+
+def test_backend_kernel_latency_report(tmp_path):
+    """Raw ``CompiledModel.run`` latency per backend (no batcher, no
+    server): what the kernels themselves cost at batch 16. Written to
+    ``BENCH_kernels.json``; the ``compiled`` row appears only when the
+    machine has a C compiler (deliberately no pytest-benchmark fixture,
+    so the CI codegen job can run this file standalone)."""
+    from repro.api import Pipeline, PipelineConfig
+    from repro.serve.artifact import ServeArtifact
+    from repro.serve.backends import compile_graph
+    from repro.serve.cli import build_model
+    from repro.serve.codegen import compiler_probe
+
+    batch, rounds = 16, 7
+    model, sample = build_model("mobilenet_v2", seed=0)
+    rng = np.random.default_rng(1)
+    pipeline = Pipeline(PipelineConfig(), model=model)
+    pipeline.calibrate([sample(rng, 8)])
+    path = tmp_path / "mobilenet_v2.npz"
+    pipeline.result.export(sample(rng, 4), path=path)
+    artifact = ServeArtifact.load(path)
+    x = sample(rng, batch)
+
+    compiler, note = compiler_probe()
+    backends = ["reference", "fused"] + (["compiled"] if compiler else [])
+    report = {"model": "mobilenet_v2", "batch": batch,
+              "compiler": note, "kernels_ms": {}}
+    timings = {}
+    for name in backends:
+        compiled = compile_graph(artifact, backend=name)
+        compiled.run(x)  # warm scratch, build libraries, verify bits
+        samples = []
+        for _ in range(rounds):
+            started = time.perf_counter()
+            out = compiled.run(x)
+            samples.append((time.perf_counter() - started) * 1e3)
+        assert out.shape[0] == batch
+        timings[name] = sorted(samples)[len(samples) // 2]
+        report["kernels_ms"][name] = round(timings[name], 3)
+        print(f"\n{name:<9} {timings[name]:8.3f} ms/batch")
+    out_path = os.environ.get("BENCH_KERNELS_OUT", "BENCH_kernels.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {out_path}")
+    assert timings["fused"] <= timings["reference"] * 1.2
 
 
 def test_resnet_training_step(benchmark):

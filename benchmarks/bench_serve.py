@@ -11,7 +11,13 @@ trajectory per PR:
    flagship efficient-deployment network) — while being bit-identical to
    it, which the compile pipeline verifies on every compile and once per
    served batch size.
-2. **Batching wins.** Coalescing requests into micro-batches of 16 must
+2. **Native codegen wins again.** The ``compiled`` backend (the fused
+   graph's glue ops rendered to C and built into per-batch-size shared
+   libraries — :mod:`repro.serve.codegen`) must deliver >= 1.3x the
+   ``fused`` backend's throughput on the same workload, under the same
+   bit-exactness guarantee. Skipped (not failed) when the machine has no
+   C compiler — the backend itself degrades to ``fused`` there.
+3. **Batching wins.** Coalescing requests into micro-batches of 16 must
    deliver at least 3x the requests/sec of the natural per-request eager
    loop (reference backend, ResNet).
 
@@ -28,6 +34,7 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.api import Deployment, Pipeline, PipelineConfig
 from repro.serve.cli import build_model
@@ -68,17 +75,19 @@ def _median_seconds(fn, repeats=3):
     return sorted(times)[len(times) // 2]
 
 
-def _bench_backends(path, payloads):
-    """Best drain per backend + the paired fused/reference ratios."""
+def _bench_backends(path, payloads, backends=BACKENDS,
+                    numerator="fused", denominator="reference"):
+    """Best drain per backend + sorted paired numerator/denominator
+    ratios."""
     engines = {name: Deployment.load(path, batch=BATCH, backend=name)
-               for name in BACKENDS}
+               for name in backends}
     for engine in engines.values():
         _drain(engine, payloads)  # warm scratch + runtime verification
     best = {}
     ratios = []
     for round_index in range(ROUNDS):
-        order = BACKENDS if round_index % 2 == 0 else tuple(
-            reversed(BACKENDS))
+        order = backends if round_index % 2 == 0 else tuple(
+            reversed(backends))
         round_rps = {}
         for name in order:
             stats = _drain(engines[name], payloads)
@@ -86,9 +95,21 @@ def _bench_backends(path, payloads):
             if name not in best or stats.requests_per_second > \
                     best[name].requests_per_second:
                 best[name] = stats
-        ratios.append(round_rps["fused"] / round_rps["reference"])
+        ratios.append(round_rps[numerator] / round_rps[denominator])
     ratios.sort()
     return best, ratios
+
+
+def _merge_report(record) -> None:
+    """Fold top-level keys into ``BENCH_serve.json`` without clobbering
+    what the other tests in this file already wrote."""
+    report = {}
+    if os.path.exists(REPORT_PATH):
+        with open(REPORT_PATH) as handle:
+            report = json.load(handle)
+    report.update(record)
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
 
 
 def _stats_record(stats):
@@ -121,8 +142,7 @@ def test_fused_backend_speedup_and_report(tmp_path):
               f"{best['fused'].requests_per_second:.0f} req/s "
               f"(paired best {speedups[name]:.2f}x, "
               f"median {medians[name]:.2f}x)")
-    with open(REPORT_PATH, "w") as handle:
-        json.dump(report, handle, indent=2)
+    _merge_report(report)
     print(f"wrote {REPORT_PATH}")
     assert speedups[PRIMARY] >= 1.5, (
         f"fused backend must be >= 1.5x reference batched throughput at "
@@ -130,6 +150,35 @@ def test_fused_backend_speedup_and_report(tmp_path):
     # No tracked family may regress under fusion beyond measurement noise
     # (the RNN families sit near parity, so a hard >= 1.0 floor flakes).
     assert all(s >= 0.9 for s in medians.values()), medians
+
+
+def test_compiled_backend_speedup_and_report(tmp_path):
+    from repro.serve.codegen import compiler_probe
+
+    compiler, note = compiler_probe()
+    if compiler is None:
+        pytest.skip(f"compiled backend needs a C compiler: {note}")
+    _, path, payloads = _build(PRIMARY, tmp_path)
+    best, ratios = _bench_backends(
+        path, payloads, backends=("fused", "compiled"),
+        numerator="compiled", denominator="fused")
+    speedup = ratios[-1]                      # best paired round
+    median = ratios[len(ratios) // 2]
+    _merge_report({"compiled": {
+        "model": PRIMARY,
+        "compiler": note,
+        "backends": {backend: _stats_record(stats)
+                     for backend, stats in best.items()},
+        "compiled_speedup_best": round(speedup, 2),
+        "compiled_speedup_median": round(median, 2),
+    }})
+    print(f"\n{PRIMARY}: fused "
+          f"{best['fused'].requests_per_second:.0f} req/s vs compiled "
+          f"{best['compiled'].requests_per_second:.0f} req/s "
+          f"(paired best {speedup:.2f}x, median {median:.2f}x)")
+    assert speedup >= 1.3, (
+        f"compiled backend must be >= 1.3x fused batched throughput at "
+        f"batch {BATCH} on {PRIMARY}, got {speedup:.2f}x")
 
 
 def test_batched_serving_speedup_over_eager(benchmark, tmp_path):

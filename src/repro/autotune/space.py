@@ -22,12 +22,12 @@ import json
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import BackendError, ConfigurationError
 from repro.fpga.characterize import DEFAULT_LUT_CAP, SP2_COLUMN_STEP
 from repro.fpga.devices import get_device
 from repro.fpga.resources import GemmDesign
 from repro.quant.partition import PartitionRatio
-from repro.serve.backends import DEFAULT_BACKEND
+from repro.serve.backends import DEFAULT_BACKEND, list_backends
 
 
 @dataclass(frozen=True)
@@ -128,6 +128,11 @@ class SearchSpace:
             if not values:
                 raise ConfigurationError(f"search space {label} is empty")
             object.__setattr__(self, label, values)
+        # Fail the backend axis at construction, not deep inside a search
+        # run: every entry must name a registered serving backend.
+        for backend in self.backends:
+            if backend not in list_backends():
+                raise BackendError(backend, available=list_backends())
         if self.sp2_columns is not None:
             object.__setattr__(self, "sp2_columns",
                                tuple(sorted(set(self.sp2_columns))))

@@ -37,6 +37,42 @@ class ExportError(ReproError):
     """A model could not be exported to (or loaded from) a serving artifact."""
 
 
+class BackendError(ConfigurationError, ExportError):
+    """An unknown or unusable serving kernel backend was requested.
+
+    Carries the requested name and the registered set so callers (CLI,
+    autotune, ModelServer) can print an actionable message. Subclasses
+    both :class:`ConfigurationError` (it is a caller mistake) and
+    :class:`ExportError` (the historical type raised by the backend
+    registry), so existing ``except ExportError`` sites keep working.
+    """
+
+    def __init__(self, requested: str, available=(), reason: str = ""):
+        detail = f"unknown serving backend {requested!r}"
+        if reason:
+            detail = f"serving backend {requested!r} unavailable: {reason}"
+        if available:
+            detail += f"; available: {', '.join(sorted(available))}"
+        super().__init__(detail)
+        self.requested = requested
+        self.available = tuple(sorted(available))
+
+
+class CompileError(ReproError):
+    """Native kernel compilation failed (no C compiler, or the compiler
+    rejected the generated source). The message carries the compiler
+    command and the tail of its stderr."""
+
+
+class RendererError(CompileError):
+    """The C renderer was asked to emit an op it has no template for.
+
+    Internal-consistency error: the coverage table
+    (:func:`repro.serve.codegen.renderer.supports`) should have routed
+    the node to a fallback kernel before rendering started.
+    """
+
+
 class ServingError(ReproError):
     """A request could not be served (unknown model, stopped server,
     failed batch, malformed wire request).

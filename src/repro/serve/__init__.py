@@ -13,7 +13,8 @@ Compile-and-serve pipeline and the module implementing each stage::
         -> build_artifact -> ServeArtifact (.npz) (serve.export / serve.artifact)
         -> graph IR (typed nodes, shapes)        (serve.ir)
         -> optimization passes (fold/fuse/DCE)   (serve.passes)
-        -> kernel backend (reference | fused)    (serve.backends)
+        -> kernel backend                        (serve.backends)
+           (reference | fused | compiled via serve.codegen C kernels)
         -> ExecutionPlan facade                  (serve.plan)
         -> InferenceEngine                       (serve.engine)
         -> DynamicBatcher -> execute_batch       (serve.batcher / scheduler)
@@ -55,10 +56,12 @@ deterministic fault injection (:class:`FaultPlan` + in-process
 
 from repro.serve.artifact import ServeArtifact
 from repro.serve.backends import (
+    backend_availability,
     compile_graph,
     get_backend,
     list_backends,
     register_backend,
+    resolve_backend,
 )
 from repro.serve.batcher import DynamicBatcher, coerce_payload
 from repro.serve.engine import EngineStats, InferenceEngine, ThroughputStats
@@ -107,9 +110,11 @@ __all__ = [
     "ExecutionPlan",
     "Graph",
     "IRNode",
+    "backend_availability",
     "compile_graph",
     "get_backend",
     "list_backends",
+    "resolve_backend",
     "lower_artifact",
     "register_backend",
     "post_training_quantize",

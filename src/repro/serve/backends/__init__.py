@@ -12,7 +12,10 @@ Backends register themselves with :func:`register_backend`:
 - ``reference`` — op-for-op numpy, bit-identical to eager inference (the
   oracle every other backend is diffed against);
 - ``fused``     — epilogue fusion, pooled scratch buffers, direct BLAS
-  GEMMs and precomputed activation level tables.
+  GEMMs and precomputed activation level tables;
+- ``compiled``  — the fused graph's glue ops rendered to C and built into
+  per-batch-size shared libraries (:mod:`repro.serve.codegen`); requires
+  a C compiler and resolves to ``fused`` (with a warning) without one.
 
 Writing a new backend is three steps: subclass
 :class:`~repro.serve.backends.base.KernelBackend`, pick the graph passes it
@@ -24,9 +27,10 @@ honest.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Tuple
 
-from repro.errors import ExportError
+from repro.errors import BackendError, ExportError
 from repro.serve.artifact import ServeArtifact
 from repro.serve.backends.base import (
     CompiledModel,
@@ -56,13 +60,43 @@ def get_backend(name: str) -> KernelBackend:
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ExportError(
-            f"unknown serving backend {name!r}; "
-            f"available: {list_backends()}")
+        raise BackendError(name, available=list_backends()) from None
 
 
 def list_backends() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def backend_availability() -> Dict[str, Tuple[bool, str]]:
+    """{name: (usable now?, note)} for every registered backend."""
+    return {name: _REGISTRY[name].availability()
+            for name in list_backends()}
+
+
+def resolve_backend(name: str) -> KernelBackend:
+    """Backend lookup with graceful degradation.
+
+    Unknown names raise a typed :class:`~repro.errors.BackendError`
+    naming the available set. A known-but-unavailable backend (e.g.
+    ``compiled`` on a machine with no C compiler) resolves to its
+    declared ``fallback`` with a warning, walking the fallback chain
+    until a usable backend is found.
+    """
+    backend = get_backend(name)
+    seen = set()
+    while True:
+        usable, note = backend.availability()
+        if usable:
+            return backend
+        if backend.fallback is None or backend.name in seen:
+            raise BackendError(backend.name, available=list_backends(),
+                               reason=note)
+        seen.add(backend.name)
+        warnings.warn(
+            f"serving backend {backend.name!r} is unavailable ({note}); "
+            f"falling back to {backend.fallback!r}",
+            RuntimeWarning, stacklevel=3)
+        backend = get_backend(backend.fallback)
 
 
 def compile_graph(artifact: ServeArtifact, backend: str = DEFAULT_BACKEND,
@@ -74,7 +108,7 @@ def compile_graph(artifact: ServeArtifact, backend: str = DEFAULT_BACKEND,
     :class:`~repro.errors.ExportError` — an optimized backend is only
     usable when it is provably bit-identical.
     """
-    backend_obj = get_backend(backend)
+    backend_obj = resolve_backend(backend)
     source_graph = lower_artifact(artifact)   # pristine: cost model, shapes
     graph = lower_artifact(artifact)          # rewritten by the passes
     pass_log = run_passes(graph, backend_obj.passes)
@@ -107,6 +141,7 @@ def compile_graph(artifact: ServeArtifact, backend: str = DEFAULT_BACKEND,
 # import register_backend from this module).
 from repro.serve.backends import reference as _reference  # noqa: E402,F401
 from repro.serve.backends import fused as _fused          # noqa: E402,F401
+from repro.serve.backends import compiled as _compiled    # noqa: E402,F401
 
 __all__ = [
     "CompiledModel",
@@ -114,9 +149,11 @@ __all__ = [
     "ExecContext",
     "Kernel",
     "KernelBackend",
+    "backend_availability",
     "compile_graph",
     "get_backend",
     "list_backends",
     "register_backend",
+    "resolve_backend",
     "verify_compiled",
 ]

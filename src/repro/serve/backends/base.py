@@ -63,11 +63,21 @@ class KernelBackend:
     ``copy_output = True`` declares that kernels may return views of pooled
     scratch; the executor then copies the final graph output so results
     survive the next ``run`` call.
+
+    Backends with environmental requirements (the ``compiled`` backend
+    needs a C compiler) override :meth:`availability` and name a
+    ``fallback`` backend; resolution then degrades gracefully instead of
+    failing on machines that lack the requirement.
     """
 
     name: str = ""
     passes: Tuple[str, ...] = ()
     copy_output: bool = False
+    fallback: Optional[str] = None
+
+    def availability(self) -> Tuple[bool, str]:
+        """(usable right now?, human-readable note)."""
+        return True, "always available"
 
     def compile_node(self, node: IRNode, graph: Graph,
                      artifact: ServeArtifact, ctx: ExecContext) -> Kernel:

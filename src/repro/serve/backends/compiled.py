@@ -1,0 +1,351 @@
+"""``compiled`` backend: fused-graph glue ops as generated native code.
+
+The fused backend's per-request cost is numpy dispatch on the non-GEMM
+glue: a conv is ~10 ufunc invocations (6-pass activation fake-quant,
+strided window gather, bias add, 4-pass batch-norm, ReLU). This backend
+renders that glue to C per (graph, batch size) — see
+:mod:`repro.serve.codegen` — so a conv becomes *two* native calls around
+one BLAS GEMM:
+
+- ``pre``:  fused activation-quant + zero-pad + im2col gather, written
+  directly into the GEMM's column buffer in a single pass;
+- ``np.matmul``: the **identical** BLAS call on the identically
+  laid-out buffer the fused backend uses — GEMM accumulation order is
+  BLAS-internal, so rendering it in C could not stay bit-exact, and
+  keeping it in numpy is what lets this backend pass the same
+  bit-exactness chain as every other backend;
+- ``post``: bias + folded batch-norm + ReLU in one pass over the GEMM
+  output, per-channel constants baked into the code.
+
+Node kinds outside the renderer's coverage table (reductions with
+numpy-internal accumulation order like ``avgpool``, recurrent cells,
+views, integer gathers) run on the fused backend's kernels inside the
+same plan — the ``annotate_codegen`` pass records the split in the
+compile log.
+
+Availability: a C compiler is probed once per process (``$REPRO_CC``,
+``clang``, ``cc``, ``gcc``). Without one, backend resolution falls back
+to ``fused`` with a warning (see ``compile_graph``) — nothing breaks on
+a bare machine.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.serve.artifact import ServeArtifact, decode_weight_record
+from repro.serve.backends import register_backend
+from repro.serve.backends.base import ExecContext, Kernel, KernelBackend
+from repro.serve.backends.fused import FusedBackend, FusedConvKernel, \
+    FusedLinearKernel
+from repro.serve.codegen.build import compiler_probe
+from repro.serve.codegen.renderer import (
+    AddRenderer,
+    ConvRenderer,
+    EltwiseRenderer,
+    LinearRenderer,
+    MaxPoolRenderer,
+)
+from repro.serve.codegen.runtime import GraphProgram
+from repro.serve.ir import Graph, IRNode
+
+
+def _graph_tag(artifact: ServeArtifact) -> str:
+    model = str(artifact.manifest.get("model", "model")) or "model"
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", model)
+
+
+def _program(ctx: ExecContext, artifact: ServeArtifact) -> GraphProgram:
+    """The per-compiled-model native code manager, shared by all kernels
+    through their common :class:`ExecContext`."""
+    program = getattr(ctx, "codegen_program", None)
+    if program is None:
+        program = GraphProgram(tag=_graph_tag(artifact))
+        ctx.codegen_program = program
+    return program
+
+
+class _CodegenKernel(Kernel):
+    """Base: holds the shared program and pools contiguity copies."""
+
+    def __init__(self, node: IRNode, ctx: ExecContext,
+                 program: GraphProgram):
+        super().__init__(node, ctx)
+        self.program = program
+
+    def _contiguous(self, x: np.ndarray, slot: int = 0) -> np.ndarray:
+        """Native code takes raw pointers; strided views (a depthwise
+        conv's transposed output, a ``take_last`` slice) are copied into
+        a pooled buffer first."""
+        if x.flags["C_CONTIGUOUS"]:
+            return x
+        buffer = self.ctx.scratch(f"cg.cont{self.node.id}.{slot}", x.shape,
+                                  dtype=x.dtype)
+        np.copyto(buffer, x)
+        return buffer
+
+
+class CodegenConvKernel(_CodegenKernel):
+    """Native pre/post around the fused backend's exact GEMM call."""
+
+    def __init__(self, node: IRNode, graph: Graph, ctx: ExecContext,
+                 artifact: ServeArtifact, program: GraphProgram):
+        super().__init__(node, ctx, program)
+        spec = node.spec
+        self.kernel = spec["kernel"]
+        self.stride = spec["stride"]
+        self.padding = spec["padding"]
+        self.oc = spec["out_channels"]
+        input_shape = graph.node(node.inputs[0]).output_shape
+        self.cin = input_shape[0]
+        self.h, self.w = input_shape[1], input_shape[2]
+        self.oh, self.ow = node.output_shape[1], node.output_shape[2]
+        weight = decode_weight_record(artifact, spec["weight"])
+        self.w_mat = np.ascontiguousarray(weight.reshape(self.oc, -1))
+        self.depthwise = spec["groups"] != 1
+        if self.depthwise:
+            self.w3 = self.w_mat.reshape(self.cin,
+                                         self.kernel * self.kernel, 1)
+        self.has_act = spec["act_quant"] is not None
+        self.renderer = ConvRenderer(node, input_shape, artifact)
+        program.register(self.renderer)
+        self._artifact = artifact
+        self._fallback = None
+        self._bound: dict = {}
+
+    def _bind(self, n: int) -> tuple:
+        bound = self._bound.get(n)
+        if bound is None:
+            table = self.program.for_batch(n)
+            pre = table.get((self.node.id, "pre"))
+            post = table.get((self.node.id, "post"))
+            k, p = self.kernel, self.oh * self.ow
+            quant = final = None
+            if self.depthwise:
+                cols = self.ctx.scratch("conv.dwcols",
+                                        (self.cin, n * p, k * k))
+                out = self.ctx.scratch(f"out{self.node.id}",
+                                       (self.cin, n * p, 1))
+                if self.has_act:
+                    # Flat once-per-element quant buffer the native pre
+                    # fills before gathering (see ``_pre_depthwise``).
+                    quant = self.ctx.scratch("conv.dwq",
+                                             (n, self.cin, self.h, self.w))
+                if post is not None:
+                    # The transposing epilogue writes the request-major
+                    # layout here — this is the kernel's output, so it
+                    # is keyed per node like ``out``.
+                    final = self.ctx.scratch(f"outt{self.node.id}",
+                                             (n, self.cin, p))
+            else:
+                cols = (self.ctx.scratch("conv.cols",
+                                         (n, self.cin * k * k, p))
+                        if pre is not None else None)
+                out = self.ctx.scratch(f"out{self.node.id}",
+                                       (n, self.oc, p))
+            bound = (pre, post, cols, out, quant, final)
+            self._bound[n] = bound
+        return bound
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if x.dtype != np.float32:
+            # Off the native path, stay bit-exact (the fused kernel
+            # itself falls back to the reference chain here).
+            if self._fallback is None:
+                self._fallback = FusedConvKernel(self.node, self.ctx,
+                                                 self._artifact)
+            return self._fallback.run(x)
+        n = x.shape[0]
+        pre, post, cols, out, quant, final = self._bind(n)
+        x = self._contiguous(x)
+        if self.depthwise:
+            if quant is not None:
+                pre(x.ctypes.data, quant.ctypes.data, cols.ctypes.data)
+            else:
+                pre(x.ctypes.data, cols.ctypes.data)
+            np.matmul(cols, self.w3, out=out)
+            if post is not None:
+                post(out.ctypes.data, final.ctypes.data)
+                return final.reshape(n, self.cin, self.oh, self.ow)
+            base = out.reshape(self.cin, n, self.oh, self.ow)
+            return base.transpose(1, 0, 2, 3)
+        if pre is not None:
+            pre(x.ctypes.data, cols.ctypes.data)
+            gemm_in = cols
+        else:
+            gemm_in = x.reshape(n, self.cin, self.oh * self.ow)
+        np.matmul(self.w_mat, gemm_in, out=out)
+        if post is not None:
+            post(out.ctypes.data)
+        return out.reshape(n, self.oc, self.oh, self.ow)
+
+
+class CodegenLinearKernel(_CodegenKernel):
+    def __init__(self, node: IRNode, graph: Graph, ctx: ExecContext,
+                 artifact: ServeArtifact, program: GraphProgram):
+        super().__init__(node, ctx, program)
+        spec = node.spec
+        self.weight = decode_weight_record(artifact, spec["weight"])
+        self.wT = self.weight.T
+        producer = graph.node(node.inputs[0])
+        self.rows_per_request = (producer.output_shape[0]
+                                 if producer.merged_time else 1)
+        self.renderer = LinearRenderer(node, self.rows_per_request, artifact)
+        program.register(self.renderer)
+        self._artifact = artifact
+        self._fallback = None
+        self._bound: dict = {}
+
+    def _bind(self, rows: int) -> tuple:
+        bound = self._bound.get(rows)
+        if bound is None:
+            table = self.program.for_batch(rows // self.rows_per_request)
+            pre = table.get((self.node.id, "pre"))
+            post = table.get((self.node.id, "post"))
+            xq = (self.ctx.scratch(f"cg.xq{self.node.id}",
+                                   (rows, self.weight.shape[1]))
+                  if pre is not None else None)
+            out = self.ctx.scratch(f"out{self.node.id}",
+                                   (rows, self.weight.shape[0]))
+            bound = (pre, post, xq, out)
+            self._bound[rows] = bound
+        return bound
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        if x.dtype != np.float32:
+            if self._fallback is None:
+                self._fallback = FusedLinearKernel(self.node, self.ctx,
+                                                   self._artifact)
+            return self._fallback.run(x)
+        pre, post, xq, out = self._bind(x.shape[0])
+        x = self._contiguous(x)
+        if pre is not None:
+            pre(x.ctypes.data, xq.ctypes.data)
+            x = xq
+        # The reference's exact `x @ weight.T` on identical values.
+        np.matmul(x, self.wT, out=out)
+        if post is not None:
+            post(out.ctypes.data)
+        return out
+
+
+class CodegenAddKernel(_CodegenKernel):
+    def __init__(self, node: IRNode, ctx: ExecContext,
+                 program: GraphProgram):
+        super().__init__(node, ctx, program)
+        self.renderer = AddRenderer(node)
+        program.register(self.renderer)
+        self._bound: dict = {}
+
+    def run(self, main: np.ndarray, shortcut: np.ndarray) -> np.ndarray:
+        n = main.shape[0]
+        bound = self._bound.get(n)
+        if bound is None:
+            fn = self.program.for_batch(n)[(self.node.id, "main")]
+            out = self.ctx.scratch(f"out{self.node.id}", main.shape)
+            bound = (fn, out)
+            self._bound[n] = bound
+        fn, out = bound
+        main = self._contiguous(main, 0)
+        shortcut = self._contiguous(shortcut, 1)
+        fn(main.ctypes.data, shortcut.ctypes.data, out.ctypes.data)
+        return out
+
+
+class CodegenEltwiseKernel(_CodegenKernel):
+    """Standalone batch-norm / ReLU / ReLU6 as one native pass."""
+
+    def __init__(self, node: IRNode, ctx: ExecContext,
+                 artifact: ServeArtifact, program: GraphProgram):
+        super().__init__(node, ctx, program)
+        self.renderer = EltwiseRenderer(node, artifact)
+        program.register(self.renderer)
+        # Per-request element count: recovers the graph batch size from
+        # the physical input even when merge_time folded the leading
+        # per-request dim into the batch axis.
+        self.request_size = int(np.prod(node.output_shape))
+        self._bound: dict = {}
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        n = x.size // self.request_size
+        bound = self._bound.get(x.shape)
+        if bound is None:
+            fn = self.program.for_batch(n)[(self.node.id, "main")]
+            out = self.ctx.scratch(f"out{self.node.id}", x.shape)
+            bound = (fn, out)
+            self._bound[x.shape] = bound
+        fn, out = bound
+        x = self._contiguous(x)
+        fn(x.ctypes.data, out.ctypes.data)
+        return out
+
+
+class CodegenMaxPoolKernel(_CodegenKernel):
+    def __init__(self, node: IRNode, graph: Graph, ctx: ExecContext,
+                 program: GraphProgram):
+        super().__init__(node, ctx, program)
+        input_shape = graph.node(node.inputs[0]).output_shape
+        self.renderer = MaxPoolRenderer(node, input_shape)
+        program.register(self.renderer)
+        self._bound: dict = {}
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        bound = self._bound.get(n)
+        if bound is None:
+            fn = self.program.for_batch(n)[(self.node.id, "main")]
+            out = self.ctx.scratch(f"out{self.node.id}",
+                                   (n,) + self.node.output_shape)
+            bound = (fn, out)
+            self._bound[n] = bound
+        fn, out = bound
+        x = self._contiguous(x)
+        fn(x.ctypes.data, out.ctypes.data)
+        return out
+
+
+@register_backend
+class CompiledBackend(KernelBackend):
+    """Generated native kernels for the glue, numpy BLAS for the GEMMs.
+
+    Same passes as the fused backend plus ``annotate_codegen`` (the
+    coverage split lands in the compile log); same scratch-aliasing
+    output semantics, hence ``copy_output``. Unavailable without a C
+    compiler — resolution then falls back to ``fused``.
+    """
+
+    name = "compiled"
+    passes = ("fold_batchnorm", "fuse_activations", "eliminate_subsumed_relu",
+              "eliminate_dead_ops", "plan_scratch", "annotate_codegen")
+    copy_output = True
+    fallback = "fused"
+
+    def __init__(self):
+        self._fused = FusedBackend()
+
+    def availability(self):
+        compiler, note = compiler_probe()
+        return compiler is not None, note
+
+    def compile_node(self, node: IRNode, graph: Graph,
+                     artifact: ServeArtifact, ctx: ExecContext) -> Kernel:
+        if node.codegen != "native":
+            return self._fused.compile_node(node, graph, artifact, ctx)
+        program = _program(ctx, artifact)
+        kind = node.kind
+        if kind == "conv":
+            return CodegenConvKernel(node, graph, ctx, artifact, program)
+        if kind == "linear":
+            return CodegenLinearKernel(node, graph, ctx, artifact, program)
+        if kind == "add":
+            return CodegenAddKernel(node, ctx, program)
+        if kind == "maxpool":
+            return CodegenMaxPoolKernel(node, graph, ctx, program)
+        if kind in ("batchnorm2d", "batchnorm1d", "relu", "relu6"):
+            return CodegenEltwiseKernel(node, ctx, artifact, program)
+        # annotate_codegen marked it native but no kernel exists: keep
+        # serving correctly on the fused kernel (and the coverage table
+        # should be fixed).
+        return self._fused.compile_node(node, graph, artifact, ctx)

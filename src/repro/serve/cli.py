@@ -6,6 +6,9 @@ synthetic data, so the whole serving path can be exercised without training:
 - ``export`` — build a model from the small zoo, post-training-quantize it
   (MSQ weights + calibrated activation ranges), and write a verified
   artifact;
+- ``backends`` — list kernel backends with availability (compiler probe
+  result for ``compiled``) plus the codegen build cache;
+  ``--clear-cache`` empties it;
 - ``info`` — print an artifact's manifest summary and GEMM workloads;
 - ``run`` — load an artifact, push synthetic requests through the dynamic
   batcher (:class:`~repro.serve.server.ModelServer`, synchronous mode),
@@ -141,6 +144,34 @@ def cmd_export(args) -> int:
                         ratio=args.ratio,
                         calibration_batches=args.calibration_batches,
                         seed=args.seed)
+
+
+def cmd_backends(args) -> int:
+    from repro.serve.backends import backend_availability, get_backend
+    from repro.serve.codegen import (cache_dir, cached_libraries,
+                                     clear_cache)
+
+    if args.clear_cache:
+        removed = clear_cache()
+        print(f"cleared {removed} cached kernel librar"
+              f"{'y' if removed == 1 else 'ies'} from {cache_dir()}")
+        return 0
+    rows = []
+    for name, (usable, note) in backend_availability().items():
+        backend = get_backend(name)
+        status = "available" if usable else "unavailable"
+        if not usable and backend.fallback:
+            status += f" (falls back to {backend.fallback})"
+        rows.append((name, status, note))
+    width = max(len(name) for name, _, _ in rows)
+    swidth = max(len(status) for _, status, _ in rows)
+    for name, status, note in rows:
+        print(f"{name:<{width}}  {status:<{swidth}}  {note}")
+    libraries = cached_libraries()
+    print(f"codegen cache: {cache_dir()} "
+          f"({len(libraries)} compiled kernel librar"
+          f"{'y' if len(libraries) == 1 else 'ies'})")
+    return 0
 
 
 def cmd_info(args) -> int:
@@ -505,6 +536,15 @@ def main(argv=None) -> int:
     export.set_defaults(func=cmd_export)
 
     from repro.serve.backends import DEFAULT_BACKEND, list_backends
+
+    backends = sub.add_parser(
+        "backends",
+        help="list kernel backends with availability and the codegen "
+             "kernel cache")
+    backends.add_argument("--clear-cache", action="store_true",
+                          help="delete all compiled kernel libraries from "
+                               "the codegen cache")
+    backends.set_defaults(func=cmd_backends)
 
     info = sub.add_parser("info", help="describe an artifact")
     info.add_argument("artifact")

@@ -1,0 +1,247 @@
+"""Native build layer for the ``compiled`` serving backend.
+
+Three jobs, all deliberately boring:
+
+- **Probe** for a working C compiler exactly once per process
+  (:func:`compiler_probe`): ``$REPRO_CC`` if set, else ``clang``, ``cc``,
+  ``gcc`` — each candidate must actually compile a trivial shared object,
+  not merely exist on ``$PATH``. The result (path or failure reason) is
+  cached so backend availability checks are free afterwards.
+- **Build** rendered C source into a shared library
+  (:func:`build_library`) under a content-hash-keyed cache directory.
+  The key hashes the source *and* the compiler + flags, so upgrading the
+  toolchain or editing the renderer never serves a stale binary. Builds
+  are concurrency-safe twice over: an in-process lock serializes threads
+  (ModelServer workers share one process), and the artifact lands via
+  write-to-unique-temp + ``os.replace`` so concurrent *processes* racing
+  on the same cache entry each publish an identical file atomically —
+  last writer wins, every reader sees a complete ``.so``.
+- **Administer** the cache (:func:`cached_libraries`,
+  :func:`clear_cache`) for the ``repro serve backends`` CLI.
+
+Flags pin bit-exact float semantics: ``-ffp-contract=off`` forbids FMA
+contraction and ``-fno-fast-math`` keeps IEEE-754 ordering, so the
+generated elementwise kernels match numpy's float32 ufuncs bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.errors import CompileError
+
+#: Probe order when ``$REPRO_CC`` is unset. ``cc`` before ``gcc``: on most
+#: systems ``cc`` *is* clang or gcc, and respecting the system default
+#: keeps the cache key stable across shells.
+COMPILERS = ("clang", "cc", "gcc")
+
+#: Non-negotiable flags: IEEE-754 per-element semantics. ``-ffp-contract
+#: =off`` forbids FMA contraction; ``-fno-fast-math`` keeps ordering.
+BASE_CFLAGS = ("-shared", "-fPIC", "-ffp-contract=off", "-fno-fast-math")
+
+#: Optimization tiers, best first; the probe keeps the first tier the
+#: compiler accepts. ``-march=native`` unlocks the SIMD width numpy's
+#: ufunc loops already use — auto-vectorizing our straight-line
+#: per-element float32 code never changes a result bit (contraction is
+#: off, there is no reassociation to do, and the only reduction — max —
+#: is order-independent).
+OPT_TIERS = (("-O3", "-march=native"), ("-O3",), ("-O2",))
+
+#: Kept for introspection/tests: the flags of the probed toolchain.
+CFLAGS = OPT_TIERS[0] + BASE_CFLAGS
+
+_PROBE_SOURCE = "int repro_codegen_probe(void) { return 42; }\n"
+
+_probe_lock = threading.Lock()
+_probe_result: Optional[Tuple[Optional[str], Tuple[str, ...], str]] = None
+
+_build_lock = threading.Lock()
+
+
+def cache_dir() -> Path:
+    """Directory holding built ``.so`` kernels (and their ``.c`` sources,
+    kept next to them for debuggability). ``$REPRO_CODEGEN_CACHE``
+    overrides the default under ``~/.cache``."""
+    override = os.environ.get("REPRO_CODEGEN_CACHE")
+    if override:
+        root = Path(override)
+    else:
+        base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+            os.path.expanduser("~"), ".cache")
+        root = Path(base) / "repro-codegen"
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _try_compiler(command: str) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """Return ``(resolved path, flags)`` for the best optimization tier
+    ``command`` accepts (verified by compiling a trivial shared object),
+    else ``None``."""
+    resolved = shutil.which(command)
+    if resolved is None:
+        return None
+    with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as tmp:
+        source = Path(tmp) / "probe.c"
+        out = Path(tmp) / "probe.so"
+        source.write_text(_PROBE_SOURCE)
+        for tier in OPT_TIERS:
+            flags = tier + BASE_CFLAGS
+            try:
+                proc = subprocess.run(
+                    [resolved, *flags, "-o", str(out), str(source)],
+                    stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                    timeout=60)
+            except (OSError, subprocess.SubprocessError):
+                return None
+            if proc.returncode == 0:
+                return resolved, flags
+    return None
+
+
+def _probe(refresh: bool = False) -> Tuple[Optional[str],
+                                           Tuple[str, ...], str]:
+    """(compiler path or None, flags, note) — cached for the process."""
+    global _probe_result
+    with _probe_lock:
+        if _probe_result is not None and not refresh:
+            return _probe_result
+        override = os.environ.get("REPRO_CC")
+        candidates = (override,) if override else COMPILERS
+        tried: List[str] = []
+        result: Tuple[Optional[str], Tuple[str, ...], str] = (
+            None, (), "no working C compiler (tried: none)")
+        for command in candidates:
+            if not command:
+                continue
+            tried.append(command)
+            found = _try_compiler(command)
+            if found is not None:
+                resolved, flags = found
+                result = (resolved, flags,
+                          f"{command} -> {resolved} ({' '.join(flags[:2])})")
+                break
+        else:
+            source = "$REPRO_CC" if override else "probe order"
+            result = (None, (),
+                      f"no working C compiler ({source}: {', '.join(tried)})")
+        _probe_result = result
+        return result
+
+
+def compiler_probe(refresh: bool = False) -> Tuple[Optional[str], str]:
+    """Locate a working C compiler, once.
+
+    Returns ``(path, note)``: ``path`` is the compiler executable or
+    ``None``, and ``note`` says which candidate won with which flags (or
+    why none did). The result is cached for the life of the process;
+    pass ``refresh=True`` to re-probe (tests monkeypatching ``$PATH``).
+    """
+    compiler, _flags, note = _probe(refresh)
+    return compiler, note
+
+
+def have_compiler() -> bool:
+    return compiler_probe()[0] is not None
+
+
+def _reset_probe_cache() -> None:
+    """Test hook: forget the cached probe result."""
+    global _probe_result
+    with _probe_lock:
+        _probe_result = None
+
+
+def _host_key(flags: Tuple[str, ...]) -> str:
+    """CPU identity folded into the cache key when ``-march=native`` is
+    in play — a binary tuned for one microarchitecture must never be
+    served to another (SIGILL, not a wrong answer, but still fatal)."""
+    if "-march=native" not in flags:
+        return ""
+    key = platform.machine()
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith("model name"):
+                    key += "|" + line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return key
+
+
+def source_digest(source: str, compiler: str,
+                  flags: Tuple[str, ...] = ()) -> str:
+    """Content hash keying the build cache: source + toolchain + host."""
+    payload = "\0".join((source, compiler, " ".join(flags),
+                         _host_key(flags)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def build_library(source: str, tag: str = "graph") -> Path:
+    """Compile ``source`` to a shared library, reusing the cache when the
+    identical source was built before. Raises :class:`CompileError` when
+    no compiler is available or the compiler rejects the source."""
+    compiler, flags, note = _probe()
+    if compiler is None:
+        raise CompileError(f"cannot build native kernels: {note}")
+    digest = source_digest(source, compiler, flags)
+    directory = cache_dir()
+    library = directory / f"{tag}-{digest}.so"
+    if library.exists():
+        return library
+    with _build_lock:
+        if library.exists():
+            return library
+        c_file = directory / f"{tag}-{digest}.c"
+        c_file.write_text(source)
+        handle, tmp_name = tempfile.mkstemp(
+            prefix=f".{tag}-{digest}-", suffix=".so.tmp", dir=str(directory))
+        os.close(handle)
+        command = [compiler, *flags, "-o", tmp_name, str(c_file), "-lm"]
+        try:
+            proc = subprocess.run(command, stdout=subprocess.PIPE,
+                                  stderr=subprocess.PIPE, timeout=300)
+        except (OSError, subprocess.SubprocessError) as error:
+            os.unlink(tmp_name)
+            raise CompileError(
+                f"compiler invocation failed: {' '.join(command)}: {error}"
+            ) from error
+        if proc.returncode != 0:
+            os.unlink(tmp_name)
+            stderr = proc.stderr.decode("utf-8", "replace").strip()
+            tail = "\n".join(stderr.splitlines()[-12:])
+            raise CompileError(
+                f"compiler exited {proc.returncode}: {' '.join(command)}\n"
+                f"{tail}")
+        os.replace(tmp_name, library)  # atomic publish
+    return library
+
+
+def cached_libraries() -> List[Path]:
+    """The ``.so`` files currently in the cache, oldest first."""
+    directory = cache_dir()
+    return sorted(directory.glob("*.so"), key=lambda p: p.stat().st_mtime)
+
+
+def clear_cache() -> int:
+    """Delete all cached kernels (and their sources); return how many
+    ``.so`` files were removed."""
+    directory = cache_dir()
+    removed = 0
+    for path in directory.iterdir():
+        if path.suffix == ".so":
+            removed += 1
+        if path.suffix in (".so", ".c") or ".so.tmp" in path.name:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+    return removed

@@ -53,6 +53,10 @@ class IRNode:
     merged_time: bool = False       # leading per-request dim folded into batch
     epilogues: List[dict] = field(default_factory=list)
     scratch: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    # Renderer hook, stamped by the ``annotate_codegen`` pass: "native"
+    # (the codegen renderer covers this node) or "fallback" (served by
+    # the fused kernels inside a compiled plan). Empty until annotated.
+    codegen: str = ""
 
     @property
     def act_quant(self) -> Optional[dict]:

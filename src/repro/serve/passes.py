@@ -24,6 +24,9 @@ Pass inventory (run in registry order):
 - ``plan_scratch``        — annotates conv nodes with the per-request
   padded-input / im2col-column / GEMM-output scratch shapes so backends can
   preallocate and share buffers across same-shaped layers.
+- ``annotate_codegen``    — stamps each node with the C renderer's coverage
+  verdict (``native`` vs ``fallback``) so the ``compiled`` backend's kernel
+  split is decided in one place and visible in the compile log.
 """
 
 from __future__ import annotations
@@ -189,3 +192,28 @@ def plan_scratch(graph: Graph) -> str:
         }
         planned += 1
     return f"planned {planned}"
+
+
+@register_pass
+def annotate_codegen(graph: Graph) -> str:
+    """Stamp each node with the native-code coverage verdict.
+
+    ``node.codegen`` becomes ``"native"`` when the C renderer has a
+    bit-exact template for the node (see
+    :func:`repro.serve.codegen.renderer.supports`) and ``"fallback"``
+    otherwise — the ``compiled`` backend serves fallback nodes on the
+    fused kernels. Purely descriptive: annotating never changes outputs.
+    """
+    from repro.serve.codegen.renderer import supports
+
+    native = fallback = 0
+    for node in graph.nodes:
+        if node.id == graph.input_id:
+            continue
+        if supports(node):
+            node.codegen = "native"
+            native += 1
+        else:
+            node.codegen = "fallback"
+            fallback += 1
+    return f"native {native}, fallback {fallback}"

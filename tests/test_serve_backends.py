@@ -34,6 +34,21 @@ FAMILIES = {
     "yolo_head": "yolo_lite",
 }
 
+ALL_BACKENDS = ("reference", "fused", "compiled")
+OPTIMIZED_BACKENDS = ("fused", "compiled")
+
+
+def _require(backend: str) -> None:
+    """Skip compiled-backend cases on machines without a C compiler
+    (the backend itself would silently degrade to fused there, which is
+    covered by its own fallback tests, not parity)."""
+    if backend == "compiled":
+        from repro.serve.codegen import compiler_probe
+
+        compiler, note = compiler_probe()
+        if compiler is None:
+            pytest.skip(f"compiled backend needs a C compiler: {note}")
+
 
 @pytest.fixture(scope="module")
 def family_artifacts():
@@ -49,13 +64,14 @@ def family_artifacts():
 
 
 class TestBackendParity:
-    def test_registry_has_reference_and_fused(self):
-        assert {"reference", "fused"} <= set(list_backends())
+    def test_registry_has_all_backends(self):
+        assert set(ALL_BACKENDS) <= set(list_backends())
 
     @pytest.mark.parametrize("family", sorted(FAMILIES))
-    @pytest.mark.parametrize("backend", sorted({"reference", "fused"}))
+    @pytest.mark.parametrize("backend", sorted(ALL_BACKENDS))
     def test_backend_bit_identical_to_reference_and_eager(
             self, family, backend, family_artifacts):
+        _require(backend)
         model, artifact, sample = family_artifacts[family]
         rng = np.random.default_rng(101)
         batch = sample(rng, 6)
@@ -67,15 +83,17 @@ class TestBackendParity:
         assert np.array_equal(out, eager_forward(model, batch))
 
     @pytest.mark.parametrize("family", sorted(FAMILIES))
-    def test_fused_matches_across_batch_sizes(self, family,
-                                              family_artifacts):
+    @pytest.mark.parametrize("backend", sorted(OPTIMIZED_BACKENDS))
+    def test_optimized_matches_across_batch_sizes(self, family, backend,
+                                                  family_artifacts):
+        _require(backend)
         _, artifact, sample = family_artifacts[family]
         rng = np.random.default_rng(5)
         reference = ExecutionPlan(artifact)
-        fused = ExecutionPlan(artifact, backend="fused")
+        optimized = ExecutionPlan(artifact, backend=backend)
         for n in (1, 2, 7, 16):
             batch = sample(rng, n)
-            assert np.array_equal(fused.forward(batch),
+            assert np.array_equal(optimized.forward(batch),
                                   reference.forward(batch)), n
 
     def test_engine_load_accepts_backend(self, family_artifacts, tmp_path):
@@ -89,17 +107,20 @@ class TestBackendParity:
         assert np.array_equal(engine.infer(batch),
                               ExecutionPlan(artifact).forward(batch))
 
-    def test_fused_outputs_are_stable_across_calls(self, family_artifacts):
-        # Fused kernels reuse pooled scratch; returned results must not be
-        # aliased into it (a second forward must not corrupt the first's
+    @pytest.mark.parametrize("backend", sorted(OPTIMIZED_BACKENDS))
+    def test_optimized_outputs_are_stable_across_calls(
+            self, backend, family_artifacts):
+        # Optimized kernels reuse pooled scratch; returned results must not
+        # be aliased into it (a second forward must not corrupt the first's
         # returned array).
+        _require(backend)
         _, artifact, sample = family_artifacts["resnet"]
-        fused = ExecutionPlan(artifact, backend="fused")
+        plan = ExecutionPlan(artifact, backend=backend)
         rng = np.random.default_rng(9)
         a_in, b_in = sample(rng, 4), sample(rng, 4)
-        a = fused.forward(a_in)
+        a = plan.forward(a_in)
         a_copy = a.copy()
-        fused.forward(b_in)
+        plan.forward(b_in)
         assert np.array_equal(a, a_copy)
 
 

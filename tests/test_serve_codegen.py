@@ -1,0 +1,357 @@
+"""The ``compiled`` backend's codegen stack: renderer literals, the
+build cache, fallback semantics, the CLI, and edge-shape parity.
+
+The heavyweight bit-exactness contract (every model family, every batch
+size) lives in ``tests/test_serve_backends.py``; this file covers the
+pieces underneath it — exact C literals, the round-half-even magic
+constant against the reference quantizer, content-hash cache behaviour,
+the typed :class:`~repro.errors.BackendError` vocabulary, and the
+``compiled -> fused`` degradation on machines with no C compiler
+(including a real PATH-stripped subprocess).
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from ctypes import c_void_p
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import BackendError, CompileError, ConfigurationError
+from repro.quant.ste import ActivationQuantizer
+from repro.serve import ExecutionPlan
+from repro.serve.backends import get_backend, resolve_backend
+from repro.serve.codegen import (
+    build_library,
+    c_array,
+    c_float,
+    cache_dir,
+    cached_libraries,
+    clear_cache,
+    compiler_probe,
+    have_compiler,
+    load_library,
+    render_module,
+)
+from repro.serve.codegen.build import _reset_probe_cache
+from repro.serve.codegen.renderer import MODULE_PREAMBLE, ActQuantC
+from repro.serve.export import build_artifact, eager_forward
+from repro.serve.ptq import post_training_quantize
+
+needs_cc = pytest.mark.skipif(
+    not have_compiler(),
+    reason=f"no C compiler: {compiler_probe()[1]}")
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """An isolated (initially empty) codegen cache directory."""
+    directory = tmp_path / "codegen-cache"
+    monkeypatch.setenv("REPRO_CODEGEN_CACHE", str(directory))
+    return directory
+
+
+@pytest.fixture
+def no_compiler(monkeypatch):
+    """Make the compiler probe fail for the duration of one test."""
+    monkeypatch.setenv("REPRO_CC", "/nonexistent/definitely-not-a-cc")
+    _reset_probe_cache()
+    yield
+    _reset_probe_cache()
+
+
+# ----------------------------------------------------------------------
+# Literals
+# ----------------------------------------------------------------------
+class TestLiterals:
+    def test_c_float_round_trips_exactly(self):
+        rng = np.random.default_rng(0)
+        values = np.concatenate([
+            rng.normal(scale=10.0, size=200).astype(np.float32),
+            np.array([1e-42, -1e-42, 2**-149, 1.0, -1.0, 6.0],
+                     dtype=np.float32),
+        ])
+        for value in values:
+            token = c_float(value)
+            assert token.endswith("f")
+            assert np.float32(float.fromhex(token[:-1])) == value
+
+    def test_c_float_specials(self):
+        assert c_float(np.float32("nan")) == "NAN"
+        assert c_float(np.float32("inf")) == "INFINITY"
+        assert c_float(np.float32("-inf")) == "-INFINITY"
+        assert c_float(np.float32(0.0)) == "0.0f"
+        assert c_float(np.float32(-0.0)) == "-0.0f"
+
+    def test_c_array_emits_every_entry(self):
+        values = np.linspace(-1, 1, 37, dtype=np.float32)
+        text = c_array("grid", values)
+        assert "static const float grid[37]" in text
+        assert text.count(",") == 37  # one trailing comma per entry
+
+
+# ----------------------------------------------------------------------
+# Activation fake-quant rendering
+# ----------------------------------------------------------------------
+class TestActQuantC:
+    @pytest.mark.parametrize("signed", [False, True])
+    def test_level_grid_matches_reference_quantizer(self, signed):
+        quantizer = ActivationQuantizer(4, signed=signed, alpha=0.83)
+        quantizer.calibrating = False
+        chain = ActQuantC({"alpha": quantizer.alpha, "signed": signed,
+                           "bits": 4})
+        rng = np.random.default_rng(3)
+        x = (rng.normal(scale=1.5, size=8192)).astype(np.float32)
+        expected = np.asarray(quantizer.quantize_array(x),
+                              dtype=np.float32)
+        # Every reference output is exactly one of the renderer's levels.
+        assert np.isin(expected, chain.levels).all()
+        # The grid itself is a fixed point of the quantizer.
+        regrid = np.asarray(quantizer.quantize_array(chain.levels),
+                            dtype=np.float32)
+        assert np.array_equal(regrid, chain.levels)
+
+    @needs_cc
+    @pytest.mark.parametrize("signed", [False, True])
+    def test_emitted_chain_is_bitwise_exact(self, signed, fresh_cache):
+        quantizer = ActivationQuantizer(4, signed=signed, alpha=1.37)
+        quantizer.calibrating = False
+        chain = ActQuantC({"alpha": quantizer.alpha, "signed": signed,
+                           "bits": 4})
+        alpha = np.float32(quantizer.alpha)
+        steps = np.float32(chain.steps)
+        rng = np.random.default_rng(7)
+        x = np.concatenate([
+            rng.normal(scale=2.0, size=4096).astype(np.float32),
+            # Exact representable tie points, clip edges, signed zeros,
+            # denormals and non-finite values.
+            ((np.arange(-chain.steps, chain.steps, dtype=np.float32)
+              + np.float32(0.5)) / steps * alpha),
+            np.array([0.0, -0.0, alpha, -alpha,
+                      np.nextafter(alpha, np.float32(np.inf)),
+                      np.nextafter(alpha, np.float32(0.0)),
+                      1e-42, -1e-42, np.inf, -np.inf, np.nan],
+                     dtype=np.float32),
+        ]).astype(np.float32)
+        n = x.size
+        source = (MODULE_PREAMBLE + chain.emit("qfn") + "\n"
+                  + "void quant_buf(const float *x, float *r) {\n"
+                  + f"  for (int i = 0; i < {n}; ++i) r[i] = qfn(x[i]);\n"
+                  + "}\n")
+        fn = load_library(build_library(source, tag="test-quant")).quant_buf
+        fn.restype = None
+        fn.argtypes = [c_void_p, c_void_p]
+        got = np.empty_like(x)
+        fn(x.ctypes.data, got.ctypes.data)
+        expected = np.asarray(quantizer.quantize_array(x),
+                              dtype=np.float32)
+        # The serving contract: value-exact under np.array_equal (the
+        # check every backend is gated on, compile time and runtime).
+        valued = ~np.isnan(expected)
+        assert np.array_equal(got[valued], expected[valued])
+        assert np.isnan(got[~valued]).all()
+        # Strictly bitwise on every nonzero output — proves the hex
+        # literals and the magic-constant rounding reproduce the numpy
+        # ufunc chain exactly. (Zero outputs are excluded: np.clip's
+        # signed-zero choice for inputs that round to 0 is a numpy SIMD
+        # implementation detail, and -0.0 == 0.0 under the contract.)
+        nonzero = valued & (expected != 0.0)
+        assert np.array_equal(got[nonzero].view(np.int32),
+                              expected[nonzero].view(np.int32))
+
+
+# ----------------------------------------------------------------------
+# Build cache
+# ----------------------------------------------------------------------
+@needs_cc
+class TestBuildCache:
+    SOURCE = "float repro_test_fn(float v) { return v + 1.0f; }\n"
+
+    def test_identical_source_reuses_cache_entry(self, fresh_cache):
+        first = build_library(self.SOURCE, tag="t")
+        stamp = first.stat().st_mtime_ns
+        second = build_library(self.SOURCE, tag="t")
+        assert second == first
+        assert second.stat().st_mtime_ns == stamp  # no rebuild
+        assert first.parent == fresh_cache
+
+    def test_different_source_gets_different_entry(self, fresh_cache):
+        a = build_library(self.SOURCE, tag="t")
+        b = build_library(self.SOURCE.replace("1.0f", "2.0f"), tag="t")
+        assert a != b
+        assert len(cached_libraries()) == 2
+
+    def test_source_kept_next_to_library(self, fresh_cache):
+        library = build_library(self.SOURCE, tag="t")
+        assert library.with_suffix(".c").read_text() == self.SOURCE
+
+    def test_clear_cache_counts_and_empties(self, fresh_cache):
+        build_library(self.SOURCE, tag="t")
+        build_library(self.SOURCE.replace("v +", "v -"), tag="t")
+        assert cache_dir() == fresh_cache
+        assert clear_cache() == 2
+        assert cached_libraries() == []
+
+    def test_rejected_source_raises_compile_error(self, fresh_cache):
+        with pytest.raises(CompileError, match="compiler exited"):
+            build_library("this is not C\n", tag="t")
+
+
+# ----------------------------------------------------------------------
+# Typed backend errors + fallback semantics
+# ----------------------------------------------------------------------
+class TestBackendErrors:
+    def test_unknown_backend_is_typed_and_names_available(self):
+        with pytest.raises(BackendError) as info:
+            get_backend("turbo")
+        error = info.value
+        assert error.requested == "turbo"
+        assert {"reference", "fused", "compiled"} <= set(error.available)
+        for name in error.available:
+            assert name in str(error)
+        assert isinstance(error, ConfigurationError)
+
+    def test_autotune_space_rejects_unknown_backend(self):
+        from repro.autotune.space import SearchSpace
+
+        with pytest.raises(BackendError, match="turbo"):
+            SearchSpace(device="XC7Z045", backends=("fused", "turbo"))
+
+    def test_compiled_resolves_to_fused_without_compiler(self,
+                                                         no_compiler):
+        with pytest.warns(RuntimeWarning, match="falling back to 'fused'"):
+            backend = resolve_backend("compiled")
+        assert backend.name == "fused"
+
+    def test_compiled_plan_degrades_to_fused(self, no_compiler, tmp_path,
+                                             trained_mlp, toy_task):
+        x, _ = toy_task
+        path = tmp_path / "mlp.npz"
+        build_artifact(trained_mlp, x[:8], name="mlp").save(path)
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            plan = ExecutionPlan.load(path, backend="compiled")
+        assert plan.backend == "fused"
+        assert np.array_equal(plan.forward(x[:8]),
+                              eager_forward(trained_mlp, x[:8]))
+
+    @pytest.mark.subprocess
+    def test_path_stripped_subprocess_falls_back(self, tmp_path):
+        """The real no-compiler machine: an interpreter whose PATH holds
+        no compiler at all must serve ``compiled`` requests on fused."""
+        empty = tmp_path / "empty-path"
+        empty.mkdir()
+        code = textwrap.dedent("""\
+            import warnings
+            from repro.serve.codegen import compiler_probe, have_compiler
+            assert not have_compiler(), compiler_probe()
+            from repro.serve.backends import resolve_backend
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                backend = resolve_backend("compiled")
+            assert backend.name == "fused", backend.name
+            assert any(issubclass(w.category, RuntimeWarning)
+                       for w in caught)
+            print("fallback-ok")
+        """)
+        env = {key: value for key, value in os.environ.items()
+               if key not in ("REPRO_CC",)}
+        env["PATH"] = str(empty)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parents[1] / "src")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "fallback-ok" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestBackendsCLI:
+    def test_lists_backends_with_availability(self, fresh_cache, capsys):
+        from repro.serve.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reference", "fused", "compiled"):
+            assert name in out
+        assert "codegen cache:" in out
+        assert str(fresh_cache) in out
+
+    def test_clear_cache_flag(self, fresh_cache, capsys):
+        from repro.serve.cli import main
+
+        if have_compiler():
+            build_library("float repro_cli_fn(void){return 3.0f;}\n",
+                          tag="cli")
+        assert main(["backends", "--clear-cache"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert cached_libraries() == []
+
+
+# ----------------------------------------------------------------------
+# Edge-shape parity across all backends
+# ----------------------------------------------------------------------
+EDGE_MODELS = ("conv_odd_channels", "linear_single_feature",
+               "maxpool_tail")
+
+
+def _edge_model(case: str):
+    gen = np.random.default_rng(21)
+    if case == "conv_odd_channels":
+        # Odd channel counts and odd spatial sizes through conv + pool.
+        model = nn.Sequential(
+            nn.Conv2d(3, 5, 3, padding=1, rng=gen), nn.ReLU(),
+            nn.Conv2d(5, 7, 3, rng=gen), nn.ReLU6(),
+            nn.Flatten(), nn.Linear(7 * 7 * 7, 3, rng=gen))
+        shape = (3, 9, 9)
+    elif case == "linear_single_feature":
+        # One-element request tensors end to end.
+        model = nn.Sequential(
+            nn.Linear(1, 3, rng=gen), nn.ReLU(),
+            nn.Linear(3, 1, rng=gen))
+        shape = (1,)
+    else:
+        model = nn.Sequential(
+            nn.Conv2d(3, 4, 3, padding=1, rng=gen), nn.ReLU(),
+            nn.MaxPool2d(2), nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 2, rng=gen))
+        shape = (3, 8, 8)
+    return model, shape
+
+
+@pytest.fixture(scope="module")
+def edge_artifacts(tmp_path_factory):
+    root = tmp_path_factory.mktemp("edge")
+    built = {}
+    rng = np.random.default_rng(2)
+    for case in EDGE_MODELS:
+        model, shape = _edge_model(case)
+        calibration = [rng.normal(size=(8, *shape)).astype(np.float32)]
+        results = post_training_quantize(model, calibration)
+        path = root / f"{case}.npz"
+        build_artifact(model, calibration[0][:4], layer_results=results,
+                       name=case).save(path)
+        built[case] = (model, path, shape)
+    return built
+
+
+class TestEdgeShapeParity:
+    @pytest.mark.parametrize("case", EDGE_MODELS)
+    @pytest.mark.parametrize("backend",
+                             ["reference", "fused", "compiled"])
+    def test_backends_agree_on_edge_shapes(self, case, backend,
+                                           edge_artifacts):
+        if backend == "compiled" and not have_compiler():
+            pytest.skip("no C compiler")
+        model, path, shape = edge_artifacts[case]
+        plan = ExecutionPlan.load(path, backend=backend)
+        rng = np.random.default_rng(13)
+        for n in (1, 3):  # batch 1 is the classic degenerate case
+            batch = rng.normal(size=(n, *shape)).astype(np.float32)
+            assert np.array_equal(plan.forward(batch),
+                                  eager_forward(model, batch)), (case, n)
