@@ -14,45 +14,51 @@ from the cache — ``benchmarks/bench_tune.py`` gates the cached re-tune at
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.util.hashing import stable_digest
+
 CACHE_FORMAT = "repro-autotune-cache/1"
 
 
 def workload_fingerprint(workloads) -> str:
-    """Digest of the GEMM workload dimensions (per-request shapes)."""
-    digest = hashlib.sha256()
-    for w in workloads:
-        digest.update(repr((w.name, w.rows, w.reduction, w.kernel_positions,
-                            w.columns, w.sequential_columns,
-                            w.groups)).encode())
-    return digest.hexdigest()[:16]
+    """Digest of the GEMM workload dimensions (per-request shapes).
+
+    Byte-compatible with the pre-consolidation helper: the same repr
+    tuples are concatenated and fed to sha256 via
+    :func:`repro.util.hashing.stable_digest`, so existing cache files
+    keep hitting.
+    """
+    payload = b"".join(
+        repr((w.name, w.rows, w.reduction, w.kernel_positions,
+              w.columns, w.sequential_columns, w.groups)).encode()
+        for w in workloads)
+    return stable_digest(payload, length=16)
 
 
 def model_fingerprint(model) -> str:
-    """Digest of the model's quantizable weights (the proxy's input)."""
+    """Digest of the model's quantizable weights (the proxy's input).
+
+    Byte-compatible with the pre-consolidation helper (same name /
+    shape-string / element-bytes stream)."""
     from repro.quant.admm import collect_quantizable
 
-    digest = hashlib.sha256()
+    chunks = []
     for name, param in collect_quantizable(model):
         array = np.ascontiguousarray(np.asarray(param.data))
-        digest.update(name.encode())
-        digest.update(str(array.shape).encode())
-        digest.update(array.tobytes())
-    return digest.hexdigest()[:16]
+        chunks.append(name.encode())
+        chunks.append(str(array.shape).encode())
+        chunks.append(array.tobytes())
+    return stable_digest(b"".join(chunks), length=16)
 
 
 def evaluation_key(candidate, context: str) -> str:
     """Cache key of one candidate in one evaluation context."""
-    digest = hashlib.sha256()
-    digest.update(context.encode())
-    digest.update(candidate.key().encode())
-    return digest.hexdigest()[:32]
+    return stable_digest(context + candidate.key(), length=32)
 
 
 class EvalCache:

@@ -34,8 +34,12 @@ async multi-model front end — ``submit(model, x)`` returns an
 :class:`~repro.serve.futures.InferenceFuture`, per-model
 :class:`~repro.serve.batcher.DynamicBatcher`\\ s flush on ``max_batch`` or
 ``max_wait_ms``, background workers execute one in-flight batch per model,
-and ``load``/``unload``/``alias``/``warmup`` manage the hosted set. The
-old synchronous ``BatchScheduler`` surface remains for one release as a
+and ``load``/``unload``/``alias``/``warmup`` manage the hosted set. With
+``cache_mb`` set, submits run cache → in-flight table → batcher
+(:mod:`repro.serve.cache`): byte-identical repeat payloads are answered
+from a content-addressed LRU (sound because serving is bit-exact), and
+concurrent identical submits coalesce onto one batcher slot. The old
+synchronous ``BatchScheduler`` surface remains for one release as a
 deprecated single-model facade over the same machinery.
 
 ``python -m repro.serve`` exposes the export/info/run loop on the command
@@ -64,6 +68,7 @@ from repro.serve.backends import (
     resolve_backend,
 )
 from repro.serve.batcher import DynamicBatcher, coerce_payload
+from repro.serve.cache import InflightTable, ResponseCache
 from repro.serve.engine import EngineStats, InferenceEngine, ThroughputStats
 from repro.serve.export import build_artifact, eager_forward, export_model
 from repro.serve.futures import InferenceFuture, gather
@@ -120,6 +125,8 @@ __all__ = [
     "post_training_quantize",
     "DynamicBatcher",
     "coerce_payload",
+    "ResponseCache",
+    "InflightTable",
     "execute_batch",
     "InferenceFuture",
     "gather",

@@ -27,6 +27,7 @@ from typing import Dict
 import numpy as np
 
 from repro.errors import ExportError
+from repro.util.hashing import stable_digest
 from repro.quant.encoding import (
     encode_fixed,
     encode_p2,
@@ -94,6 +95,22 @@ class ServeArtifact:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Content digest over the manifest and every stored array.
+
+        Two artifacts digest equally iff their ops and packed weight
+        bytes are identical — the response cache keys on this, so a hit
+        can only ever return bits the exact same deployment produced.
+        Memoized: artifacts are frozen once hosted, so the first call's
+        answer stays valid.
+        """
+        memo = getattr(self, "_digest", None)
+        if memo is None:
+            memo = stable_digest({"manifest": self.manifest,
+                                  "arrays": self.arrays})
+            self._digest = memo
+        return memo
+
     @property
     def num_ops(self) -> int:
         def count(ops):

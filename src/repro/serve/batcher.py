@@ -46,6 +46,8 @@ class ServedRequest:
     model: Optional[str] = None
     future: Optional[object] = field(default=None, repr=False)
     error: Optional[BaseException] = field(default=None, repr=False)
+    cached: bool = False              # answered from the response cache
+    coalesced: bool = False           # rode another identical request
 
     @property
     def done(self) -> bool:
@@ -109,6 +111,14 @@ class DynamicBatcher:
         self._next_id += 1
         self._queue.append(request)
         return request
+
+    def reserve_id(self) -> int:
+        """Claim one request id without enqueueing anything — cache-hit
+        and coalesced-follower records share the model's id space, so
+        every ``ServedRequest`` a client sees is uniquely numbered."""
+        request_id = self._next_id
+        self._next_id += 1
+        return request_id
 
     @property
     def pending(self) -> int:

@@ -1,0 +1,267 @@
+"""Content-addressed response cache + in-flight request coalescing.
+
+The batcher amortizes kernel cost across *concurrent* requests; this
+module amortizes it across *identical* ones. Real traffic is Zipf-shaped
+— a small set of payloads accounts for most arrivals — and because every
+deployment in this stack is bit-exact by construction (the export
+verification chain), two byte-identical payloads against the same
+artifact are *guaranteed* to produce byte-identical outputs. That makes
+exact response caching sound, not approximate: a hit returns the exact
+bits the backend would have produced.
+
+Two data structures, both owned by :class:`~repro.serve.server
+.ModelServer` and driven under its work lock:
+
+- :class:`ResponseCache` — an LRU over completed responses with a byte
+  budget and optional TTL. Keys are ``(artifact digest, hosting
+  generation, payload digest)``: the artifact digest pins the exact
+  weights, the generation is a server-unique token minted every time a
+  model is (re)hosted, and the payload digest
+  (:func:`repro.util.hashing.array_digest`) pins the request bytes.
+  A stale hit after an alias rollover or re-load is therefore
+  *structurally impossible* — the new hosting mints a new generation, so
+  old entries can never match, and ``unload`` additionally drops them
+  by generation so their bytes return to the budget immediately.
+- :class:`InflightTable` — deduplicates *concurrent* identical submits:
+  the first requester becomes the leader and occupies one batcher slot;
+  followers arriving before the leader resolves attach to the same
+  pending computation and are all answered from its single result (and
+  on failure, each follower fails exactly once — a crashed batch never
+  strands or double-resolves a coalesced future).
+
+Neither class spawns threads, sleeps, or reads a clock it was not given:
+TTL expiry is lazy (checked on access against the injected clock), so
+the whole subsystem is deterministic under the manual-clock test rig.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheKey", "ResponseCache", "InflightTable"]
+
+#: (artifact digest, hosting generation, payload digest)
+CacheKey = Tuple[str, int, str]
+
+
+class _Entry:
+    __slots__ = ("key", "value", "nbytes", "generation", "expires_at")
+
+    def __init__(self, key: CacheKey, value: np.ndarray, nbytes: int,
+                 generation: int, expires_at: Optional[float]):
+        self.key = key
+        self.value = value
+        self.nbytes = nbytes
+        self.generation = generation
+        self.expires_at = expires_at
+
+
+class ResponseCache:
+    """LRU response store with a byte budget, generation invalidation
+    and lazy TTL.
+
+    Stored values are defensive read-only copies (a hit may be handed to
+    many clients; none of them may corrupt it for the others), and a hit
+    returns the stored array itself — zero copies on the hot path.
+
+    Not internally locked: the owning server serializes access under its
+    own lock, same discipline as the rest of its per-model state.
+    """
+
+    def __init__(self, max_bytes: int, ttl_s: Optional[float] = None,
+                 clock=time.monotonic):
+        if max_bytes < 1:
+            raise ConfigurationError(
+                f"cache max_bytes must be >= 1, got {max_bytes}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError(
+                f"cache ttl_s must be > 0 (or None), got {ttl_s}")
+        self.max_bytes = int(max_bytes)
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self._generation_bytes: Dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        return self._bytes
+
+    def bytes_for(self, generation: int) -> int:
+        """Bytes currently cached under one hosting generation."""
+        return self._generation_bytes.get(generation, 0)
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey,
+            now: Optional[float] = None) -> Optional[np.ndarray]:
+        """The cached response for ``key``, or None (miss/expired).
+
+        A hit refreshes the entry's LRU position. Expiry is lazy: an
+        entry past its deadline is dropped here, on access — no
+        background sweeper, no extra clock reads.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.expires_at is not None:
+            if now is None:
+                now = self._clock()
+            if now >= entry.expires_at:
+                self._remove(entry)
+                self.expirations += 1
+                self.misses += 1
+                return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.value
+
+    def put(self, key: CacheKey, value: np.ndarray,
+            now: Optional[float] = None) -> Optional[np.ndarray]:
+        """Store one response; returns the read-only stored copy, or
+        None when the value alone exceeds the budget (never evict the
+        whole cache for one oversized answer)."""
+        value = np.array(value, copy=True)
+        value.setflags(write=False)
+        nbytes = int(value.nbytes)
+        if nbytes > self.max_bytes:
+            return None
+        old = self._entries.get(key)
+        if old is not None:
+            self._remove(old)
+        expires_at = None
+        if self.ttl_s is not None:
+            if now is None:
+                now = self._clock()
+            expires_at = now + self.ttl_s
+        entry = _Entry(key, value, nbytes, key[1], expires_at)
+        self._entries[key] = entry
+        self._bytes += nbytes
+        self._generation_bytes[key[1]] = \
+            self._generation_bytes.get(key[1], 0) + nbytes
+        while self._bytes > self.max_bytes:
+            _victim_key, victim = self._entries.popitem(last=False)
+            self._account_removal(victim)
+            self.evictions += 1
+        return value
+
+    def invalidate(self, generation: int) -> int:
+        """Drop every entry of one hosting generation (``unload`` path);
+        returns how many entries were removed."""
+        victims = [entry for entry in self._entries.values()
+                   if entry.generation == generation]
+        for entry in victims:
+            self._remove(entry)
+        self.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        self._bytes = 0
+        self._generation_bytes.clear()
+        return removed
+
+    # ------------------------------------------------------------------
+    def _remove(self, entry: _Entry) -> None:
+        del self._entries[entry.key]
+        self._account_removal(entry)
+
+    def _account_removal(self, entry: _Entry) -> None:
+        self._bytes -= entry.nbytes
+        remaining = self._generation_bytes.get(entry.generation, 0) \
+            - entry.nbytes
+        if remaining > 0:
+            self._generation_bytes[entry.generation] = remaining
+        else:
+            self._generation_bytes.pop(entry.generation, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {"entries": len(self._entries), "bytes": self._bytes,
+                "max_bytes": self.max_bytes, "hits": self.hits,
+                "misses": self.misses, "hit_rate": self.hit_rate,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations}
+
+    def format(self) -> str:
+        return (f"{len(self._entries)} entries, "
+                f"{self._bytes}/{self.max_bytes} bytes, "
+                f"{self.hits} hits / {self.misses} misses "
+                f"(rate {self.hit_rate:.2f}), "
+                f"{self.evictions} evicted, {self.expirations} expired, "
+                f"{self.invalidations} invalidated")
+
+
+@dataclass
+class InflightEntry:
+    """One pending computation and everyone waiting on it."""
+
+    key: CacheKey
+    generation: int
+    leader: object                               # InferenceFuture
+    #: (follower future, follower's ServedRequest record)
+    followers: List[Tuple[object, object]] = field(default_factory=list)
+
+
+class InflightTable:
+    """Pending identical submits, keyed like the cache.
+
+    The server registers a leader when a payload misses the cache,
+    attaches followers that arrive while the leader is queued or
+    executing, and pops the entry exactly once when the leader resolves
+    — the pop is what guarantees every follower is answered exactly
+    once, success or failure. All calls happen under the server's work
+    lock; this class adds no locking of its own.
+    """
+
+    def __init__(self):
+        self._entries: Dict[CacheKey, InflightEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[InflightEntry]:
+        return self._entries.get(key)
+
+    def begin(self, key: CacheKey, generation: int,
+              leader) -> InflightEntry:
+        if key in self._entries:
+            raise ConfigurationError(
+                f"in-flight entry for {key!r} already exists")
+        entry = InflightEntry(key=key, generation=generation,
+                              leader=leader)
+        self._entries[key] = entry
+        return entry
+
+    def pop(self, key: CacheKey) -> Optional[InflightEntry]:
+        return self._entries.pop(key, None)
+
+    def pop_generation(self, generation: int) -> List[InflightEntry]:
+        """Detach every pending entry of one generation (unload path);
+        the caller owns answering their followers."""
+        keys = [key for key, entry in self._entries.items()
+                if entry.generation == generation]
+        return [self._entries.pop(key) for key in keys]

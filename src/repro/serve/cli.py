@@ -278,6 +278,12 @@ def serve_protocol(server, lines, out,
             "batch_id": request.batch_id,
             "batch_size": request.batch_size,
         }
+        # Cache provenance rides along so clients (and the cluster
+        # router) can tell a cached/coalesced answer from a computed one.
+        if getattr(request, "cached", False):
+            payload["cached"] = True
+        if getattr(request, "coalesced", False):
+            payload["coalesced"] = True
         result = np.asarray(future.result())
         if binary:
             payload.update(array_to_wire(result, key="output"))
@@ -377,11 +383,21 @@ def serve_protocol(server, lines, out,
         future.add_done_callback(lambda _: flush_completed())
         flush_completed()
     # EOF: force-serve what never filled a batch, answer everything left.
+    # drain() returns once the queues are empty, but a worker may still
+    # be resolving its last batch — and its done-callbacks flush through
+    # `wire`. Never block on a future while holding `wire`, or that
+    # worker deadlocks against us mid-batch.
     server.drain()
-    with wire:
-        while outstanding:
-            request_id, model, future, binary = outstanding.pop(0)
-            emit(response(request_id, model, future, binary))
+    while True:
+        with wire:
+            if not outstanding:
+                break
+            head = outstanding[0][2]
+            if head.done():
+                request_id, model, future, binary = outstanding.pop(0)
+                emit(response(request_id, model, future, binary))
+                continue
+        head.exception()        # wait with `wire` released
     return served
 
 
@@ -411,10 +427,26 @@ def emit_stats(server, emit, detail: bool = False,
                        "latency_ms_p99": round(stats.latency_ms_p99, 3),
                        "mean_batch_fill": round(stats.mean_batch_fill, 3),
                        "queue_depth": stats.queue_depth,
+                       "cache_hits": stats.cache_hits,
+                       "dedup_coalesced": stats.dedup_coalesced,
+                       "cache_hit_rate": round(stats.cache_hit_rate, 3),
                    } for name, stats in server.stats().items()}}
     if request_id is not None:
         payload["id"] = request_id
     emit(payload)
+
+
+def _add_cache_flags(parser) -> None:
+    """The shared response-cache knobs of ``up`` and ``cluster``."""
+    parser.add_argument("--cache-mb", type=float, default=64,
+                        help="response-cache byte budget in MB "
+                             "(per worker for clusters; 0 disables)")
+    parser.add_argument("--cache-ttl-s", type=float, default=None,
+                        help="response-cache entry TTL in seconds "
+                             "(default: no expiry)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the response cache and in-flight "
+                             "request dedup entirely")
 
 
 def parse_model_specs(specs) -> list:
@@ -429,12 +461,21 @@ def parse_model_specs(specs) -> list:
     return hosted
 
 
+def _cache_args(args):
+    """``(cache_mb, cache_ttl_s)`` from the shared CLI cache flags."""
+    if getattr(args, "no_cache", False):
+        return None, None
+    return args.cache_mb or None, args.cache_ttl_s
+
+
 def cmd_up(args) -> int:
     from repro.serve.server import ModelServer
 
     hosted = parse_model_specs(args.model)
+    cache_mb, cache_ttl_s = _cache_args(args)
     server = ModelServer(workers=args.workers, max_batch=args.batch,
-                         max_wait_ms=args.max_wait_ms)
+                         max_wait_ms=args.max_wait_ms,
+                         cache_mb=cache_mb, cache_ttl_s=cache_ttl_s)
     try:
         for name, path in hosted:
             server.load(name, path, backend=args.backend,
@@ -442,7 +483,8 @@ def cmd_up(args) -> int:
         print(f"serving {len(hosted)} model(s) "
               f"[{', '.join(name for name, _ in hosted)}] "
               f"(backend={args.backend}, batch={args.batch}, "
-              f"max_wait_ms={args.max_wait_ms}, workers={args.workers}); "
+              f"max_wait_ms={args.max_wait_ms}, workers={args.workers}, "
+              f"cache={f'{cache_mb} MB' if cache_mb else 'off'}); "
               "JSON-lines on stdin", file=sys.stderr)
         served = serve_protocol(server, sys.stdin, sys.stdout)
     finally:
@@ -457,16 +499,19 @@ def cmd_cluster(args) -> int:
     from repro.serve.cluster import ClusterRouter
 
     models = dict(parse_model_specs(args.model))
+    cache_mb, cache_ttl_s = _cache_args(args)
     router = ClusterRouter.spawn(
         models, workers=args.workers, placement=args.placement,
         max_batch=args.batch, max_wait_ms=args.max_wait_ms,
         backend=args.backend, capacity=args.capacity,
-        worker_threads=args.worker_threads)
+        worker_threads=args.worker_threads,
+        cache_mb=cache_mb, cache_ttl_s=cache_ttl_s)
     try:
         print(f"cluster up: {args.workers} worker process(es) hosting "
               f"[{', '.join(sorted(models))}] "
               f"(placement={args.placement}, backend={args.backend}, "
-              f"batch={args.batch}, capacity={args.capacity}/worker); "
+              f"batch={args.batch}, capacity={args.capacity}/worker, "
+              f"cache={f'{cache_mb} MB/worker' if cache_mb else 'off'}); "
               "JSON-lines on stdin", file=sys.stderr)
         # The router duck-types the ModelServer surface, so the wire
         # protocol in front of a whole cluster is the PR 4 loop verbatim.
@@ -501,7 +546,9 @@ def cmd_cluster_worker(args) -> int:
     listener.close()
     transport = SocketTransport(conn, send_direction="to_router")
     server = ModelServer(workers=args.workers, max_batch=args.batch,
-                         max_wait_ms=args.max_wait_ms)
+                         max_wait_ms=args.max_wait_ms,
+                         cache_mb=args.cache_mb or None,
+                         cache_ttl_s=args.cache_ttl_s)
     try:
         for name, path in hosted:
             versioned = f"{name}@v{args.generation}"
@@ -514,6 +561,45 @@ def cmd_cluster_worker(args) -> int:
     finally:
         server.close()
         transport.close()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    """Exercise the response cache with Zipf-ish repeated synthetic
+    traffic and print per-model hit rate plus the byte budget."""
+    from repro.serve.server import ModelServer
+
+    hosted = parse_model_specs(args.model)
+    server = ModelServer(workers=0, max_batch=args.batch,
+                         max_wait_ms=0.0, cache_mb=args.cache_mb,
+                         cache_ttl_s=args.cache_ttl_s)
+    try:
+        for name, path in hosted:
+            server.load(name, path, backend=args.backend,
+                        batch=args.batch)
+        rng = np.random.default_rng(args.seed)
+        for name, _ in hosted:
+            distinct = synthetic_payloads(server.plan(name),
+                                          args.distinct, seed=args.seed)
+            sent = 0
+            while sent < args.requests:
+                wave = min(args.batch, args.requests - sent)
+                for _ in range(wave):
+                    payload = distinct[int(rng.integers(len(distinct)))]
+                    server.submit(name, payload)
+                server.drain()      # repeats in later waves hit the cache
+                sent += wave
+        snapshot = server.cache_stats()
+        store = snapshot["cache"]
+        print(f"cache budget: {store['bytes']}/{store['max_bytes']} bytes "
+              f"({store['entries']} entries, {store['evictions']} evicted)")
+        width = max(len(name) for name in snapshot["models"])
+        for name, detail in snapshot["models"].items():
+            print(f"{name:<{width}}  hit rate {detail['hit_rate']:.2f}  "
+                  f"({detail['hits']} hits + {detail['coalesced']} "
+                  f"coalesced, {detail['bytes']} bytes cached)")
+    finally:
+        server.close()
     return 0
 
 
@@ -581,6 +667,7 @@ def main(argv=None) -> int:
                     help="background worker threads (0 = serve at EOF)")
     up.add_argument("--warmup", action="store_true",
                     help="bind scratch + verify batch sizes before serving")
+    _add_cache_flags(up)
     up.set_defaults(func=cmd_up)
 
     from repro.serve.placement import list_placements
@@ -606,6 +693,7 @@ def main(argv=None) -> int:
                               "requests are shed with a retryable error")
     cluster.add_argument("--worker-threads", type=int, default=2,
                          help="serving threads inside each worker process")
+    _add_cache_flags(cluster)
     cluster.set_defaults(func=cmd_cluster)
 
     worker = sub.add_parser(
@@ -623,7 +711,33 @@ def main(argv=None) -> int:
     worker.add_argument("--generation", type=int, default=1,
                         help="rollover generation (models load as "
                              "name@v<generation> + alias)")
+    worker.add_argument("--cache-mb", type=float, default=0,
+                        help="response-cache byte budget in MB "
+                             "(0 = caching off)")
+    worker.add_argument("--cache-ttl-s", type=float, default=None,
+                        help="response-cache entry TTL in seconds")
     worker.set_defaults(func=cmd_cluster_worker)
+
+    cache = sub.add_parser(
+        "cache",
+        help="drive repeated synthetic traffic through the response "
+             "cache; print per-model hit rate and the byte budget")
+    cache.add_argument("--model", action="append", required=True,
+                       metavar="NAME=PATH",
+                       help="host an artifact under NAME (repeatable)")
+    cache.add_argument("--requests", type=int, default=256,
+                       help="synthetic requests per model")
+    cache.add_argument("--distinct", type=int, default=16,
+                       help="distinct payloads the requests draw from")
+    cache.add_argument("--batch", type=int, default=16)
+    cache.add_argument("--backend", default=DEFAULT_BACKEND,
+                       choices=list_backends())
+    cache.add_argument("--cache-mb", type=float, default=64,
+                       help="response-cache byte budget in MB")
+    cache.add_argument("--cache-ttl-s", type=float, default=None,
+                       help="response-cache entry TTL in seconds")
+    cache.add_argument("--seed", type=int, default=0)
+    cache.set_defaults(func=cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -64,6 +64,7 @@ from repro.serve.placement import (
     get_placement,
 )
 from repro.serve.server import ModelServer, ModelStats
+from repro.util.hashing import array_digest
 from repro.serve.transport import (
     FRAME_ERROR_CODES,
     MAX_MESSAGE_BYTES,
@@ -106,6 +107,8 @@ class RoutedRequest:
     latency_ms: float = 0.0      # worker-side queue+service latency
     batch_id: Optional[int] = None
     batch_size: Optional[int] = None
+    cached: bool = False         # answered from the worker's cache
+    coalesced: bool = False      # rode an identical in-flight request
 
 
 @dataclass
@@ -157,6 +160,7 @@ class _WorkerBase:
         self.name = name
         self._sources = dict(models)
         self.capacity = capacity
+        self.cache_enabled = False   # set by flavors that host a cache
         self.index = 0
         self.generation = 0
         self.alive = False
@@ -205,7 +209,9 @@ class LocalWorker(_WorkerBase):
                  backend: str = DEFAULT_BACKEND,
                  capacity: Optional[int] = None,
                  plan: Optional[FaultPlan] = None,
-                 max_bytes: int = MAX_MESSAGE_BYTES):
+                 max_bytes: int = MAX_MESSAGE_BYTES,
+                 cache_mb: Optional[float] = None,
+                 cache_ttl_s: Optional[float] = None):
         super().__init__(name, models, capacity)
         self._clock = clock
         self.max_batch = int(max_batch)
@@ -213,6 +219,9 @@ class LocalWorker(_WorkerBase):
         self.backend = backend
         self.fault_plan = plan
         self.max_bytes = max_bytes
+        self.cache_mb = cache_mb
+        self.cache_ttl_s = cache_ttl_s
+        self.cache_enabled = bool(cache_mb)
         self._endpoint = None
         self._server: Optional[ModelServer] = None
         self.start()
@@ -229,7 +238,9 @@ class LocalWorker(_WorkerBase):
             plan=plan, clock=self._clock, max_bytes=self.max_bytes)
         self._server = ModelServer(workers=0, max_batch=self.max_batch,
                                    max_wait_ms=self.max_wait_ms,
-                                   clock=self._clock)
+                                   clock=self._clock,
+                                   cache_mb=self.cache_mb,
+                                   cache_ttl_s=self.cache_ttl_s)
         for public, source in self._sources.items():
             versioned = f"{public}@v{self.generation}"
             if hasattr(source, "engine"):
@@ -306,7 +317,9 @@ class ProcessWorker(_WorkerBase):
                  backend: str = DEFAULT_BACKEND,
                  capacity: Optional[int] = None, worker_threads: int = 2,
                  env: Optional[Dict[str, str]] = None,
-                 spawn_timeout: float = 60.0):
+                 spawn_timeout: float = 60.0,
+                 cache_mb: Optional[float] = None,
+                 cache_ttl_s: Optional[float] = None):
         for model, source in models.items():
             if hasattr(source, "engine"):
                 raise ConfigurationError(
@@ -319,6 +332,9 @@ class ProcessWorker(_WorkerBase):
         self.max_wait_ms = max_wait_ms
         self.backend = backend
         self.worker_threads = int(worker_threads)
+        self.cache_mb = cache_mb
+        self.cache_ttl_s = cache_ttl_s
+        self.cache_enabled = bool(cache_mb)
         self._env = dict(env or {})
         self._spawn_timeout = spawn_timeout
         self._proc: Optional[subprocess.Popen] = None
@@ -334,6 +350,10 @@ class ProcessWorker(_WorkerBase):
                 "--generation", str(self.generation)]
         if self.max_wait_ms is not None:
             args += ["--max-wait-ms", str(self.max_wait_ms)]
+        if self.cache_mb:
+            args += ["--cache-mb", str(self.cache_mb)]
+            if self.cache_ttl_s is not None:
+                args += ["--cache-ttl-s", str(self.cache_ttl_s)]
         for model, path in sorted(self._sources.items()):
             args += ["--model", f"{model}={path}"]
         import repro
@@ -416,6 +436,11 @@ class ClusterRouter:
         self._placement = (placement if isinstance(placement,
                                                    PlacementPolicy)
                            else get_placement(placement))
+        # Cache-aware routing: only pay the per-request payload digest
+        # when the policy asks for one AND some worker actually hosts a
+        # response cache (a no-cache fleet keeps byte-identical routing).
+        self._cache_affinity = (self._placement.wants_request_key
+                                and any(w.cache_enabled for w in workers))
         self._clock = clock
         self._capacity = int(capacity)
         self._timeout_ms = request_timeout_ms
@@ -442,7 +467,9 @@ class ClusterRouter:
               backend: str = DEFAULT_BACKEND, capacity: int = 64,
               worker_threads: int = 2,
               env: Optional[Dict[str, str]] = None,
-              request_timeout_ms: Optional[float] = None
+              request_timeout_ms: Optional[float] = None,
+              cache_mb: Optional[float] = None,
+              cache_ttl_s: Optional[float] = None
               ) -> "ClusterRouter":
         """Spawn ``workers`` subprocesses, each hosting every model in
         ``models`` (name -> artifact path), and route over them."""
@@ -451,7 +478,8 @@ class ClusterRouter:
         fleet = [ProcessWorker(f"w{index}", models, max_batch=max_batch,
                                max_wait_ms=max_wait_ms, backend=backend,
                                capacity=None, worker_threads=worker_threads,
-                               env=env)
+                               env=env, cache_mb=cache_mb,
+                               cache_ttl_s=cache_ttl_s)
                  for index in range(workers)]
         return cls(fleet, placement, capacity=capacity,
                    request_timeout_ms=request_timeout_ms)
@@ -474,6 +502,14 @@ class ClusterRouter:
         death, oversized payload.
         """
         future = InferenceFuture(model=model)
+        request_key = None
+        if self._cache_affinity:
+            try:
+                # Same digest the workers' caches key payloads on, so
+                # repeats of one payload land where the cache is warm.
+                request_key = array_digest(np.asarray(x))
+            except (TypeError, ValueError):
+                request_key = None     # undigestable: placement by model
         with self._lock:
             if not self._running:
                 raise ServingError("cluster router is closed")
@@ -483,7 +519,7 @@ class ClusterRouter:
                                for m in w.models})
                 raise ServingError(
                     f"unknown model {model!r}; hosted: {known}")
-            worker = self._admit_locked(model, hosts)
+            worker = self._admit_locked(model, hosts, request_key)
             if worker is None:
                 self._counters.shed += 1
                 alive = [w for w in hosts if w.alive]
@@ -536,8 +572,9 @@ class ClusterRouter:
             self.drain()
         return future.result(timeout=timeout)
 
-    def _admit_locked(self, model: str,
-                      hosts: List[_WorkerBase]) -> Optional[_WorkerBase]:
+    def _admit_locked(self, model: str, hosts: List[_WorkerBase],
+                      request_key: Optional[str] = None
+                      ) -> Optional[_WorkerBase]:
         views = [WorkerView(name=w.name, index=w.index, models=w.models,
                             alive=w.alive,
                             accepting=w.accepting
@@ -547,7 +584,8 @@ class ClusterRouter:
                             else self._capacity)
                  for w in hosts if w.alive]
         by_index = {w.index: w for w in hosts}
-        for view in self._placement.order(model, views):
+        for view in self._placement.order_request(model, request_key,
+                                                  views):
             if view.accepting and view.in_flight < view.capacity:
                 return by_index[view.index]
         return None
@@ -588,7 +626,9 @@ class ClusterRouter:
             enqueued_at=entry.enqueued_at,
             latency_ms=message.get("latency_ms", 0.0),
             batch_id=message.get("batch_id"),
-            batch_size=message.get("batch_size")))
+            batch_size=message.get("batch_size"),
+            cached=bool(message.get("cached", False)),
+            coalesced=bool(message.get("coalesced", False))))
 
     def _drop_pending(self, request_id: int) -> Optional[_Pending]:
         with self._lock:

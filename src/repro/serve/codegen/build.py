@@ -26,7 +26,6 @@ generated elementwise kernels match numpy's float32 ufuncs bit for bit.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import platform
 import shutil
@@ -37,6 +36,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.errors import CompileError
+from repro.util.hashing import stable_digest
 
 #: Probe order when ``$REPRO_CC`` is unset. ``cc`` before ``gcc``: on most
 #: systems ``cc`` *is* clang or gcc, and respecting the system default
@@ -179,10 +179,15 @@ def _host_key(flags: Tuple[str, ...]) -> str:
 
 def source_digest(source: str, compiler: str,
                   flags: Tuple[str, ...] = ()) -> str:
-    """Content hash keying the build cache: source + toolchain + host."""
+    """Content hash keying the build cache: source + toolchain + host.
+
+    Built on the shared :func:`repro.util.hashing.stable_digest` over
+    the same NUL-joined string as always, so existing cached ``.so``
+    files keep their keys across the helper consolidation.
+    """
     payload = "\0".join((source, compiler, " ".join(flags),
                          _host_key(flags)))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+    return stable_digest(payload, length=24)
 
 
 def build_library(source: str, tag: str = "graph") -> Path:

@@ -97,6 +97,20 @@ class ThroughputStats:
         return self._fpga_total() / self.requests if self.requests else 0.0
 
     # ------------------------------------------------------------------
+    # Response cache (0 for dataclasses without the counters)
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submitted requests answered from the response
+        cache. ``requests`` counts only engine-served work, so the
+        denominator adds hits and coalesced followers back in to get
+        true submissions."""
+        hits = getattr(self, "cache_hits", 0)
+        submitted = (self.requests + hits
+                     + getattr(self, "dedup_coalesced", 0))
+        return hits / submitted if submitted else 0.0
+
+    # ------------------------------------------------------------------
     # Aggregation
     # ------------------------------------------------------------------
     def merge(self, *others: "ThroughputStats") -> "ThroughputStats":

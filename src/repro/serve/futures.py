@@ -65,6 +65,19 @@ class InferenceFuture:
             raise ServingError("request not served yet; no latency")
         return self._request.latency_ms
 
+    @property
+    def cached(self) -> bool:
+        """True when this request was answered from the response cache."""
+        return bool(self._request is not None
+                    and getattr(self._request, "cached", False))
+
+    @property
+    def coalesced(self) -> bool:
+        """True when this request rode an identical in-flight request
+        (one batcher slot, one kernel invocation, shared result)."""
+        return bool(self._request is not None
+                    and getattr(self._request, "coalesced", False))
+
     def add_done_callback(self,
                           fn: Callable[["InferenceFuture"], None]) -> None:
         """Run ``fn(self)`` once resolved (immediately if already done)."""

@@ -22,11 +22,11 @@ policies are trivially unit-testable and deterministic.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Type
+from typing import Dict, FrozenSet, List, Optional, Sequence, Type
 
 from repro.errors import ConfigurationError
+from repro.util.hashing import ring_hash
 
 __all__ = [
     "WorkerView",
@@ -65,6 +65,12 @@ class PlacementPolicy:
 
     name = "base"
 
+    #: Set by policies whose ordering depends on the request *payload*
+    #: (e.g. cache-affinity routing). The router only computes a payload
+    #: digest when the policy asks for one, so digest cost is never paid
+    #: by policies that ignore it.
+    wants_request_key = False
+
     def order(self, model: str,
               workers: Sequence[WorkerView]) -> List[WorkerView]:
         """Preference-ordered workers to try for one request.
@@ -74,6 +80,19 @@ class PlacementPolicy:
         request if no returned worker admits it.
         """
         raise NotImplementedError
+
+    def order_request(self, model: str, key: Optional[str],
+                      workers: Sequence[WorkerView]) -> List[WorkerView]:
+        """Preference order for one *request*, with its routing key.
+
+        ``key`` is a digest of the request payload when the router has
+        one (response caching enabled and ``wants_request_key`` set),
+        else ``None``. The default ignores it and delegates to
+        :meth:`order`, so existing policies keep working unchanged;
+        cache-affinity policies override this to pin identical payloads
+        to the worker whose response cache is already warm.
+        """
+        return self.order(model, workers)
 
 
 _PLACEMENTS: Dict[str, Type[PlacementPolicy]] = {}
@@ -144,26 +163,36 @@ class ReplicatedPlacement(PlacementPolicy):
 
 @register_placement("consistent_hash")
 class ConsistentHashPlacement(PlacementPolicy):
-    """Hash the model name onto a ring of workers: each model sticks to
-    one home worker (cache/scratch affinity), spilling to the next ring
-    successor only when the home is down or full."""
+    """Hash the model name — or, when the router provides one, the
+    request's payload digest — onto a ring of workers: repeats of the
+    same key stick to one home worker (response-cache/scratch
+    affinity), spilling to the next ring successor only when the home
+    is down or full."""
 
     VNODES = 32    # virtual nodes per worker smooth the ring
 
-    @staticmethod
-    def _hash(key: str) -> int:
-        return int.from_bytes(
-            hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+    #: With response caching on, identical payloads must land on the
+    #: worker whose cache already holds the answer — so this policy
+    #: asks the router for the payload digest.
+    wants_request_key = True
+
+    # Kept as a method for tests/subclasses; byte-compatible ring_hash
+    # lives in repro.util.hashing now.
+    _hash = staticmethod(ring_hash)
 
     def order(self, model: str,
               workers: Sequence[WorkerView]) -> List[WorkerView]:
+        return self.order_request(model, None, workers)
+
+    def order_request(self, model: str, key: Optional[str],
+                      workers: Sequence[WorkerView]) -> List[WorkerView]:
         ring = sorted(
             (self._hash(f"{worker.name}#{vnode}"), worker.index, worker)
             for worker in workers
             for vnode in range(self.VNODES))
         if not ring:
             return []
-        point = self._hash(model)
+        point = self._hash(model if key is None else f"{model}|{key}")
         start = next((position for position, entry in enumerate(ring)
                       if entry[0] >= point), 0)
         ordered, seen = [], set()

@@ -50,9 +50,11 @@ from repro.errors import ConfigurationError, ReproError, ServingError
 from repro.fpga.resources import GemmDesign
 from repro.serve.backends import DEFAULT_BACKEND
 from repro.serve.batcher import DynamicBatcher, ServedRequest, coerce_payload
+from repro.serve.cache import InflightTable, ResponseCache
 from repro.serve.engine import InferenceEngine, ThroughputStats
 from repro.serve.futures import InferenceFuture
 from repro.serve.scheduler import ServeStats, execute_batch
+from repro.util.hashing import array_digest
 
 __all__ = ["ModelServer", "ModelStats"]
 
@@ -72,6 +74,13 @@ class ModelStats(ThroughputStats):
     fpga_ms_total: float
     queue_depth: int
     in_flight: int
+    # Response-cache counters (PR 8). `requests` stays engine-served
+    # work only, so hits + coalesced followers are the *saved* kernel
+    # invocations; `cache_hit_rate` (ThroughputStats) folds them back
+    # into a rate over true submissions.
+    cache_hits: int = 0
+    cache_bytes: int = 0
+    dedup_coalesced: int = 0
 
     @property
     def mean_batch_fill(self) -> float:
@@ -96,6 +105,12 @@ class ModelStats(ThroughputStats):
             f"{self.latency_ms_p95:.2f}/{self.latency_ms_p99:.2f} ms, "
             f"fpga {self.fpga_ms_per_request:.3f} ms/req, "
             f"queued {self.queue_depth}"
+            + (f", cache {self.cache_hits} hits"
+               f" + {self.dedup_coalesced} coalesced"
+               f" (rate {self.cache_hit_rate:.2f}, "
+               f"{self.cache_bytes} B)"
+               if self.cache_hits or self.dedup_coalesced
+               or self.cache_bytes else "")
             + (f", errors {self.errors}" if self.errors else ""))
 
     def to_wire(self) -> Dict:
@@ -110,6 +125,9 @@ class ModelStats(ThroughputStats):
             "latencies_ms": [float(value) for value in self.latencies_ms],
             "fpga_ms_total": self.fpga_ms_total,
             "queue_depth": self.queue_depth, "in_flight": self.in_flight,
+            "cache_hits": self.cache_hits,
+            "cache_bytes": self.cache_bytes,
+            "dedup_coalesced": self.dedup_coalesced,
         }
 
     @classmethod
@@ -126,7 +144,10 @@ class ModelStats(ThroughputStats):
                           for value in fields.get("latencies_ms", [])],
             fpga_ms_total=float(fields.get("fpga_ms_total", 0.0)),
             queue_depth=int(fields.get("queue_depth", 0)),
-            in_flight=int(fields.get("in_flight", 0)))
+            in_flight=int(fields.get("in_flight", 0)),
+            cache_hits=int(fields.get("cache_hits", 0)),
+            cache_bytes=int(fields.get("cache_bytes", 0)),
+            dedup_coalesced=int(fields.get("dedup_coalesced", 0)))
 
 
 class _HostedModel:
@@ -149,6 +170,15 @@ class _HostedModel:
         self.requests = 0
         self.batches = 0
         self.errors = 0
+        # Response-cache identity + counters. `generation` is a
+        # server-unique token minted per hosting: re-loading (or rolling
+        # over) a name mints a new one, so cache keys from the previous
+        # hosting can never match again — stale hits are structurally
+        # impossible, not merely invalidated.
+        self.generation = 0
+        self.artifact_digest: Optional[str] = None
+        self.cache_hits = 0
+        self.dedup_coalesced = 0
         self.serve_seconds = 0.0
         self.latencies_ms = deque(maxlen=stats_window)
         # Per-request FPGA shares, summed in served order at snapshot
@@ -156,7 +186,7 @@ class _HostedModel:
         # served-request list while the window holds every request.
         self.fpga_shares = deque(maxlen=stats_window)
 
-    def snapshot(self) -> ModelStats:
+    def snapshot(self, cache_bytes: int = 0) -> ModelStats:
         return ModelStats(
             model=self.name, backend=self.engine.backend,
             max_batch=self.batcher.max_batch,
@@ -165,7 +195,9 @@ class _HostedModel:
             latencies_ms=list(self.latencies_ms),
             fpga_ms_total=sum(self.fpga_shares),
             queue_depth=self.batcher.pending,
-            in_flight=1 if self.busy else 0)
+            in_flight=1 if self.busy else 0,
+            cache_hits=self.cache_hits, cache_bytes=int(cache_bytes),
+            dedup_coalesced=self.dedup_coalesced)
 
 
 def _fail_pending(entry: _HostedModel, error: ServingError) -> None:
@@ -186,7 +218,9 @@ class ModelServer:
     def __init__(self, workers: int = 2, max_batch: int = 16,
                  max_wait_ms: Optional[float] = 2.0,
                  stats_window: int = 65536,
-                 clock=time.perf_counter):
+                 clock=time.perf_counter,
+                 cache_mb: Optional[float] = None,
+                 cache_ttl_s: Optional[float] = None):
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         if max_batch < 1:
@@ -195,10 +229,24 @@ class ModelServer:
         if stats_window < 1:
             raise ConfigurationError(
                 f"stats_window must be >= 1, got {stats_window}")
+        if cache_mb is not None and cache_mb < 0:
+            raise ConfigurationError(
+                f"cache_mb must be >= 0, got {cache_mb}")
         self.default_max_batch = int(max_batch)
         self.default_max_wait_ms = max_wait_ms
         self.stats_window = int(stats_window)
         self._clock = clock
+        # Response cache + in-flight dedup are opt-in (cache_mb); with
+        # them off, the submit path is byte-for-byte the legacy one
+        # (same clock-call sequence, no payload digests).
+        self._cache: Optional[ResponseCache] = None
+        self._inflight: Optional[InflightTable] = None
+        if cache_mb:
+            self._cache = ResponseCache(
+                max_bytes=int(cache_mb * 2 ** 20),
+                ttl_s=cache_ttl_s, clock=clock)
+            self._inflight = InflightTable()
+        self._generation_counter = 0
         self._models: Dict[str, _HostedModel] = {}
         self._aliases: Dict[str, str] = {}
         self._work = threading.Condition(threading.Lock())
@@ -278,6 +326,10 @@ class ModelServer:
                              DynamicBatcher(max_batch, max_wait_ms=wait,
                                             clock=self._clock),
                              stats_window=self.stats_window)
+        if self._cache is not None:
+            # One sha256 pass over the packed weights, once per hosting
+            # (memoized on the artifact) — the cache key's identity half.
+            entry.artifact_digest = engine.plan.artifact.digest()
         with self._work:
             if not self._running:
                 raise ServingError("server is closed")
@@ -289,6 +341,8 @@ class ModelServer:
                 raise ConfigurationError(
                     f"{name!r} is an alias (-> {self._aliases[name]!r}); "
                     "pick another name or drop the alias first")
+            self._generation_counter += 1
+            entry.generation = self._generation_counter
             self._models[name] = entry
             self._work.notify_all()
         if warmup:
@@ -310,6 +364,12 @@ class ModelServer:
             for alias, target in list(self._aliases.items()):
                 if target == name:
                     del self._aliases[alias]
+            if self._cache is not None:
+                # Return the retired hosting's bytes to the budget now.
+                # New hits were already impossible: the entry left
+                # `_models`, and any future hosting mints a fresh
+                # generation, so these keys can never be looked up again.
+                self._cache.invalidate(entry.generation)
             while entry.busy:      # let an in-flight batch finish
                 self._work.wait(0.05)
             entry.busy = True      # fence: no worker can re-claim it
@@ -399,6 +459,12 @@ class ModelServer:
         Validation failures (wrong shape) resolve the future with the
         error instead of raising, so a bad request can never stall or
         poison a batch; an unknown model name raises right away.
+
+        With the response cache enabled the path is cache → in-flight
+        table → batcher: a hit resolves the future right here without
+        touching the queue, a payload identical to one already queued or
+        executing coalesces onto that leader's result, and only a true
+        miss costs a batcher slot.
         """
         with self._work:
             if not self._running:
@@ -412,6 +478,24 @@ class ModelServer:
         except ReproError as error:
             future._fail(error)
             return future
+        if self._cache is None:
+            with self._work:
+                if not self._running:
+                    raise ServingError("server is closed")
+                if self._models.get(entry.name) is not entry:
+                    future._fail(ServingError(
+                        f"model {entry.name!r} was unloaded"))
+                    return future
+                entry.batcher.submit(payload, future=future,
+                                     model=entry.name)
+                self._work.notify()
+            return future
+        # Content-addressed path. The payload digest (one sha256 pass
+        # over bytes coerce_payload already made contiguous) is computed
+        # outside the lock; generation in the key pins this hosting.
+        key = (entry.artifact_digest, entry.generation,
+               array_digest(payload))
+        now = self._clock()
         with self._work:
             if not self._running:
                 raise ServingError("server is closed")
@@ -419,9 +503,77 @@ class ModelServer:
                 future._fail(ServingError(
                     f"model {entry.name!r} was unloaded"))
                 return future
-            entry.batcher.submit(payload, future=future, model=entry.name)
-            self._work.notify()
+            hit = self._cache.get(key, now=now)
+            if hit is not None:
+                entry.cache_hits += 1
+                record = ServedRequest(
+                    id=entry.batcher.reserve_id(), payload=payload,
+                    enqueued_at=now, completed_at=now, result=hit,
+                    fpga_ms=0.0, model=entry.name, cached=True)
+            else:
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    # Identical payload already queued/executing:
+                    # follow its leader. The leader's done-callback
+                    # pops the entry under this same lock, so a
+                    # follower registered here is always answered
+                    # (exactly once) from the leader's outcome.
+                    entry.dedup_coalesced += 1
+                    record = ServedRequest(
+                        id=entry.batcher.reserve_id(), payload=payload,
+                        enqueued_at=now, model=entry.name,
+                        coalesced=True)
+                    pending.followers.append((future, record))
+                    return future
+                entry.batcher.submit(payload, future=future,
+                                     model=entry.name)
+                self._inflight.begin(key, entry.generation, future)
+                future.add_done_callback(self._leader_done(key, entry))
+                self._work.notify()
+                return future
+        # Cache hit: resolve outside the lock (done-callbacks run
+        # arbitrary client code).
+        future._resolve(hit, record)
         return future
+
+    def _leader_done(self, key, entry: _HostedModel):
+        """Completion hook of an in-flight leader: populate the cache
+        (success only, hosting still current), detach the followers,
+        answer each exactly once from the leader's outcome.
+
+        Runs on whichever thread resolved the leader (a worker, a
+        drain, or `_fail_pending`), after the future's own lock is
+        released — so taking the work lock here cannot deadlock, and a
+        crashed batch that failed its leader fails every follower too.
+        """
+
+        def callback(leader: InferenceFuture) -> None:
+            completed = self._clock()
+            result = leader._result
+            with self._work:
+                pending = self._inflight.pop(key)
+                followers = pending.followers if pending is not None \
+                    else []
+                if leader._error is None \
+                        and self._models.get(entry.name) is entry:
+                    stored = self._cache.put(key, result, now=completed)
+                    if stored is not None:
+                        # Hand followers the read-only cached copy, not
+                        # a view into the batch's stacked output.
+                        result = stored
+            leader_request = leader._request
+            for follower, record in followers:
+                if leader._error is not None:
+                    follower._fail(leader._error)
+                else:
+                    record.completed_at = completed
+                    record.result = result
+                    if leader_request is not None:
+                        record.batch_id = leader_request.batch_id
+                        record.batch_size = leader_request.batch_size
+                    follower._resolve(result, record)
+
+        return callback
 
     def submit_many(self, model: str,
                     xs: Sequence) -> List[InferenceFuture]:
@@ -550,7 +702,9 @@ class ModelServer:
         queue depth, mean batch fill. Merge across models with
         ``ModelStats.merge``."""
         with self._work:
-            return {name: entry.snapshot()
+            return {name: entry.snapshot(
+                        self._cache.bytes_for(entry.generation)
+                        if self._cache is not None else 0)
                     for name, entry in sorted(self._models.items())}
 
     def format_stats(self) -> str:
@@ -558,6 +712,30 @@ class ModelServer:
         if not snapshots:
             return "no models loaded"
         return "\n".join(stats.format() for stats in snapshots.values())
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache is not None
+
+    def cache_stats(self) -> Optional[Dict]:
+        """Response-cache snapshot: the shared store's counters plus a
+        per-model breakdown (hits, coalesced followers, cached bytes,
+        hit rate over true submissions). None when caching is off."""
+        if self._cache is None:
+            return None
+        with self._work:
+            models = {}
+            for name, entry in sorted(self._models.items()):
+                submitted = (entry.requests + entry.cache_hits
+                             + entry.dedup_coalesced)
+                models[name] = {
+                    "hits": entry.cache_hits,
+                    "coalesced": entry.dedup_coalesced,
+                    "bytes": self._cache.bytes_for(entry.generation),
+                    "hit_rate": (entry.cache_hits / submitted
+                                 if submitted else 0.0),
+                }
+            return {"cache": self._cache.stats(), "models": models}
 
     # ------------------------------------------------------------------
     def _resolve_locked(self, name: str) -> _HostedModel:

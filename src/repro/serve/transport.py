@@ -500,18 +500,39 @@ class FrameWriter:
     A closed peer makes writes silent no-ops — the serving loop discovers
     the death on its read side; losing a response to a dead client is the
     same outcome a closed pipe would give the stdio server.
+
+    A response line bigger than the transport's frame cap (a stats dump
+    with a huge latency window, a giant batched output) is replaced by a
+    typed ``oversized`` error frame carrying the original message's
+    ``id`` when one can be recovered — the peer gets an answer it can
+    correlate instead of a dropped connection or an unreadable frame.
     """
 
     def __init__(self, transport):
         self._transport = transport
         self._buffer = ""
 
+    def _oversized_answer(self, line: str, nbytes: int) -> bytes:
+        answer = {"error": f"response line is {nbytes} bytes; cap is "
+                           f"{self._transport.max_bytes}",
+                  "code": "oversized", "retryable": False}
+        try:
+            message = json.loads(line)
+            if isinstance(message, dict):
+                answer["id"] = message.get("id")
+        except ValueError:
+            pass
+        return json.dumps(answer).encode("utf-8")
+
     def write(self, text: str) -> int:
         self._buffer += text
         while "\n" in self._buffer:
             line, self._buffer = self._buffer.split("\n", 1)
+            data = line.encode("utf-8")
+            if len(data) > self._transport.max_bytes:
+                data = self._oversized_answer(line, len(data))
             try:
-                self._transport.send_raw(line.encode("utf-8"))
+                self._transport.send_raw(data)
             except TransportClosed:
                 pass
         return len(text)

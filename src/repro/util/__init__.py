@@ -1,0 +1,11 @@
+"""Small shared utilities with no dependencies on the rest of the stack.
+
+Currently one module: :mod:`repro.util.hashing`, the package-wide home
+for content digests (the serving response cache, the autotune eval
+cache, the codegen build cache and the placement hash ring all key on
+it).
+"""
+
+from repro.util.hashing import array_digest, ring_hash, stable_digest
+
+__all__ = ["stable_digest", "array_digest", "ring_hash"]

@@ -1,0 +1,137 @@
+"""Content digests, defined once for the whole package.
+
+Before this module, three subsystems each grew an ad-hoc digest helper
+(the autotune eval cache, the codegen build cache, the placement hash
+ring). They now share these primitives, and the serving response cache
+keys on them too:
+
+- :func:`stable_digest` — sha256 hex over bytes / text / structured
+  JSON-like values. Bare ``bytes`` and ``str`` hash as their raw (UTF-8)
+  byte stream, so pre-existing call sites that fed a hand-built byte
+  string to ``hashlib.sha256`` keep their digests unchanged. Containers
+  (mappings, lists, tuples) are framed and mappings are key-sorted, so
+  structurally equal values digest equally regardless of insertion
+  order, and ``["ab"]`` never collides with ``["a", "b"]``.
+- :func:`array_digest` — sha256 hex of a numpy array's dtype, shape and
+  element bytes. Contiguous arrays hash zero-copy through a
+  ``memoryview``; non-contiguous arrays are walked along the leading
+  axis until contiguous sub-blocks appear, so a transposed or strided
+  view is hashed without materializing a full contiguous copy (the
+  digest equals the C-order copy's digest either way).
+- :func:`ring_hash` — the 64-bit md5-derived ring position used by
+  consistent-hash placement. **Byte-compatible** with the original
+  in-module helper by construction (same md5, same 8-byte big-endian
+  slice), so hash-ring assignments never shift across this refactor;
+  a regression test pins known values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["stable_digest", "array_digest", "ring_hash"]
+
+Digestible = Union[bytes, bytearray, memoryview, str, int, float, bool,
+                   None, dict, list, tuple, np.ndarray]
+
+
+def _feed_array(digest, array: np.ndarray) -> None:
+    """Update ``digest`` with an array's element bytes in C order.
+
+    Recurses down the leading axis until a C-contiguous block appears,
+    so strided/transposed views stream through ``memoryview`` chunks
+    instead of one full-array copy. 0-d and tiny leftover cases fall
+    back to ``tobytes`` (a copy of at most one element row).
+    """
+    if array.flags["C_CONTIGUOUS"]:
+        digest.update(memoryview(array).cast("B"))
+    elif array.ndim <= 1 or array.size == 0:
+        digest.update(array.tobytes())
+    else:
+        for block in array:
+            _feed_array(digest, block)
+
+
+def _feed(digest, value: Digestible) -> None:
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        digest.update(value)
+    elif isinstance(value, str):
+        digest.update(value.encode("utf-8"))
+    elif isinstance(value, np.ndarray):
+        digest.update(b"\x00a")
+        digest.update(value.dtype.str.encode("ascii"))
+        digest.update(repr(tuple(value.shape)).encode("ascii"))
+        _feed_array(digest, value)
+    elif isinstance(value, dict):
+        digest.update(b"\x00m")
+        for key in sorted(value, key=repr):
+            _feed(digest, key)
+            digest.update(b"\x00:")
+            _feed(digest, value[key])
+            digest.update(b"\x00,")
+        digest.update(b"\x00M")
+    elif isinstance(value, (list, tuple)):
+        digest.update(b"\x00l")
+        for item in value:
+            _feed(digest, item)
+            digest.update(b"\x00,")
+        digest.update(b"\x00L")
+    elif value is None or isinstance(value, (bool, int, float, complex,
+                                             np.generic)):
+        digest.update(repr(value).encode("ascii"))
+    else:
+        raise TypeError(
+            f"stable_digest cannot hash {type(value).__name__!r}; "
+            "pass bytes, str, numbers, numpy arrays, or containers "
+            "of those")
+
+
+def stable_digest(value: Digestible,
+                  length: Optional[int] = None) -> str:
+    """Deterministic sha256 hex digest of ``value``.
+
+    ``bytes`` and ``str`` hash as their raw / UTF-8 byte stream (so the
+    digest of a hand-built byte string matches a direct
+    ``hashlib.sha256`` call); containers are framed and mappings are
+    key-sorted. ``length`` truncates the hex string (the historical
+    16/24/32-char keys of the autotune and codegen caches).
+    """
+    digest = hashlib.sha256()
+    _feed(digest, value)
+    hexdigest = digest.hexdigest()
+    return hexdigest[:length] if length else hexdigest
+
+
+def array_digest(array: np.ndarray,
+                 length: Optional[int] = None) -> str:
+    """sha256 hex digest of one array's dtype + shape + element bytes.
+
+    The workhorse of the content-addressed response cache: a request
+    payload digests identically whenever its bytes are identical, and
+    never collides across dtype or shape reinterpretations of the same
+    buffer. Non-C-contiguous inputs are hashed without building a full
+    contiguous copy (see :func:`_feed_array`), and the result equals
+    the digest of ``np.ascontiguousarray(array)``.
+    """
+    array = np.asarray(array)
+    digest = hashlib.sha256()
+    digest.update(array.dtype.str.encode("ascii"))
+    digest.update(repr(tuple(array.shape)).encode("ascii"))
+    _feed_array(digest, array)
+    hexdigest = digest.hexdigest()
+    return hexdigest[:length] if length else hexdigest
+
+
+def ring_hash(key: str) -> int:
+    """64-bit position of ``key`` on the consistent-hash ring.
+
+    md5's first 8 bytes, big-endian — exactly the function the
+    placement module always used, kept byte-compatible here so ring
+    assignments (and therefore which worker's cache is warm for a
+    given model/payload) survive the consolidation.
+    """
+    return int.from_bytes(
+        hashlib.md5(key.encode("utf-8")).digest()[:8], "big")

@@ -73,11 +73,12 @@ def payloads(count, seed=0):
 
 
 def make_cluster(deployment, *, workers=2, clock=None, placement="least_loaded",
-                 plans=None, max_batch=4, **router_kwargs):
+                 plans=None, max_batch=4, cache_mb=None, **router_kwargs):
     clock = clock or ManualClock()
     plans = plans or {}
     fleet = [LocalWorker(f"w{index}", {"mlp": deployment}, clock=clock,
-                         max_batch=max_batch, plan=plans.get(index))
+                         max_batch=max_batch, plan=plans.get(index),
+                         cache_mb=cache_mb)
              for index in range(workers)]
     return ClusterRouter(fleet, placement, clock=clock,
                          **router_kwargs), fleet, clock
@@ -439,6 +440,102 @@ class TestChaos:
             return outcome
 
         assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Response cache at the cluster tier: affinity routing, crash, rollover
+# ----------------------------------------------------------------------
+class TestClusterCache:
+    def test_payload_affinity_keeps_repeats_on_the_warm_worker(self,
+                                                               deployed):
+        deployment, _ = deployed
+        router, _, _ = make_cluster(deployment, workers=3,
+                                    placement="consistent_hash",
+                                    cache_mb=4.0)
+        x = payloads(1, seed=9)[0]
+        first = router.submit("mlp", x)
+        router.drain()
+        warm = router.submit("mlp", x)
+        router.drain()
+        # the repeat landed where the cache is warm and hit it
+        assert warm.request.worker == first.request.worker
+        assert warm.request.cached and not first.request.cached
+        assert np.array_equal(warm.result(timeout=0),
+                              first.result(timeout=0))
+        # payload-keyed placement spreads distinct payloads across the
+        # ring instead of parking every "mlp" request on one home
+        spread = [router.submit("mlp", p) for p in payloads(12, seed=1)]
+        router.drain()
+        assert len({f.request.worker for f in spread}) > 1
+        router.close()
+
+    def test_no_cache_fleet_keeps_model_keyed_routing(self, deployed):
+        # Without a cache anywhere there is nothing to keep warm, so
+        # consistent_hash must stay byte-identical to its legacy
+        # model-keyed behavior: one sticky home per model.
+        router, _, _ = make_cluster(deployed[0], workers=3,
+                                    placement="consistent_hash")
+        futures = [router.submit("mlp", p) for p in payloads(6)]
+        router.drain()
+        assert len({f.request.worker for f in futures}) == 1
+        router.close()
+
+    def test_crash_mid_batch_fails_coalesced_requests_exactly_once(
+            self, deployed):
+        deployment, _ = deployed
+        # Three identical submits coalesce onto one batcher slot inside
+        # the worker; the worker computes the batch, then dies emitting
+        # the first response frame. Every future — leader and followers
+        # alike — must fail exactly once with the typed worker error.
+        router, fleet, _ = make_cluster(
+            deployment, workers=1, placement="consistent_hash",
+            cache_mb=4.0, plans={0: FaultPlan().kill("to_router", 0)})
+        x = payloads(1)[0]
+        futures = [router.submit("mlp", x) for _ in range(3)]
+        fail_counts = {id(f): 0 for f in futures}
+
+        def counting_fail(future, original):
+            def wrapped(error):
+                fail_counts[id(future)] += 1
+                original(error)
+            return wrapped
+
+        for future in futures:
+            future._fail = counting_fail(future, future._fail)
+        router.drain()
+        for future in futures:
+            error = future.exception(timeout=0)
+            assert isinstance(error, WorkerError)
+            assert error.code == "worker-failed" and error.retryable
+            assert fail_counts[id(future)] == 1
+        assert not fleet[0].alive
+        # a rolling restart revives the worker with a fresh (empty)
+        # cache; retries recompute and coalesce normally
+        router.rolling_restart()
+        retry = [router.submit("mlp", x) for _ in range(2)]
+        router.drain()
+        assert all(f.exception(timeout=0) is None for f in retry)
+        assert retry[1].request.coalesced
+        assert np.array_equal(retry[0].result(timeout=0),
+                              retry[1].result(timeout=0))
+        router.close()
+
+    def test_rolling_restart_never_serves_stale_cache(self, deployed):
+        deployment, _ = deployed
+        other, other_quantized = build_deployment(seed=23)
+        router, _, _ = make_cluster(deployment, workers=2,
+                                    placement="consistent_hash",
+                                    cache_mb=4.0)
+        x = payloads(1, seed=5)[0]
+        before = router.predict("mlp", x)
+        warm = router.submit("mlp", x)
+        router.drain()
+        assert warm.request.cached           # the old artifact was cached
+        router.rolling_restart(models={"mlp": other})
+        after = router.predict("mlp", x)     # zero stale hits across the roll
+        assert np.allclose(after, other_quantized.predict(x[None])[0])
+        assert not np.allclose(before, after)
+        router.close()
 
 
 # ----------------------------------------------------------------------

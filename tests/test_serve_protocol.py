@@ -21,6 +21,8 @@ import io
 import json
 import socket
 import struct
+import threading
+from types import SimpleNamespace
 
 import numpy as np
 import pytest
@@ -341,6 +343,131 @@ class TestProtocolErrors:
         for key in ("requests", "batches", "wall_seconds",
                     "latencies_ms", "max_batch", "backend"):
             assert key in fields
+
+
+# ----------------------------------------------------------------------
+# Oversized responses: typed in-band answers, never unreadable frames
+# ----------------------------------------------------------------------
+class TestFrameWriterOversized:
+    def test_oversized_write_becomes_typed_error_frame(self):
+        router_end, worker_end = FakeTransport.pair(max_bytes=128)
+        writer = FrameWriter(worker_end)
+        writer.write(json.dumps({"id": 5, "blob": "x" * 4096}) + "\n")
+        writer.write(json.dumps({"id": 6, "ok": True}) + "\n")
+        answer = router_end.recv()
+        assert answer["code"] == "oversized"
+        assert answer["retryable"] is False
+        assert answer["id"] == 5
+        # the stream stays in sync: the next frame parses normally
+        assert router_end.recv() == {"id": 6, "ok": True}
+        router_end.close()
+
+    def test_oversized_unparseable_line_still_answered(self):
+        router_end, worker_end = FakeTransport.pair(max_bytes=128)
+        FrameWriter(worker_end).write("x" * 4096 + "\n")
+        answer = router_end.recv()
+        assert answer["code"] == "oversized"
+        assert "id" not in answer            # nothing to correlate with
+        router_end.close()
+
+    def test_raw_oversized_frame_is_typed_frame_error(self):
+        # send_raw bypasses the writer's guard; the receiver still
+        # classifies the frame with the same typed code
+        router_end, worker_end = FakeTransport.pair(max_bytes=64)
+        worker_end.send_raw(b"y" * 4096)
+        with pytest.raises(FrameError) as excinfo:
+            router_end.recv()
+        assert excinfo.value.code == "oversized"
+        router_end.close()
+
+    def test_oversized_stats_response_round_trips_typed(self, deployed):
+        # A stats detail dump whose latency window outgrows the frame
+        # cap must answer a typed oversized error with the echoed id —
+        # and the connection must keep serving afterwards.
+        server = ModelServer(workers=0, max_batch=4)
+        server.add("mlp", deployed[0])
+        x = np.zeros(12, dtype=np.float32)
+        for _ in range(40):
+            server.submit("mlp", x)
+        server.drain()
+        router_end, worker_end = FakeTransport.pair(max_bytes=512)
+        lines = [json.dumps({"op": "stats", "detail": True, "id": 42}),
+                 json.dumps({"op": "stats", "id": 43})]
+        serve_protocol(server, lines, FrameWriter(worker_end))
+        server.close()
+        detail = router_end.recv()
+        assert detail["code"] == "oversized"
+        assert detail["retryable"] is False
+        assert detail["id"] == 42
+        summary = router_end.recv()
+        assert summary["id"] == 43
+        assert summary["models"]["mlp"]["requests"] == 40
+        router_end.close()
+
+
+# ----------------------------------------------------------------------
+# EOF flush vs worker done-callbacks: no lock-ordering deadlock
+# ----------------------------------------------------------------------
+class TestEofDrainRace:
+    def test_eof_answers_do_not_deadlock_against_worker_flush(self):
+        # Regression: drain() returns once the queues are empty, but a
+        # worker may still be resolving its last batch — and resolving
+        # request A fires a done-callback that flushes through the
+        # protocol's wire lock. The EOF loop used to block on request
+        # B's future *while holding* that lock, deadlocking against the
+        # worker stuck in A's callback. Stage exactly that, with no
+        # sleeps: the futures signal the moment the EOF loop blocks in
+        # exception(), and only then does the "worker" resolve the
+        # batch.
+        from repro.serve.futures import InferenceFuture
+
+        record = SimpleNamespace(latency_ms=0.25, batch_id=0,
+                                 batch_size=2)
+        eof_waiting = threading.Event()
+
+        class SignalingFuture(InferenceFuture):
+            def exception(self, timeout=None):
+                eof_waiting.set()
+                return super().exception(timeout)
+
+        class MidBatchServer:
+            def __init__(self):
+                self.futures = []
+                self.worker = None
+
+            def submit(self, model, payload):
+                future = SignalingFuture(model)
+                self.futures.append(future)
+                return future
+
+            def drain(self):
+                def resolve_batch():
+                    eof_waiting.wait(10.0)  # EOF loop has blocked
+                    for future in self.futures:
+                        future._resolve(np.zeros(2, dtype=np.float32),
+                                        record)
+                self.worker = threading.Thread(target=resolve_batch,
+                                               daemon=True)
+                self.worker.start()
+
+        server = MidBatchServer()
+        out = io.StringIO()
+        lines = [json.dumps({"id": i, "model": "m", "input": [0.0, 0.0]})
+                 for i in range(2)]
+        finished = threading.Event()
+
+        def run():
+            serve_protocol(server, lines, out)
+            finished.set()
+
+        threading.Thread(target=run, daemon=True).start()
+        assert finished.wait(10.0), \
+            "EOF flush deadlocked against the worker's done-callback"
+        server.worker.join(5.0)
+        answers = [json.loads(line)
+                   for line in out.getvalue().splitlines()]
+        assert sorted(answer["id"] for answer in answers) == [0, 1]
+        assert all("output" in answer for answer in answers)
 
 
 # ----------------------------------------------------------------------
