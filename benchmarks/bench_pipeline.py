@@ -1,0 +1,158 @@
+"""Pipeline-parallel throughput gate.
+
+The claim gated here is the one the partition tier exists for: **cutting
+a model across two devices raises steady-state throughput to the
+slowest-stage bound**. On the cycle-accurate simulator (the same
+:func:`repro.fpga.simulate_network` the autotuner prices candidates
+with, so this gate is deterministic on any runner), a MAC-balanced
+2-stage partition of resnet_tiny must sustain at least **1.5x** the
+single-device throughput: one device serves a batch every
+``sum(stage_ms)``; the pipeline serves one every ``max(stage_ms)``.
+
+The same partition is then driven end to end through the real
+:class:`~repro.serve.partition.PipelineEngine` (threaded workers,
+bounded inter-stage queues) as a smoke pass: wall-clock numbers are
+*recorded* for tracking, not gated (host CPU timing is runner noise),
+but the outputs must be bit-identical to the single-device plan on the
+same micro-batches — the subsystem's non-negotiable invariant.
+
+Writes ``BENCH_pipeline.json`` (before the asserts, so a failed gate
+still uploads evidence) for per-PR tracking.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import ResourceError
+from repro.fpga import simulate_network
+from repro.fpga.devices import get_device
+from repro.fpga.resources import check_fits, reference_designs
+from repro.serve.cli import build_model
+from repro.serve.export import build_artifact
+from repro.serve.ir import lower_artifact, synthetic_batch
+from repro.serve.partition import (
+    PipelineEngine,
+    auto_cuts,
+    cut_names,
+    stage_workloads,
+    transfer_bytes,
+)
+from repro.serve.plan import ExecutionPlan
+
+MODEL = "resnet_tiny"
+BATCH = 4
+REQUESTS = 32
+GATE = 1.5                      # pipelined rps / single-device rps
+DRAM_GBPS = 4.0                 # inter-stage activation link
+REPORT_PATH = os.environ.get("BENCH_PIPELINE_OUT", "BENCH_pipeline.json")
+
+
+def simulated_bounds(graph, cuts, design):
+    """Single-device latency vs per-stage latencies on one design."""
+    single_ms = simulate_network(graph.workloads(BATCH),
+                                 design).latency_ms
+    stage_ms = [simulate_network(stage, design).latency_ms
+                for stage in stage_workloads(graph, cuts, batch=BATCH)]
+    transfer_ms = [bytes_ * BATCH / (DRAM_GBPS * 1e9) * 1e3
+                   for bytes_ in transfer_bytes(graph, cuts)]
+    intervals = [ms + (transfer_ms[i] if i < len(transfer_ms) else 0.0)
+                 for i, ms in enumerate(stage_ms)]
+    return single_ms, stage_ms, transfer_ms, max(intervals)
+
+
+def engine_smoke(artifact, cuts):
+    """Real pipeline end to end: wall-clock recorded, bits asserted."""
+    reference = ExecutionPlan(artifact)
+    inputs = synthetic_batch(reference.graph, n=REQUESTS, seed=5)
+    waves = [inputs[start:start + BATCH]
+             for start in range(0, REQUESTS, BATCH)]
+    expected = []
+    for wave in waves:
+        outputs = reference.forward(wave)
+        expected.extend(reference.per_request_outputs(outputs,
+                                                      wave.shape[0]))
+
+    started = time.perf_counter()
+    for wave in waves:
+        reference.forward(wave)
+    single_s = time.perf_counter() - started
+
+    engine = PipelineEngine.from_artifact(artifact, cuts=cuts,
+                                          workers=1, max_batch=BATCH)
+    try:
+        futures = []
+        started = time.perf_counter()
+        for wave in waves:
+            futures.extend(engine.submit_many(engine.name, list(wave)))
+            engine.drain()
+        piped_s = time.perf_counter() - started
+        exact = all(np.array_equal(future.result(timeout=0), row)
+                    for future, row in zip(futures, expected))
+    finally:
+        engine.close(drain=False)
+    return {"requests": REQUESTS,
+            "single_device_rps": round(REQUESTS / single_s, 1),
+            "pipelined_rps": round(REQUESTS / piped_s, 1),
+            "bit_exact": exact}
+
+
+def test_two_stage_pipeline_beats_single_device_bound():
+    model, sampler = build_model(MODEL, seed=0)
+    rng = np.random.default_rng(1)
+    artifact = build_artifact(model, sampler(rng, BATCH), name=MODEL)
+    graph = lower_artifact(artifact)
+    cuts = auto_cuts(artifact, stages=2)
+
+    # The motivating overflow: the batch-4 reference design does not
+    # fit the small zu3eg board whole — check_fits points at the
+    # partition tier — so the model runs there only as a pipeline.
+    design = replace(reference_designs()["D2-3"],
+                     device=get_device("zu3eg"))
+    try:
+        check_fits(design)
+        overflow_hint = ""
+    except ResourceError as error:
+        overflow_hint = str(error)
+
+    single_ms, stage_ms, transfer_ms, bottleneck_ms = simulated_bounds(
+        graph, cuts, design)
+    speedup = single_ms / bottleneck_ms
+    smoke = engine_smoke(artifact, cuts)
+
+    report = {
+        "model": MODEL, "batch": BATCH, "device": "XCZU3EG",
+        "design": design.describe(),
+        "cuts": [int(cut) for cut in cuts],
+        "cut_nodes": cut_names(graph, cuts),
+        "overflow_hint": overflow_hint,
+        "single_device_ms": round(single_ms, 4),
+        "stage_ms": [round(ms, 4) for ms in stage_ms],
+        "transfer_ms": [round(ms, 5) for ms in transfer_ms],
+        "bottleneck_ms": round(bottleneck_ms, 4),
+        "pipelined_speedup": round(speedup, 3),
+        "gate_threshold": GATE,
+        "engine_smoke": smoke,
+    }
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(f"\n{MODEL} cut@{list(cuts)} on XCZU3EG: single "
+          f"{single_ms:.3f} ms/batch, stages "
+          f"{[round(ms, 3) for ms in stage_ms]} ms, bottleneck "
+          f"{bottleneck_ms:.3f} ms -> {speedup:.2f}x (gate {GATE}x)")
+    print(f"engine smoke: {smoke['single_device_rps']} -> "
+          f"{smoke['pipelined_rps']} req/s, bit_exact="
+          f"{smoke['bit_exact']}; wrote {REPORT_PATH}")
+
+    assert overflow_hint, \
+        "the reference design must overflow zu3eg (partition motive)"
+    assert smoke["bit_exact"], \
+        "pipelined outputs must be bit-identical to the single plan"
+    assert speedup >= GATE, (
+        f"a balanced 2-stage pipeline must sustain >= {GATE}x the "
+        f"single-device throughput, got {speedup:.2f}x "
+        f"(stages {stage_ms} ms vs {single_ms} ms)")

@@ -45,6 +45,7 @@ __all__ = [
     "PipelineConfig",
     "QuantizedModel",
     "Deployment",
+    "PipelineDeployment",
     "SchemeEntry",
     "MethodEntry",
     "get_scheme",
@@ -62,6 +63,7 @@ _LAZY = {
     "Pipeline": "repro.api.pipeline",
     "QuantizedModel": "repro.api.pipeline",
     "Deployment": "repro.api.pipeline",
+    "PipelineDeployment": "repro.api.pipeline",
 }
 
 

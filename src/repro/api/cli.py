@@ -27,7 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 
 _USAGE = """\
 usage: python -m repro <command> [args...]
@@ -124,10 +124,14 @@ def run_tune(model_name: str, device: str, objective: str = "latency",
              strategy=None, budget: int = 50, seed: int = 0,
              accuracy=None, cache=None, out=None, top: int = 10,
              serve_batches=(1, 16), backends=None,
-             weight_bits=(4,)) -> int:
+             weight_bits=(4,), pipeline_stages: int = 0,
+             stage_devices=None) -> int:
     """The ``python -m repro tune`` flow: build a zoo model, run the
     autotuner for the device, print the Pareto frontier, write the JSON
-    report."""
+    report. ``pipeline_stages >= 2`` adds the partition axis: every
+    legal way to cut the model's IR into that many pipeline stages is
+    co-searched against the single-device plan (the winning per-stage
+    placement prints as its own table)."""
     import numpy as np
 
     from repro.autotune import tune
@@ -145,6 +149,27 @@ def run_tune(model_name: str, device: str, objective: str = "latency",
         # The calibration proxy scores candidates on real forward passes;
         # synthesize its batches from the model's own sampler.
         kwargs["calibration"] = [sample(rng, 8) for _ in range(2)]
+    if pipeline_stages and pipeline_stages >= 2:
+        from itertools import combinations
+
+        from repro.serve.export import build_artifact
+        from repro.serve.ir import lower_artifact
+        from repro.serve.partition import legal_cut_points
+
+        graph = lower_artifact(build_artifact(model, sample_input,
+                                              verify=False))
+        legal = [point.op_index for point in legal_cut_points(graph)]
+        options = [tuple(combo) for combo
+                   in combinations(legal, pipeline_stages - 1)]
+        if not options:
+            raise ConfigurationError(
+                f"{model_name} has only {len(legal)} legal cut point(s); "
+                f"cannot form {pipeline_stages} pipeline stages")
+        # The single-device plan stays in the race — the tuner should
+        # only pick a pipeline when it actually wins.
+        kwargs["cuts"] = tuple([()] + options)
+    if stage_devices:
+        kwargs["stage_devices"] = tuple(stage_devices)
     result = tune(model, device=device, objective=objective,
                   strategy=strategy, budget=budget, seed=seed,
                   accuracy=accuracy, cache=cache,
@@ -212,13 +237,25 @@ def _cmd_tune(argv: List[str]) -> int:
     parser.add_argument("--backends", nargs="+", default=None,
                         choices=list_backends(),
                         help="serving kernel backends to search")
+    parser.add_argument("--pipeline-stages", type=int, default=0,
+                        help="co-search multi-device pipeline partitions "
+                             "with this many stages (every legal cut "
+                             "combination + the uncut plan; the winning "
+                             "per-stage table is printed)")
+    parser.add_argument("--stage-devices", nargs="+", default=None,
+                        metavar="DEVICE",
+                        help="device per pipeline stage (cycled when "
+                             "shorter than the stage count; default: "
+                             "--device on every stage)")
     args = parser.parse_args(argv)
     return run_tune(args.model, args.device, objective=args.objective,
                     strategy=args.strategy, budget=args.budget,
                     seed=args.seed, accuracy=args.accuracy,
                     cache=args.cache, out=args.out, top=args.top,
                     serve_batches=args.serve_batches,
-                    backends=args.backends, weight_bits=args.bits)
+                    backends=args.backends, weight_bits=args.bits,
+                    pipeline_stages=args.pipeline_stages,
+                    stage_devices=args.stage_devices)
 
 
 def _cmd_registry(argv: List[str]) -> int:
@@ -248,6 +285,21 @@ def _cmd_registry(argv: List[str]) -> int:
     print("search strategies (python -m repro tune --strategy):")
     for name, description in sorted(list_strategies().items()):
         print(f"  {name:10s} {description}")
+    print("search axes (repro.autotune.SearchSpace; python -m repro tune):")
+    for axis, description in (
+            ("batches", "accelerator Bat lane counts"),
+            ("block_ins", "GEMM Blk_in widths"),
+            ("sp2_columns", "SP2:fixed PE column splits"),
+            ("weight_bits", "weight bit-widths (--bits)"),
+            ("serve_batches", "serving micro-batch sizes "
+                              "(--serve-batches)"),
+            ("backends", "serving kernel backends (--backends)"),
+            ("cuts", "multi-device pipeline partition points — tuples "
+                     "of IR op indices, () = single device "
+                     "(--pipeline-stages / --stage-devices; "
+                     "repro.serve.partition)"),
+    ):
+        print(f"  {axis:14s} {description}")
     print("accuracy proxies (python -m repro tune --accuracy):")
     for name, description in list_accuracy_proxies().items():
         print(f"  {name:12s} {description}")

@@ -115,7 +115,9 @@ class QuantizedModel:
                design: Optional[GemmDesign] = None,
                name: str = "model", path=None,
                backend: str = DEFAULT_BACKEND,
-               max_wait_ms: Optional[float] = None) -> "Deployment":
+               max_wait_ms: Optional[float] = None,
+               devices: Optional[List] = None,
+               cuts: Optional[List[int]] = None):
         """Export, compile and wrap this model into a :class:`Deployment`.
 
         ``backend`` selects the serving kernel set (see
@@ -124,11 +126,22 @@ class QuantizedModel:
         ``max_wait_ms`` sets the deployment's dynamic-batching deadline
         (how long a partial batch may wait for co-riders when served
         through ``serve()`` or a :class:`~repro.serve.server.ModelServer`).
+
+        ``devices=[...]`` (>= 2 entries: device names, ``"auto:"`` specs
+        or per-stage :class:`GemmDesign`\\ s) partitions the model across
+        the listed devices instead and returns a
+        :class:`PipelineDeployment` — one pipeline stage per device,
+        outputs bit-identical to the single-device plan. ``cuts`` pins
+        the IR cut points; by default stages are MAC-balanced.
         """
         artifact = self.export(sample_input, name=name, path=path)
-        return Deployment(artifact,
-                          batch=batch if batch is not None
-                          else self.config.batch,
+        resolved_batch = batch if batch is not None else self.config.batch
+        if devices is not None:
+            return PipelineDeployment(artifact, devices,
+                                      batch=resolved_batch, cuts=cuts,
+                                      backend=backend, name=name,
+                                      max_wait_ms=max_wait_ms)
+        return Deployment(artifact, batch=resolved_batch,
                           design=_resolve_design(self.config, design),
                           backend=backend, max_wait_ms=max_wait_ms)
 
@@ -302,6 +315,120 @@ class Deployment:
         return self.plan.describe()
 
 
+def _resolve_stage_designs(devices) -> List[GemmDesign]:
+    """Per-stage design specs -> concrete :class:`GemmDesign` list.
+
+    Each entry is a ``GemmDesign``, a reference-design name (``"D2-3"``),
+    an ``"auto:<device>"`` spec, or a bare device catalog name (sugar for
+    ``"auto:<device>"`` — deploying onto a device means characterizing a
+    design for it)."""
+    from repro.fpga.characterize import resolve_design
+    from repro.fpga.devices import get_device
+
+    designs = []
+    for entry in devices:
+        if isinstance(entry, str) and not entry.lower().startswith("auto:"):
+            try:
+                get_device(entry)
+            except ConfigurationError:
+                pass                    # a reference-design name
+            else:
+                entry = f"auto:{entry}"
+        designs.append(resolve_design(entry))
+    return designs
+
+
+class PipelineDeployment:
+    """A model partitioned across several devices, served as a pipeline.
+
+    The multi-device sibling of :class:`Deployment`: the artifact is cut
+    at legal IR boundaries (:func:`repro.serve.partition.auto_cuts`
+    MAC-balances the stages unless ``cuts`` pins them), every stage gets
+    its own :class:`GemmDesign`, and requests stream through a
+    :class:`~repro.serve.partition.pipeline.PipelineEngine` — outputs are
+    bit-identical to the single-device plan, verified at split time.
+    """
+
+    def __init__(self, artifact, devices, *, batch: int = 16,
+                 backend: str = DEFAULT_BACKEND,
+                 cuts: Optional[List[int]] = None,
+                 max_wait_ms: Optional[float] = None,
+                 workers: int = 1, name: Optional[str] = None):
+        from repro.serve.partition import PipelineEngine
+
+        if len(list(devices)) < 2:
+            raise ConfigurationError(
+                "a pipeline deployment needs >= 2 devices; use deploy() "
+                "without devices= for a single accelerator")
+        if int(batch) < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
+        self.designs = _resolve_stage_designs(devices)
+        self.artifact = artifact
+        self.engine = PipelineEngine.from_artifact(
+            artifact, stages=len(self.designs), cuts=cuts, name=name,
+            backend=backend, designs=self.designs, max_batch=int(batch),
+            max_wait_ms=max_wait_ms, workers=workers)
+        self.partition = self.engine.partition
+        self.batch = int(batch)
+        self.max_wait_ms = max_wait_ms
+
+    @classmethod
+    def load(cls, path, devices, **kwargs) -> "PipelineDeployment":
+        """Partition a saved artifact across ``devices``."""
+        from repro.serve.artifact import ServeArtifact
+
+        return cls(ServeArtifact.load(path), devices, **kwargs)
+
+    @property
+    def backend(self) -> str:
+        return self.engine.plan().backend
+
+    @property
+    def num_stages(self) -> int:
+        return self.engine.num_stages
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Serve one request (per-request shape) or an ``(N, ...)`` batch
+        through the stage pipeline."""
+        x = np.asarray(x)
+        plan = self.engine.plan()
+        if tuple(x.shape) == plan.input_shape:
+            return self.engine.predict(self.engine.name, x)
+        futures = self.engine.submit_many(self.engine.name, list(x))
+        self.engine.drain()
+        return np.stack([future.result(timeout=60.0) for future in futures])
+
+    def submit(self, payload):
+        return self.engine.submit(self.engine.name, payload)
+
+    def drain(self):
+        return self.engine.drain()
+
+    def stats(self):
+        """Stage-dimensioned stats (aggregate + one row per stage)."""
+        return self.engine.stats()
+
+    def format_stats(self) -> str:
+        return self.engine.format_stats()
+
+    def save(self, stem) -> List[str]:
+        """Save the per-stage artifacts (``<stem>.stageK.npz``)."""
+        return self.partition.save(stem)
+
+    def describe(self) -> str:
+        return self.partition.describe()
+
+    def close(self, drain: bool = True) -> None:
+        self.engine.close(drain=drain)
+
+    def __enter__(self) -> "PipelineDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # Pipeline
 # ----------------------------------------------------------------------
@@ -428,11 +555,17 @@ class Pipeline:
                design: Optional[GemmDesign] = None,
                name: str = "model", path=None,
                backend: Optional[str] = None,
-               max_wait_ms: Optional[float] = None) -> Deployment:
+               max_wait_ms: Optional[float] = None,
+               devices: Optional[List] = None,
+               cuts: Optional[List[int]] = None):
         """Deploy the latest ``fit()``/``calibrate()`` result.
 
         ``backend`` defaults to the tuned backend after a ``tune()``
-        (otherwise the stack default).
+        (otherwise the stack default). ``devices=[...]`` partitions the
+        model across several devices and returns a
+        :class:`PipelineDeployment` (one pipeline stage per device); a
+        prior ``tune()`` whose winner carries cut points supplies them
+        automatically unless ``cuts`` overrides.
         """
         if self.result is None:
             raise ConfigurationError(
@@ -440,9 +573,15 @@ class Pipeline:
         if backend is None:
             backend = self.tuned.backend if self.tuned is not None \
                 else DEFAULT_BACKEND
+        if devices is not None and cuts is None and self.tuned is not None \
+                and self.tuned.best.candidate.cuts:
+            tuned_cuts = list(self.tuned.best.candidate.cuts)
+            if len(tuned_cuts) + 1 == len(list(devices)):
+                cuts = tuned_cuts
         return self.result.deploy(batch=batch, sample_input=sample_input,
                                   design=design, name=name, path=path,
-                                  backend=backend, max_wait_ms=max_wait_ms)
+                                  backend=backend, max_wait_ms=max_wait_ms,
+                                  devices=devices, cuts=cuts)
 
     # ------------------------------------------------------------------
     def tune(self, device, objective: str = "latency",

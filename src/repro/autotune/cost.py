@@ -21,13 +21,14 @@ run — they rank candidates, they are not accuracy predictions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.fpga.accelerator import simulate_network
+from repro.fpga.devices import get_device
 from repro.fpga.gemm import GemmWorkload
 from repro.fpga.resources import design_utilization
 from repro.autotune.space import Candidate
@@ -187,6 +188,10 @@ class CandidateEvaluation:
     accuracy_proxy: float
     proxy_name: str
     from_cache: bool = False
+    # Per-stage breakdown of a pipeline-partitioned candidate (empty for
+    # single-device points): stage index, device, simulated stage ms,
+    # outgoing transfer ms, cut node, utilization, fits.
+    stages: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -200,6 +205,7 @@ class CandidateEvaluation:
             "peak_gops": self.peak_gops,
             "accuracy_proxy": self.accuracy_proxy,
             "proxy_name": self.proxy_name,
+            "stages": [dict(stage) for stage in self.stages],
         }
 
     @classmethod
@@ -256,6 +262,128 @@ class CostModel:
             peak_gops=float(peak_throughput_gops(design)),
             accuracy_proxy=float(proxy),
             proxy_name=self.proxy_name,
+        )
+
+
+class PipelineCostModel(CostModel):
+    """Pipeline-aware pricing: a candidate with ``cuts`` is a chain of
+    stage accelerators, and the objective is the **max-stage** latency
+    (the pipelined steady-state interval), with inter-stage transfer
+    priced from the cut activation's bytes.
+
+    ``stage_workloads_fn(cuts, serve_batch)`` returns the per-stage GEMM
+    workload lists and ``transfer_bytes_fn(cuts)`` the per-request bytes
+    crossing each cut (see :mod:`repro.serve.partition.splitter`).
+    ``stage_devices`` optionally maps stages onto a heterogeneous fleet
+    (entry ``k`` is stage ``k``'s device catalog name, cycled if
+    shorter); by default every stage replicates the candidate's device.
+    A candidate with no cuts prices exactly like :class:`CostModel`.
+
+    Feasibility is per stage: the plan is rejected (``fits=False``)
+    whenever **any** stage's design overflows its device or the LUT
+    routability cap — the same ``check_fits`` contract, applied to every
+    device in the chain.
+    """
+
+    def __init__(self, workloads_fn: Callable[[int], List[GemmWorkload]],
+                 *,
+                 stage_workloads_fn: Callable[..., List[List[GemmWorkload]]],
+                 transfer_bytes_fn: Callable[[Sequence[int]], List[int]],
+                 cut_names_fn: Optional[Callable] = None,
+                 stage_devices: Optional[Sequence[str]] = None,
+                 dram_gbps: float = 4.0,
+                 lut_cap: float = 0.80,
+                 accuracy_proxy: Optional[Callable] = None,
+                 proxy_name: str = "none",
+                 sim_kwargs: Optional[dict] = None):
+        super().__init__(workloads_fn, lut_cap=lut_cap,
+                         accuracy_proxy=accuracy_proxy,
+                         proxy_name=proxy_name, sim_kwargs=sim_kwargs)
+        self.stage_workloads_fn = stage_workloads_fn
+        self.transfer_bytes_fn = transfer_bytes_fn
+        self.cut_names_fn = cut_names_fn
+        self.stage_devices = tuple(stage_devices) if stage_devices else None
+        if dram_gbps <= 0:
+            raise ConfigurationError(
+                f"dram_gbps must be > 0, got {dram_gbps}")
+        self.dram_gbps = float(dram_gbps)
+
+    def _stage_design(self, base_design, index: int):
+        if not self.stage_devices:
+            return base_design
+        name = self.stage_devices[index % len(self.stage_devices)]
+        device = get_device(name)
+        return replace(base_design, device=device,
+                       name=f"tuned:{device.name}")
+
+    def evaluate(self, candidate: Candidate) -> CandidateEvaluation:
+        from repro.fpga.resources import peak_throughput_gops
+
+        if not candidate.cuts:
+            return super().evaluate(candidate)
+        self.evaluations += 1
+        base_design = candidate.design()
+        stage_workloads = self.stage_workloads_fn(candidate.cuts,
+                                                  candidate.serve_batch)
+        transfer = self.transfer_bytes_fn(candidate.cuts)
+        cut_names = (list(self.cut_names_fn(candidate.cuts))
+                     if self.cut_names_fn is not None
+                     else [f"op{i}" for i in candidate.cuts])
+        num_stages = len(stage_workloads)
+        fits = True
+        worst_util: Dict[str, float] = {}
+        stage_rows: List[Dict[str, object]] = []
+        bottleneck_ms = 0.0
+        work_gop_ms = 0.0
+        peak = 0.0
+        for index, workloads in enumerate(stage_workloads):
+            design = self._stage_design(base_design, index)
+            util = design_utilization(design)
+            stage_fits = (all(v <= 1.0 + 1e-9 for v in util.values())
+                          and util["lut"] <= self.lut_cap + 1e-9)
+            fits = fits and stage_fits
+            for name, value in util.items():
+                worst_util[name] = max(worst_util.get(name, 0.0),
+                                       float(value))
+            performance = simulate_network(workloads, design,
+                                           **self.sim_kwargs)
+            stage_ms = performance.latency_ms
+            transfer_ms = 0.0
+            if index < num_stages - 1:
+                # The cut activation leaves over the inter-stage link
+                # once per request in the micro-batch.
+                transfer_ms = (transfer[index] * candidate.serve_batch
+                               / (self.dram_gbps * 1e9) * 1e3)
+            bottleneck_ms = max(bottleneck_ms, stage_ms + transfer_ms)
+            work_gop_ms += performance.throughput_gops * stage_ms
+            peak += peak_throughput_gops(design)
+            stage_rows.append({
+                "stage": index,
+                "device": design.device.name,
+                "latency_ms": float(stage_ms),
+                "transfer_ms": float(transfer_ms),
+                "cut": cut_names[index] if index < len(cut_names) else "",
+                "utilization": {name: float(value)
+                                for name, value in util.items()},
+                "fits": stage_fits,
+            })
+        per_request = bottleneck_ms / candidate.serve_batch
+        proxy = (self.accuracy_proxy(candidate)
+                 if self.accuracy_proxy is not None else 0.0)
+        return CandidateEvaluation(
+            candidate=candidate,
+            fits=fits,
+            utilization=worst_util,
+            latency_ms=float(bottleneck_ms),
+            latency_ms_per_request=float(per_request),
+            throughput_gops=float(work_gop_ms / bottleneck_ms
+                                  if bottleneck_ms else 0.0),
+            requests_per_second=float(1000.0 / per_request
+                                      if per_request else 0.0),
+            peak_gops=float(peak),
+            accuracy_proxy=float(proxy),
+            proxy_name=self.proxy_name,
+            stages=stage_rows,
         )
 
 

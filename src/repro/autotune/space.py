@@ -49,6 +49,9 @@ class Candidate:
     serve_batch: int = 1         # serving micro-batch size
     backend: str = DEFAULT_BACKEND   # serving kernel backend
     freq_mhz: float = 100.0
+    # Pipeline-partition cut points (top-level manifest op indices, see
+    # repro.serve.partition). () = single-device, the classic search.
+    cuts: Tuple[int, ...] = ()
 
     def design(self) -> GemmDesign:
         """The :class:`GemmDesign` this candidate describes."""
@@ -79,11 +82,14 @@ class Candidate:
             "weight_bits": self.weight_bits, "act_bits": self.act_bits,
             "serve_batch": self.serve_batch, "backend": self.backend,
             "freq_mhz": self.freq_mhz,
+            "cuts": list(self.cuts),
         }
 
     @classmethod
     def from_dict(cls, record: Dict[str, object]) -> "Candidate":
-        return cls(**record)
+        record = dict(record)
+        cuts = record.pop("cuts", ()) or ()
+        return cls(cuts=tuple(int(i) for i in cuts), **record)
 
     def key(self) -> str:
         """Stable identity string (cache key component, tie-breaker)."""
@@ -93,7 +99,8 @@ class Candidate:
         return (f"{self.device} Bat={self.batch} Blkin={self.block_in} "
                 f"Blkout={self.block_out_fixed}+{self.block_out_sp2} "
                 f"W{self.weight_bits}A{self.act_bits} "
-                f"b={self.serve_batch} [{self.backend}]")
+                f"b={self.serve_batch} [{self.backend}]"
+                + (f" cut@{list(self.cuts)}" if self.cuts else ""))
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,10 @@ class SearchSpace:
     sp2_step: int = SP2_COLUMN_STEP
     lut_cap: float = DEFAULT_LUT_CAP
     freq_mhz: float = 100.0
+    # Pipeline-partition axis: each entry is one cut-point tuple the
+    # search may pick (() = no partition). tune() prices non-empty cuts
+    # with PipelineCostModel, co-searching cut placement with geometry.
+    cuts: Tuple[Tuple[int, ...], ...] = ((),)
 
     def __post_init__(self):
         object.__setattr__(self, "device", get_device(self.device).name)
@@ -136,6 +147,11 @@ class SearchSpace:
         if self.sp2_columns is not None:
             object.__setattr__(self, "sp2_columns",
                                tuple(sorted(set(self.sp2_columns))))
+        cut_axis = tuple(tuple(int(i) for i in option)
+                         for option in self.cuts)
+        if not cut_axis:
+            raise ConfigurationError("search space cuts is empty")
+        object.__setattr__(self, "cuts", cut_axis)
         if not 0.0 < self.lut_cap <= 1.0:
             raise ConfigurationError(
                 f"lut_cap must be in (0, 1], got {self.lut_cap}")
@@ -189,14 +205,14 @@ class SearchSpace:
     # ------------------------------------------------------------------
     def _build(self, batch: int, block_in: int, weight_bits: int,
                act_bits: int, sp2: int, serve_batch: int,
-               backend: str) -> Candidate:
+               backend: str, cuts: Tuple[int, ...] = ()) -> Candidate:
         return Candidate(
             device=self.device, batch=batch, block_in=block_in,
             block_out_fixed=self.fixed_columns(batch, block_in,
                                                weight_bits, act_bits),
             block_out_sp2=sp2, weight_bits=weight_bits, act_bits=act_bits,
             serve_batch=serve_batch, backend=backend,
-            freq_mhz=self.freq_mhz)
+            freq_mhz=self.freq_mhz, cuts=cuts)
 
     def candidates(self) -> List[Candidate]:
         """The full grid, in deterministic order."""
@@ -205,10 +221,11 @@ class SearchSpace:
                 self.batches, self.block_ins, self.weight_bits,
                 self.act_bits):
             for sp2 in self.sp2_options(batch, block_in, wbits, abits):
-                for serve_batch, backend in itertools.product(
-                        self.serve_batches, self.backends):
+                for serve_batch, backend, cuts in itertools.product(
+                        self.serve_batches, self.backends, self.cuts):
                     out.append(self._build(batch, block_in, wbits, abits,
-                                           sp2, serve_batch, backend))
+                                           sp2, serve_batch, backend,
+                                           cuts))
         return out
 
     @property
@@ -220,7 +237,8 @@ class SearchSpace:
                 self.batches, self.block_ins, self.weight_bits,
                 self.act_bits):
             total += len(self.sp2_options(batch, block_in, wbits, abits))
-        return total * len(self.serve_batches) * len(self.backends)
+        return (total * len(self.serve_batches) * len(self.backends)
+                * len(self.cuts))
 
     def seed_candidates(self) -> List[Candidate]:
         """Resource-guided seeds: the §VI-A characterization optimum (the
@@ -233,7 +251,7 @@ class SearchSpace:
                                            abits)[2]
             seeds.append(self._build(
                 batch, block_in, wbits, abits, best_sp2,
-                self.serve_batches[0], self.backends[0]))
+                self.serve_batches[0], self.backends[0], self.cuts[0]))
         return seeds
 
     def neighbors(self, candidate: Candidate) -> List[Candidate]:
@@ -272,6 +290,8 @@ class SearchSpace:
         for backend in self.backends:
             if backend != candidate.backend:
                 moves.append(replace(candidate, backend=backend))
+        for cuts in adjacent(self.cuts, candidate.cuts):
+            moves.append(replace(candidate, cuts=cuts))
         # Clamp SP2 columns of cross-geometry moves back into their own
         # feasible range (a batch/bits move changes what fits).
         clamped: List[Candidate] = []
@@ -294,7 +314,8 @@ class SearchSpace:
         return self._build(batch, block_in, wbits, abits,
                            int(rng.choice(sp2_options)),
                            int(rng.choice(self.serve_batches)),
-                           str(rng.choice(self.backends)))
+                           str(rng.choice(self.backends)),
+                           self.cuts[int(rng.integers(len(self.cuts)))])
 
     def mutate(self, candidate: Candidate, rng) -> Candidate:
         """One random single-field move (evolutionary perturbation)."""

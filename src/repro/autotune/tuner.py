@@ -39,6 +39,7 @@ from repro.autotune.cache import (
 from repro.autotune.cost import (
     CandidateEvaluation,
     CostModel,
+    PipelineCostModel,
     get_accuracy_proxy,
     scale_workloads,
 )
@@ -253,6 +254,24 @@ class TuneResult:
         out.append(format_table(headers, rows_of(ranked),
                                 title=f"Top candidates "
                                       f"({len(self.evaluations)} evaluated)"))
+        if self.best.stages:
+            design = self.best.candidate.design()
+            geometry = (f"{design.batch}x{design.block_in}x"
+                        f"{design.block_out_fixed}+{design.block_out_sp2}")
+            stage_rows = [[str(row["stage"]),
+                           str(row["device"]),
+                           geometry,
+                           str(row.get("cut") or "(sink)"),
+                           f"{row['latency_ms']:.3f}",
+                           f"{row['transfer_ms']:.3f}",
+                           "yes" if row["fits"] else "NO"]
+                          for row in self.best.stages]
+            out.append(format_table(
+                ["stage", "device", "geometry", "cut node", "stage ms",
+                 "xfer ms", "fits"],
+                stage_rows,
+                title=f"Winning pipeline — {len(self.best.stages)} stages "
+                      f"(bottleneck {self.best.latency_ms:.3f} ms)"))
         return "\n\n".join(out)
 
     def to_json(self) -> Dict[str, object]:
@@ -279,9 +298,12 @@ class TuneResult:
 # ----------------------------------------------------------------------
 # Workload derivation
 # ----------------------------------------------------------------------
-def _workloads_from_model(model, sample_input,
-                          layer_results=None) -> Callable:
-    """Lower the model once; workload dims depend only on layer shapes."""
+def _graph_from_model(model, sample_input, layer_results=None):
+    """Lower the model once; workload dims depend only on layer shapes.
+
+    Returns the lowered graph itself (not just ``.workloads``) so the
+    pipeline cost model can slice it at candidate cut points.
+    """
     from repro.serve.export import build_artifact
     from repro.serve.ir import lower_artifact
 
@@ -292,7 +314,7 @@ def _workloads_from_model(model, sample_input,
     artifact = build_artifact(model, np.asarray(sample_input),
                               layer_results=layer_results or {},
                               verify=False)
-    return lower_artifact(artifact).workloads
+    return lower_artifact(artifact)
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +327,7 @@ def tune(model=None, *, device, workloads=None, objective: str = "latency",
          space: Optional[SearchSpace] = None,
          refine_layers: Optional[bool] = None,
          sim_kwargs: Optional[dict] = None,
+         stage_devices: Optional[Sequence[str]] = None,
          **space_overrides) -> TuneResult:
     """Search quantization config x FPGA design for one model and device.
 
@@ -342,6 +365,16 @@ def tune(model=None, *, device, workloads=None, objective: str = "latency",
     space / space_overrides:
         A prebuilt :class:`SearchSpace`, or keyword overrides for the
         default one (``batches=(1, 4)``, ``serve_batches=...``, ...).
+        A ``cuts`` axis (tuples of IR op indices, ``()`` = no split)
+        turns on the pipeline co-search: cut points x per-stage device x
+        geometry x quant config, priced by :class:`PipelineCostModel`
+        with max-stage latency as the objective, rejecting plans where
+        any stage fails ``check_fits``. Needs ``model`` +
+        ``sample_input`` (cut indices address the lowered IR).
+    stage_devices:
+        Device catalog names for pipeline stages (entry ``k`` hosts
+        stage ``k``, cycled when shorter); default replicates ``device``
+        on every stage. Only meaningful with a ``cuts`` axis.
     """
     if objective not in OBJECTIVES:
         raise ConfigurationError(
@@ -358,18 +391,26 @@ def tune(model=None, *, device, workloads=None, objective: str = "latency",
             f"space is for {space.device}, tune target is {device_name}")
 
     # Workload source ---------------------------------------------------
+    graph = None
     if workloads is None:
         if model is None:
             raise ConfigurationError(
                 "tune() needs a model (for workload derivation and the "
                 "accuracy proxy) or an explicit workloads= list")
-        workloads_fn = _workloads_from_model(model, sample_input,
-                                             layer_results)
+        graph = _graph_from_model(model, sample_input, layer_results)
+        workloads_fn = graph.workloads
     elif callable(workloads):
         workloads_fn = workloads
     else:
         base = list(workloads)
         workloads_fn = lambda batch: scale_workloads(base, batch)  # noqa: E731
+
+    pipelined = any(cuts for cuts in space.cuts) or bool(stage_devices)
+    if pipelined and graph is None:
+        raise ConfigurationError(
+            "the pipeline co-search (a cuts axis or stage_devices=) needs "
+            "the lowered model graph; pass model= and sample_input= "
+            "instead of an explicit workloads= list")
 
     # Accuracy proxy ----------------------------------------------------
     proxy_name = accuracy if accuracy is not None else (
@@ -384,17 +425,36 @@ def tune(model=None, *, device, workloads=None, objective: str = "latency",
     # reused when it would be recomputed identically.
     if not isinstance(cache, EvalCache):
         cache = EvalCache(cache)
-    context = "|".join([
+    context_parts = [
         device_name, proxy_name,
         f"lut_cap={space.lut_cap:g}",
         "sim=" + json.dumps(sim_kwargs or {}, sort_keys=True, default=str),
         workload_fingerprint(workloads_fn(1)),
         model_fingerprint(model) if model is not None else "no-model",
-    ])
+    ]
+    if stage_devices:
+        context_parts.append(
+            "stages=" + ",".join(get_device(name).name
+                                 for name in stage_devices))
+    context = "|".join(context_parts)
 
-    cost_model = CostModel(workloads_fn, lut_cap=space.lut_cap,
-                           accuracy_proxy=proxy, proxy_name=proxy_name,
-                           sim_kwargs=sim_kwargs)
+    if pipelined:
+        from repro.serve.partition.splitter import (
+            cut_names, stage_workloads, transfer_bytes)
+
+        cost_model = PipelineCostModel(
+            workloads_fn,
+            stage_workloads_fn=lambda cuts, batch: stage_workloads(
+                graph, cuts, batch=batch),
+            transfer_bytes_fn=lambda cuts: transfer_bytes(graph, cuts),
+            cut_names_fn=lambda cuts: cut_names(graph, cuts),
+            stage_devices=stage_devices,
+            lut_cap=space.lut_cap, accuracy_proxy=proxy,
+            proxy_name=proxy_name, sim_kwargs=sim_kwargs)
+    else:
+        cost_model = CostModel(workloads_fn, lut_cap=space.lut_cap,
+                               accuracy_proxy=proxy, proxy_name=proxy_name,
+                               sim_kwargs=sim_kwargs)
     evaluator = Evaluator(cost_model, cache, context, budget, objective)
 
     # Search ------------------------------------------------------------

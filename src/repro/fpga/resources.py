@@ -195,12 +195,46 @@ def design_utilization(design: GemmDesign,
     return util
 
 
+def _partition_hint(design: GemmDesign) -> str:
+    """How an over-budget design *could* deploy: the smallest catalog
+    device it fits whole, or failing that the smallest (stages, device)
+    pair where splitting the PE columns across a pipeline fits each
+    stage. Empty string when even an 8-way split fits nowhere."""
+    from math import ceil
+
+    from repro.fpga.devices import get_device, list_devices
+
+    devices = sorted((get_device(name) for name in list_devices()),
+                     key=lambda d: (d.lut, d.name))
+
+    def fits_on(candidate: GemmDesign) -> bool:
+        return all(value <= 1.0 + 1e-9
+                   for value in design_utilization(candidate).values())
+
+    for device in devices:
+        if fits_on(replace(design, device=device)):
+            return (f"; it would fit whole on {device.name}"
+                    if device.name != design.device.name else "")
+    for stages in range(2, 9):
+        for device in devices:
+            staged = replace(
+                design, device=device,
+                block_out_fixed=ceil(design.block_out_fixed / stages),
+                block_out_sp2=ceil(design.block_out_sp2 / stages))
+            if fits_on(staged):
+                return (f"; a {stages}-stage pipeline would fit on "
+                        f"{device.name} (see repro.serve.partition)")
+    return ""
+
+
 def check_fits(design: GemmDesign) -> None:
     """Raise :class:`ResourceError` if the design overflows its device.
 
     The error message reports the utilization of *every* resource
     (LUT/FF/BRAM/DSP), with the overflowing ones flagged, so a failed fit
-    is immediately actionable — which budget overflowed and by how much.
+    is immediately actionable — which budget overflowed and by how much —
+    and, when partitioning would save the design, names the smallest
+    device a pipeline split would fit on.
     """
     util = design_utilization(design)
     over = [name for name, value in util.items() if value > 1.0 + 1e-9]
@@ -211,7 +245,8 @@ def check_fits(design: GemmDesign) -> None:
             for name, value in util.items())
         raise ResourceError(
             f"{design.describe()} exceeds {design.device.name}'s "
-            f"{'/'.join(name.upper() for name in over)} budget: {breakdown}")
+            f"{'/'.join(name.upper() for name in over)} budget: {breakdown}"
+            + _partition_hint(design))
 
 
 def peak_throughput_gops(design: GemmDesign) -> float:

@@ -56,6 +56,16 @@ protocol over the length-framed transport of
 deterministic fault injection (:class:`FaultPlan` + in-process
 :class:`FakeTransport`) for chaos testing without sockets or sleeps.
 ``python -m repro.serve cluster`` is the CLI front door.
+
+Models too large for any one device partition across several
+(:mod:`repro.serve.partition`): ``split_artifact`` cuts the lowered IR at
+legal stage boundaries into per-stage sub-artifacts that re-enter the
+compile path unchanged, and ``PipelineEngine`` / ``PipelineCluster``
+serve the stages as a pipeline (bounded inter-stage queues in-process,
+or one cluster worker per stage with activations on the framed
+transport) — bit-identical to the single-device plan, with steady-state
+throughput set by the slowest stage. ``python -m repro.serve pipeline``
+demos the loop.
 """
 
 from repro.serve.artifact import ServeArtifact
@@ -87,6 +97,17 @@ from repro.serve.cluster import (
     ProcessWorker,
     RoutedRequest,
     RouterStats,
+)
+from repro.serve.partition import (
+    CutPoint,
+    PartitionPlan,
+    PipelineCluster,
+    PipelineEngine,
+    auto_cuts,
+    legal_cut_points,
+    local_pipeline_cluster,
+    process_pipeline_cluster,
+    split_artifact,
 )
 from repro.serve.placement import (
     PlacementPolicy,
@@ -140,6 +161,15 @@ __all__ = [
     "ProcessWorker",
     "RoutedRequest",
     "RouterStats",
+    "CutPoint",
+    "PartitionPlan",
+    "PipelineCluster",
+    "PipelineEngine",
+    "auto_cuts",
+    "legal_cut_points",
+    "local_pipeline_cluster",
+    "process_pipeline_cluster",
+    "split_artifact",
     "PlacementPolicy",
     "WorkerView",
     "register_placement",

@@ -216,6 +216,86 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_pipeline(args) -> int:
+    """Partition an artifact, serve synthetic requests through the stage
+    pipeline, and verify the outputs are bit-identical to the
+    single-device plan (micro-batched the same way)."""
+    import os
+    import tempfile
+
+    from repro.serve.artifact import ServeArtifact
+    from repro.serve.partition import (PipelineEngine, auto_cuts,
+                                       process_pipeline_cluster,
+                                       split_artifact)
+    from repro.serve.plan import ExecutionPlan
+
+    artifact = ServeArtifact.load(args.artifact)
+    cuts = ([int(c) for c in args.cuts.split(",")] if args.cuts
+            else list(auto_cuts(artifact, stages=args.stages)))
+    name = str(artifact.manifest.get("model", "model")) or "model"
+
+    # Single-device reference, micro-batched exactly like the pipeline
+    # will batch (bit-exactness is per identical batch composition).
+    reference = ExecutionPlan(artifact, backend=args.backend)
+    payloads = synthetic_payloads(reference, args.requests, seed=args.seed)
+    expected = []
+    for start in range(0, len(payloads), args.batch):
+        chunk = np.stack(payloads[start:start + args.batch])
+        expected.extend(reference.per_request_outputs(
+            reference.forward(chunk), chunk.shape[0]))
+
+    if args.process:
+        partition = split_artifact(artifact, cuts)
+        print(partition.describe())
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = partition.save(os.path.join(tmp, "pipeline"))
+            # Bit-exactness is per identical batch composition, so drive
+            # the cluster in synchronized waves of exactly ``batch``
+            # requests (deadline long enough that a wave always fills).
+            cluster = process_pipeline_cluster(paths, name=name,
+                                               backend=args.backend,
+                                               max_batch=args.batch,
+                                               max_wait_ms=2000.0)
+            try:
+                futures = []
+                for start in range(0, len(payloads), args.batch):
+                    futures.extend(cluster.submit_many(
+                        name, payloads[start:start + args.batch]))
+                    left = cluster.drain()
+                    if left:
+                        raise ServingError(
+                            f"{left} request(s) never completed")
+                outputs = np.stack([future.result(timeout=60.0)
+                                    for future in futures])
+                stats_text = cluster.format_stats()
+                stages = cluster.num_stages
+            finally:
+                cluster.close(drain=False)
+        mode = f"{stages}-stage subprocess pipeline"
+    else:
+        engine = PipelineEngine.from_artifact(
+            artifact, cuts=cuts, name=name, backend=args.backend,
+            max_batch=args.batch, workers=0)
+        try:
+            print(engine.partition.describe())
+            futures = engine.submit_many(name, payloads)
+            engine.drain()
+            outputs = np.stack([future.result(timeout=0)
+                                for future in futures])
+            stats_text = engine.format_stats()
+            mode = f"{engine.num_stages}-stage in-process pipeline"
+        finally:
+            engine.close(drain=False)
+
+    match = np.array_equal(outputs, np.stack(expected))
+    print(f"served {len(payloads)} synthetic requests through a {mode} "
+          f"(max_batch={args.batch})")
+    print("outputs vs single-device plan: "
+          + ("IDENTICAL (np.array_equal)" if match else "MISMATCH"))
+    print(stats_text)
+    return 0 if match else 1
+
+
 def _error_fields(error) -> Dict:
     """The typed error vocabulary every error response line carries."""
     return {"error": str(error),
@@ -650,6 +730,30 @@ def main(argv=None) -> int:
                           "bit-identical at compile time)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=cmd_run)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="partition an artifact across pipeline stages and serve "
+             "synthetic requests, verifying bit-exactness against the "
+             "single-device plan")
+    pipeline.add_argument("artifact")
+    pipeline.add_argument("--stages", type=int, default=2,
+                          help="pipeline stages to MAC-balance "
+                               "(ignored when --cuts is given)")
+    pipeline.add_argument("--cuts", default=None,
+                          help="comma-separated IR op indices to cut "
+                               "after (e.g. 3,7); default: balanced")
+    pipeline.add_argument("--requests", type=int, default=64)
+    pipeline.add_argument("--batch", type=int, default=16,
+                          help="micro-batch size through the stages")
+    pipeline.add_argument("--backend", default=DEFAULT_BACKEND,
+                          choices=list_backends())
+    pipeline.add_argument("--process", action="store_true",
+                          help="one worker subprocess per stage, "
+                               "activations over the framed transport "
+                               "(default: in-process engine)")
+    pipeline.add_argument("--seed", type=int, default=0)
+    pipeline.set_defaults(func=cmd_pipeline)
 
     up = sub.add_parser(
         "up", help="start a live multi-model server "

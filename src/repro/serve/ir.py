@@ -53,6 +53,12 @@ class IRNode:
     merged_time: bool = False       # leading per-request dim folded into batch
     epilogues: List[dict] = field(default_factory=list)
     scratch: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    # Index of the top-level manifest op this node was lowered from
+    # (residual internals share their block's index). The partition
+    # splitter cuts only at top-level op boundaries, so this is the
+    # coordinate system for legal cut points. None on the input node
+    # and on graphs lowered before partitioning existed.
+    op_index: Optional[int] = None
     # Renderer hook, stamped by the ``annotate_codegen`` pass: "native"
     # (the codegen renderer covers this node) or "fallback" (served by
     # the fused kernels inside a compiled plan). Empty until annotated.
@@ -258,8 +264,13 @@ def lower_artifact(artifact: ServeArtifact) -> Graph:
     """Lower a manifest's op-spec list into a typed :class:`Graph`."""
     manifest = artifact.manifest
     graph = Graph(tuple(manifest["input_shape"]), manifest["input_dtype"])
-    out = _lower_chain(graph, artifact, manifest["ops"], graph.input_id)
-    graph.output_id = out
+    source = graph.input_id
+    for index, spec in enumerate(manifest["ops"]):
+        before = graph._next_id
+        source = _lower_op(graph, artifact, spec, source)
+        for node_id in range(before, graph._next_id):
+            graph.node(node_id).op_index = index
+    graph.output_id = source
     return graph
 
 

@@ -1,0 +1,49 @@
+"""Multi-device pipeline parallelism: split one model across FPGAs.
+
+The splitter (:mod:`repro.serve.partition.splitter`) enumerates legal
+cut points in the lowered IR and materializes per-stage sub-artifacts
+that re-enter the existing compile path unchanged; the executors
+(:mod:`repro.serve.partition.pipeline`) overlap the stages — in-process
+with one worker thread per stage, or across cluster workers with
+activations on the framed transport. Outputs are bit-identical
+(``np.array_equal``) to the single-device plan by construction, verified
+at split time.
+"""
+
+from repro.serve.partition.splitter import (
+    EPILOGUE_KINDS,
+    CutPoint,
+    PartitionPlan,
+    auto_cuts,
+    cut_names,
+    legal_cut_points,
+    split_artifact,
+    stage_workloads,
+    transfer_bytes,
+    verify_partition,
+)
+from repro.serve.partition.pipeline import (
+    PipelineCluster,
+    PipelineEngine,
+    StageDeployment,
+    local_pipeline_cluster,
+    process_pipeline_cluster,
+)
+
+__all__ = [
+    "EPILOGUE_KINDS",
+    "CutPoint",
+    "PartitionPlan",
+    "auto_cuts",
+    "cut_names",
+    "legal_cut_points",
+    "split_artifact",
+    "stage_workloads",
+    "transfer_bytes",
+    "verify_partition",
+    "PipelineCluster",
+    "PipelineEngine",
+    "StageDeployment",
+    "local_pipeline_cluster",
+    "process_pipeline_cluster",
+]

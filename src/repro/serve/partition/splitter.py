@@ -1,0 +1,401 @@
+"""Legal cut-point enumeration and per-stage sub-artifact materialization.
+
+A *cut* splits one exported model into a chain of stages, each of which
+re-enters the existing compile path (``ServeArtifact`` → ``lower_artifact``
+→ passes → backend kernels) completely unchanged: a stage artifact is just
+a smaller artifact whose input signature is the previous stage's output
+activation. Pipelined serving then overlaps the stages
+(:mod:`repro.serve.partition.pipeline`), and the autotuner prices cut
+placements with :class:`~repro.autotune.cost.PipelineCostModel`.
+
+Cuts live in the coordinate system of **top-level manifest ops** (the
+``op_index`` every lowered :class:`~repro.serve.ir.IRNode` carries): a cut
+after op ``i`` puts ops ``0..i`` in one stage and ``i+1..`` in the next.
+This makes every legal cut a single-entry/single-exit frontier by
+construction — nested residual branches lower to nodes sharing their
+block's op index, so a residual can only ever move to a stage whole,
+never be severed mid-branch.
+
+Legality of a cut after op ``i`` (see :func:`legal_cut_points`):
+
+1. not after the last op (both sides must be non-empty);
+2. the frontier is single-exit — every edge crossing the boundary
+   originates at op ``i``'s tail node (holds by construction for
+   chain-lowered manifests; checked defensively);
+3. op ``i+1`` is not a fused-epilogue kind (batch norm / ReLU): those
+   execute inside the producing GEMM's kernel after fusion, and cutting
+   between them would split a fused kernel across devices;
+4. the tail activation is not time-merged — inside the merged-time
+   region the leading per-request dim (T) is folded into the batch, and
+   a cut there would break the downstream ``columns`` derivation and the
+   ``(N, T, ...)`` per-request output views;
+5. both sides keep at least one GEMM node, so every stage prices and
+   serves real accelerator work (``Graph.workloads`` refuses empty
+   plans).
+"""
+
+from __future__ import annotations
+
+import copy
+from bisect import bisect_left
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ExportError
+from repro.fpga.gemm import GemmWorkload
+from repro.serve.artifact import ServeArtifact
+from repro.serve.ir import (
+    Graph,
+    IRNode,
+    lower_artifact,
+    node_workloads,
+    synthetic_batch,
+)
+
+#: Op kinds that fusion passes fold into the preceding GEMM's kernel as
+#: epilogues. A cut directly before one would sever a fused kernel.
+EPILOGUE_KINDS = frozenset({"batchnorm2d", "batchnorm1d", "relu", "relu6"})
+
+GEMM_KINDS = ("conv", "linear", "rnn")
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """One legal stage boundary: after top-level manifest op ``op_index``."""
+
+    op_index: int
+    node_id: int                       # tail IR node whose output crosses
+    node_name: str
+    activation_shape: Tuple[int, ...]  # per-request, no batch dimension
+    activation_dtype: str
+
+    @property
+    def activation_bytes(self) -> int:
+        """Per-request bytes shipped between stages at this boundary."""
+        return int(np.prod(self.activation_shape, dtype=np.int64)
+                   * np.dtype(self.activation_dtype).itemsize)
+
+    def describe(self) -> str:
+        label = self.node_name or f"op{self.op_index}"
+        return (f"after {label} (op {self.op_index}) -> "
+                f"{self.activation_shape} {self.activation_dtype}, "
+                f"{self.activation_bytes} B/request")
+
+
+# ----------------------------------------------------------------------
+# Cut enumeration
+# ----------------------------------------------------------------------
+def _op_tails(graph: Graph) -> Dict[int, IRNode]:
+    """Tail node of every top-level op (node ids are sequential, so the
+    highest-id node of an op index is the one whose output feeds op+1)."""
+    tails: Dict[int, IRNode] = {}
+    for node in graph.nodes:
+        if node.op_index is not None:
+            tails[node.op_index] = node     # execution order ⇒ last wins
+    return tails
+
+
+def _single_exit(graph: Graph, boundary: int, tail: IRNode) -> bool:
+    """Do all edges crossing the boundary originate at ``tail``?"""
+    for node in graph.nodes:
+        if node.op_index is None or node.op_index <= boundary:
+            continue
+        for source in node.inputs:
+            producer = graph.node(source)
+            index = producer.op_index
+            if index is None:
+                index = -1                   # the synthetic input node
+            if index <= boundary and producer.id != tail.id:
+                return False
+    return True
+
+
+def legal_cut_points(graph: Graph) -> List[CutPoint]:
+    """Every boundary where the lowered graph may be split (see module
+    docstring for the five legality rules)."""
+    tails = _op_tails(graph)
+    if not tails:
+        raise ExportError(
+            "graph carries no op indices; re-lower the artifact with "
+            "lower_artifact to enable partitioning")
+    num_ops = max(tails) + 1
+    op_kinds = {index: _op_kind(graph, tails, index)
+                for index in range(num_ops)}
+    gemm_ops = [index for index in range(num_ops)
+                if any(n.kind in GEMM_KINDS for n in graph.nodes
+                       if n.op_index == index)]
+    points: List[CutPoint] = []
+    for index in range(num_ops - 1):                         # rule 1
+        tail = tails[index]
+        if op_kinds[index + 1] in EPILOGUE_KINDS:            # rule 3
+            continue
+        if tail.merged_time:                                 # rule 4
+            continue
+        if not any(i <= index for i in gemm_ops) \
+                or not any(i > index for i in gemm_ops):     # rule 5
+            continue
+        if not _single_exit(graph, index, tail):             # rule 2
+            continue
+        points.append(CutPoint(
+            op_index=index, node_id=tail.id,
+            node_name=tail.name or tail.kind,
+            activation_shape=tuple(tail.output_shape),
+            activation_dtype=tail.output_dtype))
+    return points
+
+
+def _op_kind(graph: Graph, tails: Dict[int, IRNode], index: int) -> str:
+    """Kind of a top-level op: a residual block reports "residual"."""
+    nodes = [n for n in graph.nodes if n.op_index == index]
+    if len(nodes) > 1 or tails[index].kind == "add":
+        return "residual"
+    return tails[index].kind
+
+
+def _validate_cuts(graph: Graph, cuts: Sequence[int]) -> List[CutPoint]:
+    legal = {point.op_index: point for point in legal_cut_points(graph)}
+    ordered = sorted(set(int(c) for c in cuts))
+    if len(ordered) != len(cuts):
+        raise ConfigurationError(f"duplicate cut indices in {tuple(cuts)}")
+    chosen = []
+    for index in ordered:
+        if index not in legal:
+            options = ", ".join(str(i) for i in sorted(legal)) or "none"
+            raise ConfigurationError(
+                f"op index {index} is not a legal cut point "
+                f"(legal: {options})")
+        chosen.append(legal[index])
+    if not chosen:
+        raise ConfigurationError("at least one cut index is required")
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Stage materialization
+# ----------------------------------------------------------------------
+@dataclass
+class PartitionPlan:
+    """One model split into a chain of stage artifacts."""
+
+    model: str
+    cuts: Tuple[int, ...]
+    cut_points: List[CutPoint]
+    stages: List[ServeArtifact]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def stage_names(self) -> List[str]:
+        return [stage.manifest["model"] for stage in self.stages]
+
+    def save(self, stem) -> List[str]:
+        """Write every stage to ``{stem}.stage{K}.npz``; returns the paths."""
+        paths = []
+        for index, stage in enumerate(self.stages):
+            path = f"{stem}.stage{index}.npz"
+            stage.save(path)
+            paths.append(path)
+        return paths
+
+    def describe(self) -> str:
+        lines = [f"{self.model}: {self.num_stages} stages "
+                 f"(cut after ops {list(self.cuts)})"]
+        for index, stage in enumerate(self.stages):
+            manifest = stage.manifest
+            boundary = ""
+            if index < len(self.cut_points):
+                boundary = f"  | {self.cut_points[index].describe()}"
+            lines.append(
+                f"  stage {index}: {stage.num_ops} ops, "
+                f"in {tuple(manifest['input_shape'])} "
+                f"({manifest['input_dtype']}), "
+                f"{stage.stored_bytes()} B{boundary}")
+        return "\n".join(lines)
+
+
+def _referenced_arrays(value, arrays: Dict[str, np.ndarray],
+                       found: set) -> None:
+    if isinstance(value, str):
+        if value in arrays:
+            found.add(value)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _referenced_arrays(item, arrays, found)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _referenced_arrays(item, arrays, found)
+
+
+def split_artifact(artifact: ServeArtifact, cuts: Sequence[int], *,
+                   verify: bool = True) -> PartitionPlan:
+    """Materialize per-stage sub-artifacts at the given cut op indices.
+
+    Each stage artifact is a complete ``repro-serve/1`` artifact (stage
+    ``k > 0``'s input signature is the cut activation feeding it) whose
+    manifest carries a ``pipeline`` block recording its place in the
+    chain. With ``verify=True`` the stage plans are composed on a
+    synthetic batch and checked ``np.array_equal`` against the unsplit
+    plan — the subsystem's non-negotiable bit-exactness invariant.
+    """
+    graph = lower_artifact(artifact)
+    points = _validate_cuts(graph, cuts)
+    ordered = tuple(point.op_index for point in points)
+    manifest = artifact.manifest
+    ops = manifest["ops"]
+    model = manifest.get("model", "model")
+
+    bounds = [-1] + list(ordered) + [len(ops) - 1]
+    stages: List[ServeArtifact] = []
+    for stage_index in range(len(bounds) - 1):
+        lo, hi = bounds[stage_index], bounds[stage_index + 1]
+        stage_ops = copy.deepcopy(ops[lo + 1:hi + 1])
+        if stage_index == 0:
+            input_shape = list(manifest["input_shape"])
+            input_dtype = manifest["input_dtype"]
+        else:
+            entry = points[stage_index - 1]
+            input_shape = list(entry.activation_shape)
+            input_dtype = entry.activation_dtype
+        stage_manifest = copy.deepcopy(
+            {key: value for key, value in manifest.items()
+             if key != "ops"})
+        stage_manifest.update({
+            "model": f"{model}/stage{stage_index}",
+            "input_shape": input_shape,
+            "input_dtype": input_dtype,
+            "ops": stage_ops,
+            "pipeline": {
+                "model": model,
+                "stage": stage_index,
+                "stages": len(bounds) - 1,
+                "cut_ops": list(ordered),
+                "cut_nodes": [point.node_name for point in points],
+            },
+        })
+        referenced: set = set()
+        _referenced_arrays(stage_ops, artifact.arrays, referenced)
+        stage = ServeArtifact(manifest=stage_manifest)
+        for key in sorted(referenced):
+            stage.add_array(key, artifact.arrays[key])
+        # Fail fast if a stage cannot re-enter the compile path.
+        lower_artifact(stage)
+        stages.append(stage)
+
+    plan = PartitionPlan(model=model, cuts=ordered, cut_points=points,
+                         stages=stages)
+    if verify:
+        verify_partition(artifact, plan)
+    return plan
+
+
+def verify_partition(artifact: ServeArtifact, plan: PartitionPlan,
+                     backend: str = None, n: int = 2) -> None:
+    """Assert composed stage outputs are bit-identical to the unsplit plan."""
+    from repro.serve.plan import ExecutionPlan
+    kwargs = {} if backend is None else {"backend": backend}
+    reference = ExecutionPlan(artifact, **kwargs)
+    batch = synthetic_batch(reference.graph, n=n)
+    expected = reference.forward(batch)
+    current = batch
+    for stage in plan.stages:
+        current = ExecutionPlan(stage, **kwargs).forward(current)
+    if not np.array_equal(expected, current):
+        raise ExportError(
+            f"partition of {plan.model!r} at ops {list(plan.cuts)} is not "
+            "bit-identical to the single-device plan")
+
+
+# ----------------------------------------------------------------------
+# Balanced cut search + cost-model helpers
+# ----------------------------------------------------------------------
+def _op_macs(graph: Graph) -> Dict[int, int]:
+    """Total GEMM MACs of every top-level op (0 for non-GEMM ops)."""
+    macs: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node.op_index is None:
+            continue
+        total = sum(d["rows"] * d["reduction"] * d["columns"]
+                    for d in node_workloads(node, graph))
+        macs[node.op_index] = macs.get(node.op_index, 0) + total
+    return macs
+
+
+def auto_cuts(artifact: ServeArtifact, stages: int = 2) -> Tuple[int, ...]:
+    """Pick the legal cut set that best balances per-stage GEMM MACs.
+
+    Deterministic: exhaustive over legal combinations, minimizing the
+    largest stage's MAC total (ties break to the lexicographically
+    smallest cut tuple).
+    """
+    if stages < 2:
+        raise ConfigurationError(f"a pipeline needs >= 2 stages, "
+                                 f"got {stages}")
+    graph = lower_artifact(artifact)
+    legal = [point.op_index for point in legal_cut_points(graph)]
+    if len(legal) < stages - 1:
+        raise ConfigurationError(
+            f"{artifact.manifest.get('model', 'model')!r} has only "
+            f"{len(legal)} legal cut points; cannot split into "
+            f"{stages} stages")
+    macs = _op_macs(graph)
+    num_ops = max(n.op_index for n in graph.nodes
+                  if n.op_index is not None) + 1
+    best, best_cost = None, None
+    for combo in combinations(legal, stages - 1):
+        bounds = [-1] + list(combo) + [num_ops - 1]
+        cost = max(sum(macs.get(i, 0)
+                       for i in range(bounds[k] + 1, bounds[k + 1] + 1))
+                   for k in range(len(bounds) - 1))
+        if best_cost is None or cost < best_cost:
+            best, best_cost = combo, cost
+    return tuple(best)
+
+
+def stage_workloads(graph: Graph, cuts: Sequence[int],
+                    batch: int = 1) -> List[List[GemmWorkload]]:
+    """Per-stage GEMM workload lists of a graph split at ``cuts``.
+
+    Derived by slicing the parent graph's nodes by op index — identical
+    to lowering each stage artifact separately, because legal cuts never
+    fall inside a merged-time region (the only place ``columns`` depends
+    on the producing stage).
+    """
+    ordered = sorted(set(int(c) for c in cuts))
+    specs: List[List[dict]] = [[] for _ in range(len(ordered) + 1)]
+    for node in graph.nodes:
+        if node.op_index is None:
+            continue
+        stage = bisect_left(ordered, node.op_index)
+        specs[stage].extend(node_workloads(node, graph))
+    out: List[List[GemmWorkload]] = []
+    for stage, dims in enumerate(specs):
+        if not dims:
+            raise ExportError(f"stage {stage} has no GEMM workloads")
+        out.append([GemmWorkload(name=d["name"], rows=d["rows"],
+                                 reduction=d["reduction"],
+                                 columns=d["columns"] * batch,
+                                 sequential_columns=d["sequential"])
+                    for d in dims])
+    return out
+
+
+def transfer_bytes(graph: Graph, cuts: Sequence[int]) -> List[int]:
+    """Per-request activation bytes crossing each cut, in cut order."""
+    tails = _op_tails(graph)
+    out = []
+    for index in sorted(set(int(c) for c in cuts)):
+        tail = tails[index]
+        out.append(int(np.prod(tail.output_shape, dtype=np.int64)
+                       * np.dtype(tail.output_dtype).itemsize))
+    return out
+
+
+def cut_names(graph: Graph, cuts: Sequence[int]) -> List[str]:
+    """Node name at the tail of each cut op (for reports), in cut order."""
+    tails = _op_tails(graph)
+    return [tails[int(index)].name or tails[int(index)].kind
+            for index in sorted(set(int(c) for c in cuts))]

@@ -81,6 +81,11 @@ class ModelStats(ThroughputStats):
     cache_hits: int = 0
     cache_bytes: int = 0
     dedup_coalesced: int = 0
+    # Pipeline stage label ("k/n" on per-stage rows, "" for unstaged
+    # models). A string, so merge() keeps equal labels and collapses
+    # differing ones to "mixed" — aggregating per-stage rows across
+    # workers never corrupts the counters.
+    stage: str = ""
 
     @property
     def mean_batch_fill(self) -> float:
@@ -105,6 +110,7 @@ class ModelStats(ThroughputStats):
             f"{self.latency_ms_p95:.2f}/{self.latency_ms_p99:.2f} ms, "
             f"fpga {self.fpga_ms_per_request:.3f} ms/req, "
             f"queued {self.queue_depth}"
+            + (f", stage {self.stage}" if self.stage else "")
             + (f", cache {self.cache_hits} hits"
                f" + {self.dedup_coalesced} coalesced"
                f" (rate {self.cache_hit_rate:.2f}, "
@@ -128,6 +134,7 @@ class ModelStats(ThroughputStats):
             "cache_hits": self.cache_hits,
             "cache_bytes": self.cache_bytes,
             "dedup_coalesced": self.dedup_coalesced,
+            "stage": self.stage,
         }
 
     @classmethod
@@ -147,7 +154,8 @@ class ModelStats(ThroughputStats):
             in_flight=int(fields.get("in_flight", 0)),
             cache_hits=int(fields.get("cache_hits", 0)),
             cache_bytes=int(fields.get("cache_bytes", 0)),
-            dedup_coalesced=int(fields.get("dedup_coalesced", 0)))
+            dedup_coalesced=int(fields.get("dedup_coalesced", 0)),
+            stage=str(fields.get("stage", "")))
 
 
 class _HostedModel:

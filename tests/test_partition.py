@@ -1,0 +1,451 @@
+"""Splitter suite: cut-point legality on every model family, stage
+materialization, the bit-exactness invariant, balanced auto-cuts, the
+cost-model helpers, the SearchSpace ``cuts`` axis and the ``check_fits``
+partition hint.
+
+Every test runs the real compile path — models come from the serving
+zoo, artifacts from ``build_artifact``, stages from ``split_artifact``
+(which re-verifies ``np.array_equal`` against the unsplit plan on every
+call with ``verify=True``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExportError, ResourceError
+from repro.serve.cli import build_model
+from repro.serve.export import build_artifact
+from repro.serve.ir import lower_artifact, synthetic_batch
+from repro.serve.partition import (
+    EPILOGUE_KINDS,
+    PartitionPlan,
+    auto_cuts,
+    cut_names,
+    legal_cut_points,
+    split_artifact,
+    stage_workloads,
+    transfer_bytes,
+    verify_partition,
+)
+from repro.serve.partition.splitter import (
+    GEMM_KINDS,
+    _op_tails,
+    _validate_cuts,
+)
+from repro.serve.plan import ExecutionPlan
+
+#: One representative per supported model family (conv chains, residual
+#: CNNs, depthwise CNNs, LSTM and GRU language/speech models).
+FAMILIES = ("resnet_tiny", "mobilenet_v2", "lstm_lm", "gru_speech",
+            "yolo_lite")
+
+
+def make_artifact(name, seed=0, batch=4):
+    rng = np.random.default_rng(seed)
+    model, sampler = build_model(name, seed=seed)
+    return build_artifact(model, sampler(rng, batch), name=name)
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return {name: make_artifact(name) for name in FAMILIES}
+
+
+# ----------------------------------------------------------------------
+# Cut-point legality, all five families
+# ----------------------------------------------------------------------
+class TestCutLegality:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_every_family_has_legal_cuts(self, artifacts, family):
+        graph = lower_artifact(artifacts[family])
+        points = legal_cut_points(graph)
+        assert points, f"{family} must be partitionable"
+        indices = [point.op_index for point in points]
+        assert indices == sorted(set(indices))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_cuts_never_precede_fused_epilogues(self, artifacts, family):
+        # Rule 3: the op after a cut is never a fold-into-GEMM epilogue
+        # (cutting there would split a fused kernel across devices).
+        graph = lower_artifact(artifacts[family])
+        tails = _op_tails(graph)
+        for point in legal_cut_points(graph):
+            successor = tails[point.op_index + 1]
+            assert successor.kind not in EPILOGUE_KINDS
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_both_sides_keep_gemm_work(self, artifacts, family):
+        # Rule 5: every stage must price and serve real GEMM work.
+        graph = lower_artifact(artifacts[family])
+        gemm_ops = sorted({node.op_index for node in graph.nodes
+                           if node.kind in GEMM_KINDS})
+        for point in legal_cut_points(graph):
+            assert gemm_ops[0] <= point.op_index
+            assert gemm_ops[-1] > point.op_index
+
+    def test_resnet_residual_blocks_are_never_severed(self, artifacts):
+        # A residual lowers to several nodes sharing one op index; a cut
+        # can only fall between top-level ops, so main branch, shortcut
+        # and the add always land in one stage together.
+        artifact = artifacts["resnet_tiny"]
+        graph = lower_artifact(artifact)
+        residual_ops = {node.op_index for node in graph.nodes
+                        if node.name == "residual-add"}
+        assert residual_ops, "resnet_tiny must contain residual blocks"
+        for cut in (point.op_index for point in legal_cut_points(graph)):
+            plan = split_artifact(artifact, [cut])
+            for op_index in residual_ops:
+                owners = [
+                    stage_idx
+                    for stage_idx, stage in enumerate(plan.stages)
+                    for node in lower_artifact(stage).nodes
+                    if node.name == "residual-add"
+                    and (stage_idx, node.op_index) == (
+                        0 if op_index <= cut else 1,
+                        op_index if op_index <= cut
+                        else op_index - cut - 1)]
+                assert len(owners) == 1, \
+                    f"residual op {op_index} must live in exactly one stage"
+
+    @pytest.mark.parametrize("family", ("lstm_lm", "gru_speech",
+                                        "lstm_sentiment"))
+    def test_rnn_cuts_avoid_merged_time_regions(self, family):
+        # Rule 4: inside the time-merged region the (N, T, ...) views
+        # fold T into the batch; a legal cut never lands there, so the
+        # per-request views stay intact across the boundary.
+        artifact = make_artifact(family)
+        graph = lower_artifact(artifact)
+        tails = _op_tails(graph)
+        points = legal_cut_points(graph)
+        for point in points:
+            assert not tails[point.op_index].merged_time
+        # ... and splitting at each legal point stays bit-exact, i.e.
+        # the downstream stage reconstructs the (N, T, ...) activations
+        # identically (split_artifact verifies internally).
+        for point in points:
+            plan = split_artifact(artifact, [point.op_index])
+            assert plan.num_stages == 2
+
+    def test_single_exit_rule_rejects_dangling_shortcut(self, artifacts):
+        # Defensive rule 2: fabricate a cross-boundary edge that skips
+        # the tail and check the frontier is rejected.
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        legal_before = {p.op_index for p in legal_cut_points(graph)}
+        cut = sorted(legal_before)[0]
+        consumer = next(node for node in graph.nodes
+                        if node.op_index == cut + 1)
+        earlier = next(node for node in graph.nodes
+                       if node.op_index == 0)
+        consumer.inputs = tuple(consumer.inputs) + (earlier.id,)
+        legal_after = {p.op_index for p in legal_cut_points(graph)}
+        assert cut not in legal_after
+
+    def test_unindexed_graph_is_rejected(self, artifacts):
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        for node in graph.nodes:
+            node.op_index = None
+        with pytest.raises(ExportError, match="no op indices"):
+            legal_cut_points(graph)
+
+
+# ----------------------------------------------------------------------
+# Stage materialization + the bit-exactness invariant
+# ----------------------------------------------------------------------
+class TestSplitArtifact:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_balanced_split_is_bit_exact_everywhere(self, artifacts,
+                                                    family):
+        # The subsystem's non-negotiable invariant: composed stage plans
+        # equal the unsplit plan bitwise. split_artifact(verify=True)
+        # asserts it internally; re-check explicitly on a fresh batch.
+        artifact = artifacts[family]
+        plan = split_artifact(artifact, auto_cuts(artifact, stages=2))
+        assert plan.num_stages == 2
+        reference = ExecutionPlan(artifact)
+        batch = synthetic_batch(reference.graph, n=3, seed=7)
+        expected = reference.forward(batch)
+        current = batch
+        for stage in plan.stages:
+            current = ExecutionPlan(stage).forward(current)
+        assert np.array_equal(expected, current)
+
+    def test_stage_artifacts_reenter_compile_path_from_disk(self,
+                                                            artifacts,
+                                                            tmp_path):
+        artifact = artifacts["resnet_tiny"]
+        plan = split_artifact(artifact, auto_cuts(artifact))
+        paths = plan.save(tmp_path / "rt")
+        assert [p.endswith(f".stage{i}.npz")
+                for i, p in enumerate(paths)] == [True, True]
+        from repro.serve.artifact import ServeArtifact
+
+        loaded = [ServeArtifact.load(path) for path in paths]
+        reference = ExecutionPlan(artifact)
+        batch = synthetic_batch(reference.graph, n=2)
+        current = batch
+        for stage in loaded:
+            current = ExecutionPlan(stage).forward(current)
+        assert np.array_equal(reference.forward(batch), current)
+
+    def test_stage_manifest_pipeline_block(self, artifacts):
+        artifact = artifacts["yolo_lite"]
+        cuts = auto_cuts(artifact, stages=3)
+        plan = split_artifact(artifact, cuts)
+        assert plan.num_stages == 3
+        for index, stage in enumerate(plan.stages):
+            block = stage.manifest["pipeline"]
+            assert block["stage"] == index
+            assert block["stages"] == 3
+            assert tuple(block["cut_ops"]) == plan.cuts
+            assert stage.manifest["model"] == f"yolo_lite/stage{index}"
+        names = plan.stage_names()
+        assert names == [f"yolo_lite/stage{i}" for i in range(3)]
+        assert "3 stages" in plan.describe()
+
+    def test_stage_arrays_are_subset_and_sufficient(self, artifacts):
+        # Each stage carries exactly the arrays its ops reference — no
+        # weight tensor is shipped to a device that never reads it.
+        artifact = artifacts["resnet_tiny"]
+        plan = split_artifact(artifact, auto_cuts(artifact))
+        all_keys = set(artifact.arrays)
+        stage_keys = [set(stage.arrays) for stage in plan.stages]
+        for keys in stage_keys:
+            assert keys <= all_keys
+        assert stage_keys[0] | stage_keys[1] == all_keys
+        assert not stage_keys[0] & stage_keys[1]
+
+    def test_illegal_cut_message_lists_legal_options(self, artifacts):
+        artifact = artifacts["resnet_tiny"]
+        graph = lower_artifact(artifact)
+        legal = [p.op_index for p in legal_cut_points(graph)]
+        illegal = next(i for i in range(100) if i not in legal)
+        with pytest.raises(ConfigurationError,
+                           match="not a legal cut point"):
+            split_artifact(artifact, [illegal])
+        try:
+            _validate_cuts(graph, [illegal])
+        except ConfigurationError as error:
+            for index in legal:
+                assert str(index) in str(error)
+
+    def test_duplicate_and_empty_cuts_rejected(self, artifacts):
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        legal = [p.op_index for p in legal_cut_points(graph)]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            _validate_cuts(graph, [legal[0], legal[0]])
+        with pytest.raises(ConfigurationError, match="at least one"):
+            _validate_cuts(graph, [])
+
+    def test_verify_partition_detects_corruption(self, artifacts):
+        artifact = artifacts["resnet_tiny"]
+        plan = split_artifact(artifact, auto_cuts(artifact))
+        # Tamper with a stage weight: the invariant check must fire.
+        victim = plan.stages[1]
+        key = next(iter(victim.arrays))
+        victim.arrays[key] = victim.arrays[key] + 1.0
+        with pytest.raises(ExportError, match="not bit-identical"):
+            verify_partition(artifact, plan)
+
+
+# ----------------------------------------------------------------------
+# Balanced auto-cuts + cost-model helpers
+# ----------------------------------------------------------------------
+class TestAutoCuts:
+    def test_deterministic_and_legal(self, artifacts):
+        artifact = artifacts["mobilenet_v2"]
+        first = auto_cuts(artifact, stages=2)
+        assert first == auto_cuts(artifact, stages=2)
+        legal = {p.op_index
+                 for p in legal_cut_points(lower_artifact(artifact))}
+        assert set(first) <= legal
+
+    def test_balances_stage_macs(self, artifacts):
+        # The chosen cut's bottleneck stage must be no worse than any
+        # other legal single cut's (that is the definition of the
+        # exhaustive minimization).
+        artifact = artifacts["yolo_lite"]
+        graph = lower_artifact(artifact)
+        chosen = auto_cuts(artifact, stages=2)
+
+        def bottleneck(cut):
+            stages = stage_workloads(graph, [cut])
+            return max(sum(w.rows * w.reduction * w.columns
+                           for w in stage) for stage in stages)
+
+        best = min(bottleneck(p.op_index)
+                   for p in legal_cut_points(graph))
+        assert bottleneck(chosen[0]) == best
+
+    def test_too_many_stages_raises(self, artifacts):
+        with pytest.raises(ConfigurationError, match="legal cut points"):
+            auto_cuts(artifacts["gru_speech"], stages=5)
+        with pytest.raises(ConfigurationError, match=">= 2"):
+            auto_cuts(artifacts["gru_speech"], stages=1)
+
+
+class TestCostHelpers:
+    def test_stage_workloads_partition_the_graph(self, artifacts):
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        cut = legal_cut_points(graph)[0].op_index
+        stages = stage_workloads(graph, [cut], batch=2)
+        whole = graph.workloads(2)
+        merged = [w for stage in stages for w in stage]
+        assert sorted(w.name for w in merged) == \
+            sorted(w.name for w in whole)
+        total = sum(w.rows * w.reduction * w.columns for w in whole)
+        split_total = sum(w.rows * w.reduction * w.columns
+                          for w in merged)
+        assert split_total == total
+
+    def test_transfer_bytes_match_cut_activation(self, artifacts):
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        points = legal_cut_points(graph)
+        cuts = [p.op_index for p in points[:2]]
+        measured = transfer_bytes(graph, cuts)
+        assert measured == [p.activation_bytes for p in points[:2]]
+        assert all(b > 0 for b in measured)
+        names = cut_names(graph, cuts)
+        assert names == [p.node_name for p in points[:2]]
+
+    def test_pipeline_cost_model_prices_cuts(self, artifacts):
+        from repro.autotune.cost import (CandidateEvaluation,
+                                         PipelineCostModel)
+        from repro.autotune.space import SearchSpace
+
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        cut = legal_cut_points(graph)[0].op_index
+        model = PipelineCostModel(
+            graph.workloads,
+            stage_workloads_fn=lambda cuts, b: stage_workloads(
+                graph, cuts, batch=b),
+            transfer_bytes_fn=lambda cuts: transfer_bytes(graph, cuts),
+            cut_names_fn=lambda cuts: cut_names(graph, cuts))
+        space = SearchSpace("zu3eg", cuts=((), (cut,)))
+        single, piped = list(space.candidates())[:2]
+        assert not single.cuts and piped.cuts == (cut,)
+        e_single = model.evaluate(single)
+        e_piped = model.evaluate(piped)
+        # No cuts delegates to the plain cost model (no stage table).
+        assert e_single.stages == []
+        # The pipelined interval is the max stage, so it beats the sum.
+        assert e_piped.latency_ms < e_single.latency_ms
+        assert len(e_piped.stages) == 2
+        assert e_piped.stages[0]["transfer_ms"] > 0
+        assert e_piped.stages[-1]["transfer_ms"] == 0
+        assert e_piped.stages[0]["cut"]
+        # Stage rows survive the evaluation-cache round trip.
+        back = CandidateEvaluation.from_dict(e_piped.to_dict())
+        assert back.stages == e_piped.stages
+
+    def test_pipeline_cost_model_rejects_overflowing_stage(self,
+                                                           artifacts):
+        from repro.autotune.cost import CostModel, PipelineCostModel
+        from repro.autotune.space import SearchSpace
+
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        cut = legal_cut_points(graph)[0].op_index
+        # A geometry that overflows XC7Z020 on every stage: the plan
+        # must be rejected exactly like check_fits would reject it.
+        space = SearchSpace("7z020", batches=(4,), sp2_columns=(64,),
+                            cuts=((cut,),))
+        candidate = list(space.candidates())[0]
+        assert not CostModel(graph.workloads).evaluate(candidate).fits
+        piped = PipelineCostModel(
+            graph.workloads,
+            stage_workloads_fn=lambda cuts, b: stage_workloads(
+                graph, cuts, batch=b),
+            transfer_bytes_fn=lambda cuts: transfer_bytes(graph, cuts))
+        evaluation = piped.evaluate(candidate)
+        assert not evaluation.fits
+        assert all(not row["fits"] for row in evaluation.stages)
+
+    def test_stage_devices_map_onto_fleet(self, artifacts):
+        from repro.autotune.cost import PipelineCostModel
+        from repro.autotune.space import SearchSpace
+
+        graph = lower_artifact(artifacts["resnet_tiny"])
+        cut = legal_cut_points(graph)[0].op_index
+        model = PipelineCostModel(
+            graph.workloads,
+            stage_workloads_fn=lambda cuts, b: stage_workloads(
+                graph, cuts, batch=b),
+            transfer_bytes_fn=lambda cuts: transfer_bytes(graph, cuts),
+            stage_devices=["zu3eg", "7z020"])
+        space = SearchSpace("zu3eg", cuts=((cut,),))
+        evaluation = model.evaluate(list(space.candidates())[0])
+        assert [row["device"] for row in evaluation.stages] == \
+            ["XCZU3EG", "XC7Z020"]
+
+
+# ----------------------------------------------------------------------
+# SearchSpace cuts axis
+# ----------------------------------------------------------------------
+class TestSearchSpaceCutsAxis:
+    def test_size_and_candidates_multiply(self):
+        from repro.autotune.space import SearchSpace
+
+        base = SearchSpace("zu3eg")
+        spaced = SearchSpace("zu3eg", cuts=((), (3,), (2, 5)))
+        assert spaced.size == base.size * 3
+        seen = {c.cuts for c in spaced.candidates()}
+        assert seen == {(), (3,), (2, 5)}
+
+    def test_candidate_round_trip_and_describe(self):
+        from repro.autotune.space import Candidate, SearchSpace
+
+        candidate = list(SearchSpace("zu3eg",
+                                     cuts=((3, 7),)).candidates())[0]
+        record = candidate.as_dict()
+        assert record["cuts"] == [3, 7]
+        assert Candidate.from_dict(record) == candidate
+        assert "cut@[3, 7]" in candidate.describe()
+        # Old cached records carry no cuts key: tolerated as uncut.
+        legacy = candidate.as_dict()
+        legacy.pop("cuts")
+        assert Candidate.from_dict(legacy).cuts == ()
+
+    def test_neighbors_walk_the_cuts_axis(self):
+        from repro.autotune.space import SearchSpace
+
+        space = SearchSpace("zu3eg", cuts=((), (3,), (5,)))
+        start = next(c for c in space.candidates() if c.cuts == (3,))
+        moves = {n.cuts for n in space.neighbors(start)}
+        assert {(), (5,)} <= moves
+
+
+# ----------------------------------------------------------------------
+# check_fits partition hint (the deploy-time nudge)
+# ----------------------------------------------------------------------
+class TestCheckFitsPartitionHint:
+    def test_overflow_names_smallest_whole_fit_device(self):
+        from dataclasses import replace
+
+        from repro.fpga.devices import get_device
+        from repro.fpga.resources import check_fits, reference_designs
+
+        design = replace(reference_designs()["D2-3"],
+                         device=get_device("zu3eg"))
+        with pytest.raises(ResourceError) as info:
+            check_fits(design)
+        message = str(info.value)
+        assert "(over)" in message
+        assert "would fit whole on XC7Z045" in message
+
+    def test_overflow_everywhere_names_pipeline_split(self):
+        from dataclasses import replace
+
+        from repro.fpga.resources import check_fits, reference_designs
+
+        huge = replace(reference_designs()["D2-3"],
+                       block_out_fixed=256, block_out_sp2=256)
+        with pytest.raises(ResourceError) as info:
+            check_fits(huge)
+        message = str(info.value)
+        assert "-stage pipeline would fit on" in message
+        assert "repro.serve.partition" in message
+
+    def test_fitting_design_raises_nothing(self):
+        from repro.fpga.resources import check_fits, reference_designs
+
+        for design in reference_designs().values():
+            check_fits(design)

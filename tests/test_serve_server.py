@@ -688,6 +688,36 @@ class TestStatsMergeEdgeCases:
         via_wire = local.merge(remote)
         assert via_wire == direct
 
+    def test_stage_field_equal_survives_unequal_collapses(self):
+        # Same pipeline stage merges cleanly (replicated stage workers);
+        # different stages collapse to "mixed" like any string field.
+        a = self.model_stats(requests=1)
+        b = self.model_stats(requests=2)
+        a.stage, b.stage = "1/2", "1/2"
+        merged = a.merge(b)
+        assert merged.stage == "1/2" and merged.requests == 3
+        b.stage = "2/2"
+        assert a.merge(b).stage == "mixed"
+
+    def test_stage_default_is_empty_and_absent_from_format(self):
+        stats = self.model_stats(requests=1)
+        assert stats.stage == ""
+        assert "stage" not in stats.format()
+        stats.stage = "2/3"
+        assert "stage 2/3" in stats.format()
+
+    def test_stage_field_survives_wire_round_trip(self):
+        local = self.model_stats(requests=5, batches=2,
+                                 latencies_ms=[1.0, 2.0])
+        local.stage = "1/2"
+        remote = ModelStats.from_wire(
+            json.loads(json.dumps(local.to_wire())))
+        assert remote == local and remote.stage == "1/2"
+        # Pre-stage senders (older wire dumps) default to "" harmlessly.
+        wire = local.to_wire()
+        wire.pop("stage")
+        assert ModelStats.from_wire(wire).stage == ""
+
 
 # ----------------------------------------------------------------------
 # Deployment integration + JSON-lines protocol
