@@ -111,6 +111,28 @@ class WorkerError(ServingError):
         self.code = code
 
 
+class SessionError(ServingError):
+    """A streaming session could not be used.
+
+    ``code`` says why: ``"unknown-session"`` (never opened, or the id is
+    wrong), ``"session-exists"`` (open of an id already held),
+    ``"session-expired"`` (idle past the store TTL),
+    ``"session-evicted"`` (pushed out by the LRU byte budget),
+    ``"session-closed"`` (closed with chunks still queued), or
+    ``"session-lost"`` (the worker holding the state died or was
+    restarted without migration). Never retryable: server-held recurrent
+    state is gone, so the client must re-open the session and replay its
+    stream from the start.
+    """
+
+    code = "session-error"
+    retryable = False
+
+    def __init__(self, message: str, code: str = "session-error"):
+        super().__init__(message)
+        self.code = code
+
+
 class FrameError(ServingError, ValueError):
     """A wire frame violated the transport protocol.
 

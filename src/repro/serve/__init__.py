@@ -57,6 +57,18 @@ deterministic fault injection (:class:`FaultPlan` + in-process
 :class:`FakeTransport`) for chaos testing without sockets or sleeps.
 ``python -m repro.serve cluster`` is the CLI front door.
 
+RNN models also serve *statefully* (:mod:`repro.serve.streaming`): a
+client opens a session (``open_session``), feeds its input incrementally
+in arbitrary chunk sizes (``submit_stream``), and the recurrent state
+between chunks lives server-side in a :class:`SessionStore` (sliding TTL
++ LRU byte budget). A :class:`StreamBatcher` coalesces chunks from
+distinct sessions into one time-major micro-batch, and the backends
+thread state through the same kernels — feeding any chunking is
+``np.array_equal`` to the offline full-sequence run on every backend.
+On the cluster, sessions get sticky worker placement, typed
+:class:`~repro.errors.SessionError` on worker loss, and migration across
+rolling restarts.
+
 Models too large for any one device partition across several
 (:mod:`repro.serve.partition`): ``split_artifact`` cuts the lowered IR at
 legal stage boundaries into per-stage sub-artifacts that re-enter the
@@ -117,6 +129,19 @@ from repro.serve.placement import (
     register_placement,
 )
 from repro.serve.server import ModelServer, ModelStats
+from repro.serve.streaming import (
+    SessionEntry,
+    SessionStore,
+    StreamBatcher,
+    StreamChunk,
+    fresh_state,
+    rnn_state_spec,
+    stack_states,
+    state_from_wire,
+    state_nbytes,
+    state_to_wire,
+    unstack_state,
+)
 from repro.serve.transport import (
     FakeTransport,
     FaultPlan,
@@ -180,4 +205,15 @@ __all__ = [
     "SocketTransport",
     "array_to_wire",
     "array_from_wire",
+    "SessionEntry",
+    "SessionStore",
+    "StreamBatcher",
+    "StreamChunk",
+    "fresh_state",
+    "rnn_state_spec",
+    "stack_states",
+    "state_from_wire",
+    "state_nbytes",
+    "state_to_wire",
+    "unstack_state",
 ]

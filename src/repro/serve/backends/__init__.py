@@ -121,6 +121,7 @@ def compile_graph(artifact: ServeArtifact, backend: str = DEFAULT_BACKEND,
         artifact, graph, source_graph, kernels, backend_obj.name,
         pass_log=pass_log,
         copy_output=getattr(backend_obj, "copy_output", False))
+    model.ctx = ctx
     if verify is None:
         verify = backend_obj.name != DEFAULT_BACKEND
     if verify:

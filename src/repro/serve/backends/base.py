@@ -21,13 +21,33 @@ import numpy as np
 from repro.errors import ExportError
 from repro.serve.artifact import ServeArtifact
 from repro.serve.ir import Graph, IRNode
+# Streaming makes GEMM row counts an accident of chunk size and session
+# coalescing, so every serving GEMM (and the eager Tensor matmul) funnels
+# through the shared row-stable primitive; re-exported here because the
+# kernels treat base as their toolbox.
+from repro.tensor.tensor import row_stable_matmul  # noqa: F401
 
 
 class ExecContext:
-    """Shared mutable execution state: the scratch buffer pool."""
+    """Shared mutable execution state: the scratch buffer pool, plus the
+    recurrent-state channels used by streaming execution.
+
+    ``carry_state`` is normally False and RNN kernels behave exactly as
+    they always have (implicit zero initial state, no state emission).
+    :meth:`CompiledModel.run_stateful` flips it on around one graph walk:
+    each RNN kernel then reads its initial per-layer hidden (and cell)
+    arrays from ``state_in[node.id]`` — missing entries still mean zeros —
+    and deposits fresh copies of its final per-layer state into
+    ``state_out[node.id]``. The channels are plain dicts rather than
+    kernel arguments so the slot program and every non-RNN kernel stay
+    untouched.
+    """
 
     def __init__(self):
         self._pool: Dict[tuple, np.ndarray] = {}
+        self.carry_state: bool = False
+        self.state_in: Dict[int, dict] = {}
+        self.state_out: Dict[int, dict] = {}
 
     def scratch(self, tag: str, shape: Tuple[int, ...],
                 dtype=np.float32, zeroed: bool = False) -> np.ndarray:
@@ -133,8 +153,12 @@ class CompiledModel:
         # serving never holds two decoded copies of the weights.
         self.runtime_oracle_factory: Optional[Callable] = None
         self._verified_sizes: set = set()
+        self._verified_stream_shapes: set = set()
+        # The shared ExecContext, stamped by compile_graph; run_stateful
+        # threads recurrent state through it.
+        self.ctx: Optional[ExecContext] = None
 
-    def run(self, batch: np.ndarray) -> np.ndarray:
+    def _execute(self, batch: np.ndarray) -> np.ndarray:
         values: List[Optional[np.ndarray]] = [None] * self._slots
         values[0] = batch
         for run, sources, target, frees in self._program:
@@ -142,7 +166,10 @@ class CompiledModel:
             for dead in frees:
                 values[dead] = None
         out = values[self._out_slot] if self._program else batch
-        out = out.copy() if self.copy_output else out
+        return out.copy() if self.copy_output else out
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        out = self._execute(batch)
         if self.runtime_oracle_factory is not None \
                 and batch.shape[0] not in self._verified_sizes:
             # Kernel/BLAS paths are chosen per shape, so each batch size is
@@ -153,6 +180,55 @@ class CompiledModel:
             self._verified_sizes.add(batch.shape[0])
         return out
 
+    def run_stateful(self, batch: np.ndarray,
+                     state: Dict[int, dict]) -> Tuple[np.ndarray,
+                                                      Dict[int, dict]]:
+        """One graph walk starting from supplied recurrent state.
+
+        ``state`` maps RNN node id -> ``{"h": [per-layer (n, hidden)
+        float32], "c": [...] or None}``; an empty dict (or missing node
+        entries) means the usual zero initial state, making
+        ``run_stateful(x, {})`` bit-identical to ``run(x)``. Returns the
+        output plus the final state in the same layout (fresh arrays,
+        never views of pooled scratch). The runtime bit-exactness
+        guardrail applies here too: each new (batch, timesteps) shape is
+        verified once against a reference oracle fed the same state.
+        """
+        if self.ctx is None:
+            raise ExportError(
+                f"backend {self.backend_name!r} model was compiled without "
+                "an execution context; stateful runs are unavailable")
+        ctx = self.ctx
+        ctx.carry_state = True
+        ctx.state_in = state
+        ctx.state_out = {}
+        try:
+            out = self._execute(batch)
+            new_state = ctx.state_out
+        finally:
+            ctx.carry_state = False
+            ctx.state_in = {}
+            ctx.state_out = {}
+        shape = batch.shape[:2]
+        if self.runtime_oracle_factory is not None \
+                and shape not in self._verified_stream_shapes:
+            # Same semantics as the stateless guardrail: outputs must be
+            # bit-exact. Raw carried state is *not* compared — backends
+            # legitimately differ in the last ULP of the hidden state
+            # (hoisted n*T-row GEMM vs per-step GEMM accumulation order)
+            # while post-quantization outputs agree; the contract that
+            # matters (chunked == offline on the same backend) is enforced
+            # end-to-end by the streaming test suite.
+            oracle = self.runtime_oracle_factory()
+            expected, _ = oracle.run_stateful(batch, copy_state(state))
+            if not np.array_equal(out, expected):
+                raise ExportError(
+                    f"backend {self.backend_name!r} deviates from the "
+                    "reference backend under carried recurrent state; its "
+                    "kernels are not bit-exact")
+            self._verified_stream_shapes.add(shape)
+        return out, new_state
+
     def mark_verified(self, batch_size: int) -> None:
         self._verified_sizes.add(batch_size)
 
@@ -161,6 +237,38 @@ class CompiledModel:
                  f"({len(self._order)} kernels)"]
         lines.extend(f"  {entry}" for entry in self.pass_log)
         return "\n".join(lines)
+
+
+def copy_state(state: Dict[int, dict]) -> Dict[int, dict]:
+    """Deep-copy a recurrent-state mapping (node id -> {"h", "c"})."""
+    out: Dict[int, dict] = {}
+    for node_id, entry in state.items():
+        out[node_id] = {
+            "h": [np.array(layer, copy=True) for layer in entry["h"]],
+            "c": (None if entry.get("c") is None else
+                  [np.array(layer, copy=True) for layer in entry["c"]]),
+        }
+    return out
+
+
+def states_equal(left: Dict[int, dict], right: Dict[int, dict]) -> bool:
+    """Bitwise equality of two recurrent-state mappings."""
+    if set(left) != set(right):
+        return False
+    for node_id, entry in left.items():
+        other = right[node_id]
+        for key in ("h", "c"):
+            ours, theirs = entry.get(key), other.get(key)
+            if (ours is None) != (theirs is None):
+                return False
+            if ours is None:
+                continue
+            if len(ours) != len(theirs):
+                return False
+            if not all(np.array_equal(a, b)
+                       for a, b in zip(ours, theirs)):
+                return False
+    return True
 
 
 def verify_compiled(candidate: CompiledModel, reference: CompiledModel,

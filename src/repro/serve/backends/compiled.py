@@ -37,7 +37,12 @@ import numpy as np
 
 from repro.serve.artifact import ServeArtifact, decode_weight_record
 from repro.serve.backends import register_backend
-from repro.serve.backends.base import ExecContext, Kernel, KernelBackend
+from repro.serve.backends.base import (
+    ExecContext,
+    Kernel,
+    KernelBackend,
+    row_stable_matmul,
+)
 from repro.serve.backends.fused import FusedBackend, FusedConvKernel, \
     FusedLinearKernel
 from repro.serve.codegen.build import compiler_probe
@@ -214,7 +219,11 @@ class CodegenLinearKernel(_CodegenKernel):
         return bound
 
     def run(self, x: np.ndarray) -> np.ndarray:
-        if x.dtype != np.float32:
+        if x.dtype != np.float32 or x.shape[0] % self.rows_per_request:
+            # Streamed chunks of a merged-time graph carry partial
+            # per-request row counts the native pre/post stages were
+            # never rendered for; the fused kernel is bit-identical, so
+            # those rows are served from it.
             if self._fallback is None:
                 self._fallback = FusedLinearKernel(self.node, self.ctx,
                                                    self._artifact)
@@ -224,8 +233,9 @@ class CodegenLinearKernel(_CodegenKernel):
         if pre is not None:
             pre(x.ctypes.data, xq.ctypes.data)
             x = xq
-        # The reference's exact `x @ weight.T` on identical values.
-        np.matmul(x, self.wT, out=out)
+        # The reference's exact row-stable `x @ weight.T` on identical
+        # values.
+        row_stable_matmul(x, self.wT, out=out)
         if post is not None:
             post(out.ctypes.data)
         return out

@@ -41,7 +41,12 @@ import numpy as np
 
 from repro.serve.artifact import ServeArtifact, decode_weight_record
 from repro.serve.backends import register_backend
-from repro.serve.backends.base import ExecContext, Kernel, KernelBackend
+from repro.serve.backends.base import (
+    ExecContext,
+    Kernel,
+    KernelBackend,
+    row_stable_matmul,
+)
 from repro.serve.backends.reference import (
     ActQuant,
     EmbeddingKernel,
@@ -342,9 +347,9 @@ class FusedLinearKernel(Kernel):
             out = self.ctx.scratch(
                 f"out{self.node.id}", (x.shape[0], self.weight.shape[0]),
                 dtype=np.float32)
-            # The same `x @ weight.T` matmul the reference kernel runs,
-            # just with a preallocated output.
-            np.matmul(x, self.wT, out=out)
+            # The same row-stable `x @ weight.T` the reference kernel
+            # runs, just with a preallocated output.
+            row_stable_matmul(x, self.wT, out=out)
         if self.bias is not None:
             np.add(out, self.bias, out=out)
         for stage in self.epilogues:
@@ -391,15 +396,30 @@ class FusedRnnKernel(Kernel):
 
     def run(self, x: np.ndarray) -> np.ndarray:
         if x.dtype != np.float32:
+            # The reference kernel shares our ctx, so carried state flows
+            # through the fallback path unchanged.
             return self._fallback.run(x)
+        state = (self.ctx.state_in.get(self.node.id)
+                 if self.ctx.carry_state else None)
+        final_h: list = []
+        final_c: list = []
         seq = x
         for index, cell in enumerate(self.cells):
-            seq = self._layer(index, cell, seq)
+            h0 = state["h"][index] if state is not None else None
+            c0 = (state["c"][index]
+                  if state is not None and state.get("c") is not None
+                  else None)
+            seq = self._layer(index, cell, seq, h0, c0, final_h, final_c)
+        if self.ctx.carry_state:
+            self.ctx.state_out[self.node.id] = {
+                "h": final_h,
+                "c": final_c if self.cell_kind == "lstm" else None,
+            }
         return seq
 
     # ------------------------------------------------------------------
-    def _layer(self, index: int, cell: FusedRnnCell,
-               seq: np.ndarray) -> np.ndarray:
+    def _layer(self, index: int, cell: FusedRnnCell, seq: np.ndarray,
+               h0=None, c0=None, final_h=None, final_c=None) -> np.ndarray:
         n, steps, features = seq.shape
         hidden = cell.hidden
         gate_rows = cell.w_ih.shape[0]
@@ -411,18 +431,23 @@ class FusedRnnKernel(Kernel):
         # Hoisted input projection: T per-step GEMMs become one, and the
         # reference's per-step `x @ W_ih.T + b_ih` add folds in row-wise.
         gi = self.ctx.scratch(f"{tag}.gi", (n * steps, gate_rows))
-        np.matmul(flat, cell.w_ih.T, out=gi)
+        row_stable_matmul(flat, cell.w_ih.T, out=gi)
         np.add(gi, cell.b_ih, out=gi)
         gi = gi.reshape(n, steps, gate_rows)
 
         out_seq = self.ctx.scratch(f"{tag}.out", (n, steps, hidden))
         h = self.ctx.scratch(f"{tag}.h", (n, hidden))
-        h[...] = 0.0
+        # Seeding the recursion from carried state (instead of zeros) is
+        # the only difference between a streamed chunk and the matching
+        # slice of a full-sequence run: the hoisted input GEMM is row-wise
+        # bit-identical for any T, and the per-step gate math depends only
+        # on the h/c values themselves.
+        h[...] = 0.0 if h0 is None else h0
         gh = self.ctx.scratch(f"{tag}.gh", (n, gate_rows))
         gates = self.ctx.scratch(f"{tag}.g", (n, gate_rows))
         if self.cell_kind == "lstm":
             c = self.ctx.scratch(f"{tag}.c", (n, hidden))
-            c[...] = 0.0
+            c[...] = 0.0 if c0 is None else c0
             for t in range(steps):
                 self._lstm_step(cell, gi[:, t], h, c, gh, gates)
                 out_seq[:, t] = h
@@ -430,6 +455,12 @@ class FusedRnnKernel(Kernel):
             for t in range(steps):
                 self._gru_step(cell, gi[:, t], h, gh)
                 out_seq[:, t] = h
+        if self.ctx.carry_state:
+            # h/c live in pooled scratch; hand out copies that survive
+            # the next run.
+            final_h.append(h.copy())
+            if self.cell_kind == "lstm":
+                final_c.append(c.copy())
         return out_seq
 
     @staticmethod
@@ -438,7 +469,7 @@ class FusedRnnKernel(Kernel):
 
     def _lstm_step(self, cell, gi_t, h, c, gh, gates):
         # gates = ((x@W_ih.T + b_ih) + h@W_hh.T) + b_hh — reference order.
-        np.matmul(self._hq(cell, h), cell.w_hh.T, out=gh)
+        row_stable_matmul(self._hq(cell, h), cell.w_hh.T, out=gh)
         np.add(gi_t, gh, out=gates)
         np.add(gates, cell.b_hh, out=gates)
         size = cell.hidden
@@ -456,7 +487,7 @@ class FusedRnnKernel(Kernel):
 
     def _gru_step(self, cell, gi_t, h, gh):
         size = cell.hidden
-        np.matmul(self._hq(cell, h), cell.w_hh.T, out=gh)
+        row_stable_matmul(self._hq(cell, h), cell.w_hh.T, out=gh)
         np.add(gh, cell.b_hh, out=gh)
         # r and z share one sigmoid over the adjacent gate rows.
         r_z = stable_sigmoid(gi_t[:, :2 * size] + gh[:, :2 * size])

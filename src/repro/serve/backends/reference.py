@@ -27,6 +27,7 @@ from repro.serve.backends.base import (
     ExecContext,
     Kernel,
     KernelBackend,
+    row_stable_matmul,
 )
 from repro.serve.ir import Graph, IRNode
 from repro.tensor.conv import _im2col, _output_size, pool_windows
@@ -120,7 +121,7 @@ class LinearKernel(Kernel):
     def run(self, x: np.ndarray) -> np.ndarray:
         if self.act is not None:
             x = self.act(x)
-        out = x @ self.weight.T
+        out = row_stable_matmul(x, self.weight.T)
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -249,9 +250,19 @@ class RnnKernel(Kernel):
 
     def run(self, x: np.ndarray) -> np.ndarray:
         n, steps, _ = x.shape
-        zeros = np.zeros((n, self.hidden), dtype=np.float32)
-        h = [zeros.copy() for _ in self.cells]
-        c = [zeros.copy() for _ in self.cells]
+        state = (self.ctx.state_in.get(self.node.id)
+                 if self.ctx.carry_state else None)
+        if state is not None:
+            # Per-step math never mutates its h/c arguments, so the
+            # supplied arrays can seed the recursion directly.
+            h = list(state["h"])
+            c = list(state["c"]) if state.get("c") is not None \
+                else [np.zeros((n, self.hidden), dtype=np.float32)
+                      for _ in self.cells]
+        else:
+            zeros = np.zeros((n, self.hidden), dtype=np.float32)
+            h = [zeros.copy() for _ in self.cells]
+            c = [zeros.copy() for _ in self.cells]
         outputs = []
         for t in range(steps):
             inp = x[:, t]
@@ -263,6 +274,12 @@ class RnnKernel(Kernel):
                     h[index] = self._gru_step(cell, inp, h[index])
                 inp = h[index]
             outputs.append(inp)
+        if self.ctx.carry_state:
+            self.ctx.state_out[self.node.id] = {
+                "h": [layer.copy() for layer in h],
+                "c": ([layer.copy() for layer in c]
+                      if self.cell_kind == "lstm" else None),
+            }
         return np.stack(outputs, axis=1)
 
     @staticmethod
@@ -270,7 +287,8 @@ class RnnKernel(Kernel):
         if cell.act is not None:
             x = cell.act(x)
             h = cell.act(h)
-        gates = x @ cell.w_ih.T + cell.b_ih + h @ cell.w_hh.T + cell.b_hh
+        gates = (row_stable_matmul(x, cell.w_ih.T) + cell.b_ih
+                 + row_stable_matmul(h, cell.w_hh.T) + cell.b_hh)
         size = cell.hidden
         i = stable_sigmoid(gates[:, 0 * size:1 * size])
         f = stable_sigmoid(gates[:, 1 * size:2 * size])
@@ -286,8 +304,8 @@ class RnnKernel(Kernel):
             h_in = cell.act(h)
         else:
             x_in, h_in = x, h
-        gi = x_in @ cell.w_ih.T + cell.b_ih
-        gh = h_in @ cell.w_hh.T + cell.b_hh
+        gi = row_stable_matmul(x_in, cell.w_ih.T) + cell.b_ih
+        gh = row_stable_matmul(h_in, cell.w_hh.T) + cell.b_hh
         size = cell.hidden
         r = stable_sigmoid(gi[:, :size] + gh[:, :size])
         z = stable_sigmoid(gi[:, size:2 * size] + gh[:, size:2 * size])

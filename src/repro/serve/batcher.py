@@ -80,6 +80,27 @@ def coerce_payload(plan, payload) -> np.ndarray:
     return payload
 
 
+def coerce_chunk(plan, chunk) -> np.ndarray:
+    """:func:`coerce_payload` for one streaming chunk.
+
+    A chunk is a ``(T,) + step_shape`` slice of a session's input stream:
+    the leading timestep count is free (``T >= 1``), only the per-step
+    trailing dims must match the plan. Same copy discipline as the
+    request path.
+    """
+    chunk = np.asarray(chunk)
+    step_shape = plan.input_shape[1:]
+    if chunk.ndim != len(plan.input_shape) \
+            or tuple(chunk.shape[1:]) != step_shape or chunk.shape[0] < 1:
+        raise ConfigurationError(
+            f"stream chunk shape {tuple(chunk.shape)} != (T,) + "
+            f"{step_shape} with T >= 1 (plan input {plan.input_shape})")
+    if chunk.dtype != plan.input_dtype \
+            or not chunk.flags["C_CONTIGUOUS"]:
+        chunk = np.ascontiguousarray(chunk, dtype=plan.input_dtype)
+    return chunk
+
+
 class DynamicBatcher:
     """FIFO micro-batch former with a size-or-deadline flush policy."""
 

@@ -352,18 +352,19 @@ def serve_protocol(server, lines, out,
             return {"id": request_id, "model": model,
                     **_error_fields(error)}
         request = future.request
-        payload = {
-            "id": request_id, "model": model,
-            "latency_ms": round(request.latency_ms, 3),
-            "batch_id": request.batch_id,
-            "batch_size": request.batch_size,
-        }
-        # Cache provenance rides along so clients (and the cluster
-        # router) can tell a cached/coalesced answer from a computed one.
-        if getattr(request, "cached", False):
-            payload["cached"] = True
-        if getattr(request, "coalesced", False):
-            payload["coalesced"] = True
+        payload = {"id": request_id, "model": model}
+        if request is not None:
+            payload.update(latency_ms=round(request.latency_ms, 3),
+                           batch_id=request.batch_id,
+                           batch_size=request.batch_size)
+            # Cache provenance rides along so clients (and the cluster
+            # router) can tell a cached/coalesced answer from a computed
+            # one. Stream-chunk futures carry no request record: they
+            # are stateful, so by construction never cached/coalesced.
+            if getattr(request, "cached", False):
+                payload["cached"] = True
+            if getattr(request, "coalesced", False):
+                payload["coalesced"] = True
         result = np.asarray(future.result())
         if binary:
             payload.update(array_to_wire(result, key="output"))
@@ -427,6 +428,78 @@ def serve_protocol(server, lines, out,
                 emit_stats(server, emit,
                            detail=bool(message.get("detail")),
                            request_id=message.get("id"))
+            continue
+        if op in ("stream_open", "stream_close", "session_export",
+                  "session_import"):
+            # Session control is synchronous on the server, so it is
+            # answered immediately — out of band of the inference FIFO
+            # (clients and the router correlate by "id").
+            model = message.get("model")
+            if model is None:
+                with wire:
+                    emit({"id": message.get("id"),
+                          "error": f"{op} request needs 'model'",
+                          "code": "bad-request", "retryable": False})
+                continue
+            try:
+                if op == "stream_open":
+                    sid = server.open_session(
+                        model, session_id=message.get("session"))
+                    reply = {"op": op, "model": model, "session": sid}
+                elif op == "stream_close":
+                    chunks = server.close_session(
+                        model, str(message.get("session")))
+                    reply = {"op": op, "model": model,
+                             "session": message.get("session"),
+                             "chunks": chunks}
+                elif op == "session_export":
+                    reply = {"op": op, "model": model,
+                             "sessions": server.export_sessions(model)}
+                else:
+                    server.import_session(
+                        model, str(message.get("session")),
+                        message.get("state") or {},
+                        chunks=int(message.get("chunks", 0)))
+                    reply = {"op": op, "model": model,
+                             "session": message.get("session")}
+            except (ServingError, ValueError, TypeError) as error:
+                with wire:
+                    emit({"id": message.get("id"), "model": model,
+                          **_error_fields(error)})
+                continue
+            if message.get("id") is not None:
+                reply["id"] = message["id"]
+            with wire:
+                emit(reply)
+            continue
+        if op == "stream_submit":
+            model = message.get("model")
+            session = message.get("session")
+            binary = "input_b64" in message
+            if model is None or session is None \
+                    or (not binary and "input" not in message):
+                with wire:
+                    emit({"id": message.get("id"),
+                          "error": "stream_submit needs 'model', "
+                                   "'session' and 'input' (or "
+                                   "'input_b64' + dtype + shape)",
+                          "code": "bad-request", "retryable": False})
+                continue
+            try:
+                payload = (array_from_wire(message, "input") if binary
+                           else np.asarray(message["input"]))
+                future = server.submit_stream(model, str(session), payload)
+            except (ServingError, ValueError, TypeError) as error:
+                with wire:
+                    emit({"id": message.get("id"), "model": model,
+                          **_error_fields(error)})
+                continue
+            with wire:
+                outstanding.append((message.get("id"), model, future,
+                                    binary))
+            served += 1
+            future.add_done_callback(lambda _: flush_completed())
+            flush_completed()
             continue
         if op != "infer":
             with wire:
@@ -628,7 +701,9 @@ def cmd_cluster_worker(args) -> int:
     server = ModelServer(workers=args.workers, max_batch=args.batch,
                          max_wait_ms=args.max_wait_ms,
                          cache_mb=args.cache_mb or None,
-                         cache_ttl_s=args.cache_ttl_s)
+                         cache_ttl_s=args.cache_ttl_s,
+                         session_mb=args.session_mb,
+                         session_ttl_s=args.session_ttl_s)
     try:
         for name, path in hosted:
             versioned = f"{name}@v{args.generation}"
@@ -681,6 +756,66 @@ def cmd_cache(args) -> int:
     finally:
         server.close()
     return 0
+
+
+def cmd_stream(args) -> int:
+    """Stream concurrent sessions in mismatched chunk sizes and verify
+    every one is bit-identical to its offline full-sequence run."""
+    from repro.serve.server import ModelServer
+
+    server = ModelServer(workers=0, max_batch=args.batch, max_wait_ms=0.0)
+    try:
+        server.load("model", args.artifact, backend=args.backend)
+        plan = server.plan("model")
+        if not plan.streamable:
+            print("error: artifact has no recurrent layers; streaming "
+                  "sessions need an RNN plan", file=sys.stderr)
+            return 1
+        timesteps = plan.input_shape[0]
+        sequences = synthetic_payloads(plan, args.sessions, seed=args.seed)
+        offline = [plan.stream_outputs(plan.forward(seq[None]), 1)[0]
+                   for seq in sequences]
+        sids = [server.open_session("model")
+                for _ in range(args.sessions)]
+        # Session i streams in chunks of i+1 timesteps (ragged tail), so
+        # every chunking from 1..sessions is exercised, interleaved.
+        futures = [[] for _ in sids]
+        cursors = [0] * len(sids)
+        sizes = [(index % timesteps) + 1 for index in range(len(sids))]
+        while any(cursor < timesteps for cursor in cursors):
+            for index, sid in enumerate(sids):
+                if cursors[index] >= timesteps:
+                    continue
+                size = min(sizes[index], timesteps - cursors[index])
+                chunk = sequences[index][
+                    cursors[index]:cursors[index] + size]
+                futures[index].append(
+                    server.submit_stream("model", sid, chunk))
+                cursors[index] += size
+        server.drain()
+        matches = 0
+        for index, sid in enumerate(sids):
+            results = [future.result(timeout=30.0)
+                       for future in futures[index]]
+            # Per-step decoders reassemble the full output from the
+            # chunks; running-output heads (take-last classifiers) emit
+            # the prediction-so-far per chunk, so only the final chunk
+            # matches the offline run.
+            streamed = (np.concatenate(results, axis=0)
+                        if plan.per_step_output else results[-1])
+            ok = np.array_equal(streamed, offline[index])
+            matches += ok
+            chunks = server.close_session("model", sid)
+            print(f"session {sid} (chunk size {sizes[index]}, "
+                  f"{chunks} chunks): "
+                  + ("IDENTICAL (np.array_equal)" if ok else "MISMATCH"))
+        stats = server.stats()["model"]
+        print(f"streamed {args.sessions} session(s) x {timesteps} "
+              f"timesteps through backend {args.backend!r} "
+              f"({stats.stream_chunks} chunks served)")
+        return 0 if matches == args.sessions else 1
+    finally:
+        server.close()
 
 
 def main(argv=None) -> int:
@@ -820,7 +955,26 @@ def main(argv=None) -> int:
                              "(0 = caching off)")
     worker.add_argument("--cache-ttl-s", type=float, default=None,
                         help="response-cache entry TTL in seconds")
+    worker.add_argument("--session-mb", type=float, default=None,
+                        help="streaming-session state byte budget in MB")
+    worker.add_argument("--session-ttl-s", type=float, default=None,
+                        help="idle-session TTL in seconds")
     worker.set_defaults(func=cmd_cluster_worker)
+
+    stream = sub.add_parser(
+        "stream",
+        help="stream sessions through an RNN artifact in mismatched "
+             "chunk sizes and verify bit-exactness against the offline "
+             "full-sequence run")
+    stream.add_argument("artifact")
+    stream.add_argument("--sessions", type=int, default=4,
+                        help="concurrent streaming sessions")
+    stream.add_argument("--batch", type=int, default=16,
+                        help="max cross-session stream micro-batch")
+    stream.add_argument("--backend", default=DEFAULT_BACKEND,
+                        choices=list_backends())
+    stream.add_argument("--seed", type=int, default=0)
+    stream.set_defaults(func=cmd_stream)
 
     cache = sub.add_parser(
         "cache",

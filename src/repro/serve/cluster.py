@@ -43,8 +43,9 @@ import subprocess
 import sys
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -53,6 +54,7 @@ from repro.errors import (
     ConfigurationError,
     FrameError,
     ServingError,
+    SessionError,
     TransportClosed,
     WorkerError,
 )
@@ -80,6 +82,13 @@ __all__ = ["ClusterRouter", "LocalWorker", "ProcessWorker",
            "RoutedRequest", "RouterStats"]
 
 
+SESSION_ERROR_CODES = frozenset({
+    "session-error", "unknown-session", "session-exists",
+    "session-expired", "session-evicted", "session-closed",
+    "session-lost",
+})
+
+
 def error_from_wire(message: Dict) -> ServingError:
     """Reconstruct the typed error a worker answered over the wire."""
     code = message.get("code", "serving-error")
@@ -90,6 +99,8 @@ def error_from_wire(message: Dict) -> ServingError:
         return AdmissionError(text)
     if code in ("worker-failed", "no-workers", "timeout", "lost", "closed"):
         return WorkerError(text, code=code)
+    if code in SESSION_ERROR_CODES:
+        return SessionError(text, code=code)
     error = ServingError(text)
     error.code = code
     return error
@@ -118,7 +129,8 @@ class _Pending:
     model: str
     enqueued_at: float
     deadline: Optional[float]
-    kind: str = "infer"          # "infer" | "stats"
+    kind: str = "infer"          # "infer" | "stream" | "control" | "stats"
+    session: Optional[str] = None
 
 
 @dataclass
@@ -211,7 +223,9 @@ class LocalWorker(_WorkerBase):
                  plan: Optional[FaultPlan] = None,
                  max_bytes: int = MAX_MESSAGE_BYTES,
                  cache_mb: Optional[float] = None,
-                 cache_ttl_s: Optional[float] = None):
+                 cache_ttl_s: Optional[float] = None,
+                 session_mb: Optional[float] = None,
+                 session_ttl_s: Optional[float] = None):
         super().__init__(name, models, capacity)
         self._clock = clock
         self.max_batch = int(max_batch)
@@ -222,6 +236,8 @@ class LocalWorker(_WorkerBase):
         self.cache_mb = cache_mb
         self.cache_ttl_s = cache_ttl_s
         self.cache_enabled = bool(cache_mb)
+        self.session_mb = session_mb
+        self.session_ttl_s = session_ttl_s
         self._endpoint = None
         self._server: Optional[ModelServer] = None
         self.start()
@@ -240,7 +256,9 @@ class LocalWorker(_WorkerBase):
                                    max_wait_ms=self.max_wait_ms,
                                    clock=self._clock,
                                    cache_mb=self.cache_mb,
-                                   cache_ttl_s=self.cache_ttl_s)
+                                   cache_ttl_s=self.cache_ttl_s,
+                                   session_mb=self.session_mb,
+                                   session_ttl_s=self.session_ttl_s)
         for public, source in self._sources.items():
             versioned = f"{public}@v{self.generation}"
             if hasattr(source, "engine"):
@@ -299,6 +317,30 @@ class LocalWorker(_WorkerBase):
             self.alive = False
         return len(lines)
 
+    # ------------------------------------------------------------------
+    def export_sessions(self) -> Dict[str, Dict[str, dict]]:
+        """Wire-encoded snapshot of every model's live sessions — the
+        in-process half of session migration across a rolling restart
+        (the server resolves public aliases to the current generation)."""
+        if self._server is None:
+            raise ServingError(f"worker {self.name!r} is stopped")
+        return {public: self._server.export_sessions(public)
+                for public in self._sources}
+
+    def import_sessions(self,
+                        exported: Dict[str, Dict[str, dict]]) -> int:
+        """Re-create exported sessions in the restarted server."""
+        if self._server is None:
+            raise ServingError(f"worker {self.name!r} is stopped")
+        count = 0
+        for public, sessions in exported.items():
+            for sid, snapshot in sessions.items():
+                self._server.import_session(
+                    public, sid, snapshot["state"],
+                    chunks=int(snapshot.get("chunks", 0)))
+                count += 1
+        return count
+
 
 class ProcessWorker(_WorkerBase):
     """A worker subprocess (``python -m repro.serve cluster-worker``)
@@ -319,7 +361,9 @@ class ProcessWorker(_WorkerBase):
                  env: Optional[Dict[str, str]] = None,
                  spawn_timeout: float = 60.0,
                  cache_mb: Optional[float] = None,
-                 cache_ttl_s: Optional[float] = None):
+                 cache_ttl_s: Optional[float] = None,
+                 session_mb: Optional[float] = None,
+                 session_ttl_s: Optional[float] = None):
         for model, source in models.items():
             if hasattr(source, "engine"):
                 raise ConfigurationError(
@@ -335,6 +379,8 @@ class ProcessWorker(_WorkerBase):
         self.cache_mb = cache_mb
         self.cache_ttl_s = cache_ttl_s
         self.cache_enabled = bool(cache_mb)
+        self.session_mb = session_mb
+        self.session_ttl_s = session_ttl_s
         self._env = dict(env or {})
         self._spawn_timeout = spawn_timeout
         self._proc: Optional[subprocess.Popen] = None
@@ -354,6 +400,10 @@ class ProcessWorker(_WorkerBase):
             args += ["--cache-mb", str(self.cache_mb)]
             if self.cache_ttl_s is not None:
                 args += ["--cache-ttl-s", str(self.cache_ttl_s)]
+        if self.session_mb is not None:
+            args += ["--session-mb", str(self.session_mb)]
+        if self.session_ttl_s is not None:
+            args += ["--session-ttl-s", str(self.session_ttl_s)]
         for model, path in sorted(self._sources.items()):
             args += ["--model", f"{model}={path}"]
         import repro
@@ -446,6 +496,11 @@ class ClusterRouter:
         self._timeout_ms = request_timeout_ms
         self._lock = threading.Condition(threading.Lock())
         self._pending: Dict[int, _Pending] = {}
+        # (model, session id) -> owning worker name; None tombstones a
+        # session whose worker died/restarted without migration, so the
+        # client gets "session-lost" (state is gone) rather than the
+        # config-mistake-flavored "unknown-session".
+        self._sessions: Dict[Tuple[str, str], Optional[str]] = {}
         self._by_worker: Dict[str, Set[int]] = {w.name: set()
                                                 for w in workers}
         self._in_flight: Dict[str, int] = {w.name: 0 for w in workers}
@@ -469,7 +524,9 @@ class ClusterRouter:
               env: Optional[Dict[str, str]] = None,
               request_timeout_ms: Optional[float] = None,
               cache_mb: Optional[float] = None,
-              cache_ttl_s: Optional[float] = None
+              cache_ttl_s: Optional[float] = None,
+              session_mb: Optional[float] = None,
+              session_ttl_s: Optional[float] = None
               ) -> "ClusterRouter":
         """Spawn ``workers`` subprocesses, each hosting every model in
         ``models`` (name -> artifact path), and route over them."""
@@ -479,7 +536,9 @@ class ClusterRouter:
                                max_wait_ms=max_wait_ms, backend=backend,
                                capacity=None, worker_threads=worker_threads,
                                env=env, cache_mb=cache_mb,
-                               cache_ttl_s=cache_ttl_s)
+                               cache_ttl_s=cache_ttl_s,
+                               session_mb=session_mb,
+                               session_ttl_s=session_ttl_s)
                  for index in range(workers)]
         return cls(fleet, placement, capacity=capacity,
                    request_timeout_ms=request_timeout_ms)
@@ -591,6 +650,174 @@ class ClusterRouter:
         return None
 
     # ------------------------------------------------------------------
+    # Streaming sessions (sticky placement)
+    # ------------------------------------------------------------------
+    def open_session(self, model: str,
+                     session_id: Optional[str] = None) -> str:
+        """Open a streaming session and pin it to one worker.
+
+        The worker is chosen by the placement policy keyed on the
+        session id (consistent-hash policies give stable affinity);
+        every subsequent chunk of the session routes to that worker,
+        because that is where its recurrent state lives. Returns the
+        session id; worker-side failures (e.g. a non-RNN model) surface
+        on the session's first submit.
+        """
+        sid = session_id if session_id is not None \
+            else uuid.uuid4().hex[:12]
+        with self._lock:
+            if not self._running:
+                raise ServingError("cluster router is closed")
+            if self._sessions.get((model, sid)) is not None:
+                raise SessionError(
+                    f"session {sid!r} is already open on worker "
+                    f"{self._sessions[(model, sid)]!r}",
+                    code="session-exists")
+            hosts = [w for w in self._workers if model in w.models]
+            if not hosts:
+                known = sorted({m for w in self._workers
+                                for m in w.models})
+                raise ServingError(
+                    f"unknown model {model!r}; hosted: {known}")
+            worker = self._admit_locked(model, hosts,
+                                        request_key=f"session:{sid}")
+            if worker is None:
+                raise WorkerError(
+                    f"no live worker can host a session of {model!r}",
+                    code="no-workers")
+            self._sessions[(model, sid)] = worker.name
+        future = self._send_control(worker, {
+            "op": "stream_open", "model": model, "session": sid})
+
+        def unmap_on_failure(done) -> None:
+            if done.exception(timeout=None) is not None:
+                with self._lock:
+                    if self._sessions.get((model, sid)) == worker.name:
+                        del self._sessions[(model, sid)]
+
+        future.add_done_callback(unmap_on_failure)
+        return sid
+
+    def submit_stream(self, model: str, session_id: str,
+                      chunk) -> InferenceFuture:
+        """Route one chunk to the session's pinned worker."""
+        future = InferenceFuture(model=model)
+        with self._lock:
+            if not self._running:
+                raise ServingError("cluster router is closed")
+            owner = self._sessions.get((model, session_id), "")
+        if owner == "":
+            future._fail(SessionError(
+                f"unknown session {session_id!r} of {model!r} (never "
+                "opened, or already closed)", code="unknown-session"))
+            return future
+        if owner is None:
+            future._fail(SessionError(
+                f"session {session_id!r} of {model!r} was lost with its "
+                "worker; reopen and replay", code="session-lost"))
+            return future
+        worker = self._worker_by_name(owner)
+        if not worker.alive:
+            future._fail(SessionError(
+                f"session {session_id!r} of {model!r} was lost with "
+                f"worker {owner!r}; reopen and replay",
+                code="session-lost"))
+            return future
+        try:
+            message = {"op": "stream_submit", "model": model,
+                       "session": session_id,
+                       **array_to_wire(np.asarray(chunk))}
+        except Exception as error:
+            bad = ServingError(f"chunk could not be encoded: {error}")
+            bad.code = "bad-request"
+            future._fail(bad)
+            return future
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            message["id"] = request_id
+            now = self._clock()
+            self._pending[request_id] = _Pending(
+                future=future, worker=worker.name, model=model,
+                enqueued_at=now,
+                deadline=None if self._timeout_ms is None
+                else now + self._timeout_ms / 1e3,
+                kind="stream", session=session_id)
+            self._by_worker[worker.name].add(request_id)
+            self._in_flight[worker.name] += 1
+            self._counters.routed += 1
+        try:
+            worker.transport.send(message)
+        except TransportClosed:
+            self._worker_died(worker)
+        except FrameError as error:       # oversized chunk
+            self._drop_pending(request_id)
+            future._fail(error)
+        return future
+
+    def close_session(self, model: str, session_id: str,
+                      timeout: Optional[float] = 30.0) -> int:
+        """Close a session on its worker; returns chunks served."""
+        with self._lock:
+            if not self._running:
+                raise ServingError("cluster router is closed")
+            owner = self._sessions.pop((model, session_id), "")
+        if owner == "":
+            raise SessionError(
+                f"unknown session {session_id!r} of {model!r} (never "
+                "opened, or already closed)", code="unknown-session")
+        if owner is None:
+            raise SessionError(
+                f"session {session_id!r} of {model!r} was lost with its "
+                "worker", code="session-lost")
+        worker = self._worker_by_name(owner)
+        if not worker.alive:
+            raise SessionError(
+                f"session {session_id!r} of {model!r} was lost with "
+                f"worker {owner!r}", code="session-lost")
+        future = self._send_control(worker, {
+            "op": "stream_close", "model": model, "session": session_id})
+        if not self._has_self_driving():
+            while not future.done():
+                if self.pump() == 0:
+                    break
+        reply = future.result(
+            timeout=0 if not self._has_self_driving() else timeout)
+        return int(reply.get("chunks", 0))
+
+    def sessions(self) -> Dict[str, List[str]]:
+        """Live session ids per worker (lost sessions excluded)."""
+        with self._lock:
+            placed: Dict[str, List[str]] = {}
+            for (model, sid), owner in self._sessions.items():
+                if owner is not None:
+                    placed.setdefault(owner, []).append(sid)
+            return {name: sorted(ids) for name, ids in placed.items()}
+
+    def _send_control(self, worker: _WorkerBase,
+                      message: Dict) -> InferenceFuture:
+        """Send a session-control op; its future resolves with the raw
+        response message (the worker answers these immediately)."""
+        future = InferenceFuture(model=message.get("model"))
+        with self._lock:
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = _Pending(
+                future=future, worker=worker.name,
+                model=str(message.get("model")),
+                enqueued_at=self._clock(), deadline=None,
+                kind="control", session=message.get("session"))
+            self._by_worker[worker.name].add(request_id)
+        try:
+            worker.transport.send({**message, "id": request_id})
+        except TransportClosed:
+            self._worker_died(worker)
+        except FrameError as error:
+            self._drop_pending(request_id)
+            future._fail(error)
+        return future
+
+    # ------------------------------------------------------------------
     # Responses, deaths, timeouts
     # ------------------------------------------------------------------
     def _handle_message(self, worker: _WorkerBase, message: Dict) -> None:
@@ -600,7 +827,7 @@ class ClusterRouter:
                      if request_id is not None else None)
             if entry is not None:
                 self._by_worker[entry.worker].discard(request_id)
-                if entry.kind == "infer":
+                if entry.kind in ("infer", "stream"):
                     self._in_flight[entry.worker] = max(
                         0, self._in_flight[entry.worker] - 1)
                     self._counters.completed += 1
@@ -614,7 +841,7 @@ class ClusterRouter:
         if "error" in message:
             entry.future._fail(error_from_wire(message))
             return
-        if entry.kind == "stats":
+        if entry.kind in ("stats", "control"):
             entry.future._resolve(message, None)
             return
         if "output_b64" in message:
@@ -635,7 +862,7 @@ class ClusterRouter:
             entry = self._pending.pop(request_id, None)
             if entry is not None:
                 self._by_worker[entry.worker].discard(request_id)
-                if entry.kind == "infer":
+                if entry.kind in ("infer", "stream"):
                     self._in_flight[entry.worker] = max(
                         0, self._in_flight[entry.worker] - 1)
             self._lock.notify_all()
@@ -652,12 +879,26 @@ class ClusterRouter:
             if not worker._failure_counted:
                 worker._failure_counted = True
                 self._counters.worker_failures += 1
+            # The worker's sessions died with their server-held state.
+            # The mapping stays (tombstoned) so later submits for those
+            # sessions fail typed "session-lost", not "unknown-session".
+            for key, owner in self._sessions.items():
+                if owner == worker.name:
+                    self._sessions[key] = None
             self._lock.notify_all()
         for entry in entries:
-            entry.future._fail(WorkerError(
-                f"worker {worker.name!r} died holding request for "
-                f"{entry.model!r} (crash mid-batch or connection lost); "
-                "the request may be retried"))
+            if entry.kind == "stream":
+                # Only this worker's sessions fail; streams pinned to
+                # other workers never see the crash.
+                entry.future._fail(SessionError(
+                    f"worker {worker.name!r} died holding session "
+                    f"{entry.session!r} of {entry.model!r}; its state is "
+                    "lost — reopen and replay", code="session-lost"))
+            else:
+                entry.future._fail(WorkerError(
+                    f"worker {worker.name!r} died holding request for "
+                    f"{entry.model!r} (crash mid-batch or connection "
+                    "lost); the request may be retried"))
 
     def _expire_timeouts(self) -> int:
         now = self._clock()
@@ -670,7 +911,7 @@ class ClusterRouter:
             for request_id in expired:
                 entry = self._pending.pop(request_id)
                 self._by_worker[entry.worker].discard(request_id)
-                if entry.kind == "infer":
+                if entry.kind in ("infer", "stream"):
                     self._in_flight[entry.worker] = max(
                         0, self._in_flight[entry.worker] - 1)
                 self._counters.timeouts += 1
@@ -822,16 +1063,43 @@ class ClusterRouter:
         finish, restart it (reloading its model sources — pass
         ``models=`` name->new artifact path to roll the whole fleet onto
         a new version), resume. Traffic keeps flowing to the other
-        workers throughout."""
+        workers throughout.
+
+        Streaming sessions survive when the worker can export them
+        (:class:`LocalWorker`): after the drain its sessions are
+        snapshotted over the exact-float wire encoding and re-imported
+        into the restarted server, so surviving sessions continue
+        bit-exactly. A worker that cannot migrate (a restarted
+        subprocess is a fresh address space) loses its sessions: their
+        mappings are tombstoned and later chunks fail typed
+        ``session-lost``.
+        """
         for worker in self._workers:
             with self._lock:
                 worker.accepting = False
+                has_sessions = any(
+                    owner == worker.name
+                    for owner in self._sessions.values())
             self._drain_worker(worker, timeout)
+            exported = None
+            if has_sessions and hasattr(worker, "export_sessions"):
+                try:
+                    exported = worker.export_sessions()
+                except ServingError:
+                    exported = None
             worker._stopping = True
             try:
                 worker.restart(models)
             finally:
                 worker._stopping = False
+            if has_sessions:
+                if exported is not None:
+                    worker.import_sessions(exported)
+                else:
+                    with self._lock:
+                        for key, owner in self._sessions.items():
+                            if owner == worker.name:
+                                self._sessions[key] = None
             with self._lock:
                 self._in_flight[worker.name] = 0
                 worker.accepting = True

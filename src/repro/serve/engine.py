@@ -200,6 +200,24 @@ class InferenceEngine:
         """Single-request convenience path (adds and strips the batch dim)."""
         return self.infer(np.asarray(request)[None])[0]
 
+    def infer_stream(self, batch: np.ndarray, state: dict):
+        """Run one (N, T, ...) chunk micro-batch from carried state.
+
+        Returns ``(outputs, new_state)``
+        (:meth:`~repro.serve.plan.ExecutionPlan.forward_stream`); counts
+        each session's chunk as one request under the same counters as
+        :meth:`infer`.
+        """
+        batch = np.asarray(batch)
+        started = self._clock()
+        outputs, new_state = self.plan.forward_stream(batch, state)
+        elapsed = self._clock() - started
+        self.stats.requests += batch.shape[0]
+        self.stats.batches += 1
+        self.stats.wall_seconds += elapsed
+        self.stats.fpga_ms += self.fpga_latency_ms(batch.shape[0])
+        return outputs, new_state
+
     # ------------------------------------------------------------------
     def fpga_latency_ms(self, batch_size: int) -> float:
         """Simulated accelerator latency of one micro-batch of this size.

@@ -145,6 +145,16 @@ class Graph:
     def gemm_nodes(self) -> List[IRNode]:
         return [n for n in self.nodes if n.kind in ("conv", "linear", "rnn")]
 
+    def rnn_nodes(self) -> List[IRNode]:
+        """Recurrent nodes, i.e. the state sites of streaming execution.
+
+        Node ids are assigned by the deterministic lowering order, so the
+        same artifact yields the same rnn node ids on every backend —
+        which is what lets a recurrent-state mapping (node id -> h/c
+        arrays) travel between backends, workers, and the wire.
+        """
+        return [n for n in self.nodes if n.kind == "rnn"]
+
     def workloads(self, batch: int = 1) -> List[GemmWorkload]:
         """GEMM workloads of one graph pass serving ``batch`` requests.
 

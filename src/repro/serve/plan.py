@@ -86,6 +86,61 @@ class ExecutionPlan:
         return outputs
 
     # ------------------------------------------------------------------
+    # Streaming (state-carrying) execution
+    # ------------------------------------------------------------------
+    @property
+    def streamable(self) -> bool:
+        """True when the plan has recurrent layers to carry state for."""
+        return bool(self.graph.rnn_nodes())
+
+    def forward_stream(self, batch: np.ndarray, state: dict):
+        """Run one (N, T, ...) chunk batch from carried recurrent state.
+
+        ``T`` (the chunk's timestep count) may differ from the exported
+        sequence length — the trailing per-step dims must match. Returns
+        ``(outputs, new_state)``; feeding a sequence chunk by chunk,
+        threading the state through, is bit-identical to one
+        full-sequence :meth:`forward` call on every backend.
+        """
+        if not self.streamable:
+            raise ExportError(
+                "plan has no recurrent layers; streaming execution needs "
+                "an RNN")
+        x = np.asarray(batch)
+        step_shape = self.input_shape[1:]
+        if x.ndim != len(self.input_shape) + 1 \
+                or tuple(x.shape[2:]) != step_shape or x.shape[1] < 1:
+            raise ShapeError(
+                f"stream chunk expects per-request shape (T,)"
+                f" + {step_shape} with T >= 1, got {tuple(x.shape[1:])}")
+        return self.compiled.run_stateful(x, state)
+
+    @property
+    def per_step_output(self) -> bool:
+        """True when every timestep emits an output row (a time-merged
+        decoder): concatenating a session's chunk outputs reproduces the
+        offline full-sequence output. False for running-output heads
+        (e.g. a take-last classifier), where each chunk yields the
+        prediction for the sequence *so far* and only the final chunk's
+        output matches the offline run.
+        """
+        return bool(self.graph.node(self.graph.output_id).merged_time)
+
+    def stream_outputs(self, outputs: np.ndarray,
+                       batch_size: int) -> np.ndarray:
+        """:meth:`per_request_outputs` for variable-length chunks.
+
+        Time-merged decoders return ``(N*T, ...)`` with ``T`` set by the
+        chunk, not the exported sequence length, so the time axis is
+        recovered dynamically instead of from the static node shape.
+        """
+        node = self.graph.node(self.graph.output_id)
+        if node.merged_time:
+            return outputs.reshape((batch_size, -1)
+                                   + tuple(node.output_shape[1:]))
+        return outputs
+
+    # ------------------------------------------------------------------
     # FPGA cost model
     # ------------------------------------------------------------------
     def workloads(self, batch: int = 1) -> List[GemmWorkload]:

@@ -40,20 +40,40 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ReproError, ServingError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    ServingError,
+    SessionError,
+)
 from repro.fpga.resources import GemmDesign
 from repro.serve.backends import DEFAULT_BACKEND
-from repro.serve.batcher import DynamicBatcher, ServedRequest, coerce_payload
+from repro.serve.batcher import (
+    DynamicBatcher,
+    ServedRequest,
+    coerce_chunk,
+    coerce_payload,
+)
 from repro.serve.cache import InflightTable, ResponseCache
 from repro.serve.engine import InferenceEngine, ThroughputStats
 from repro.serve.futures import InferenceFuture
 from repro.serve.scheduler import ServeStats, execute_batch
+from repro.serve.streaming.batcher import StreamBatcher, StreamChunk
+from repro.serve.streaming.state import (
+    fresh_state,
+    stack_states,
+    state_from_wire,
+    state_to_wire,
+    unstack_state,
+)
+from repro.serve.streaming.store import SessionStore
 from repro.util.hashing import array_digest
 
 __all__ = ["ModelServer", "ModelStats"]
@@ -81,6 +101,14 @@ class ModelStats(ThroughputStats):
     cache_hits: int = 0
     cache_bytes: int = 0
     dedup_coalesced: int = 0
+    # Streaming-session counters: live sessions and their state bytes
+    # are point-in-time gauges on one server but *sum* across workers in
+    # merge() — a cluster row reports the fleet-wide session population.
+    # `stream_chunks` counts chunks served through the stateful path
+    # (kept out of `requests`, which stays stateless engine work).
+    active_sessions: int = 0
+    session_bytes: int = 0
+    stream_chunks: int = 0
     # Pipeline stage label ("k/n" on per-stage rows, "" for unstaged
     # models). A string, so merge() keeps equal labels and collapses
     # differing ones to "mixed" — aggregating per-stage rows across
@@ -117,6 +145,11 @@ class ModelStats(ThroughputStats):
                f"{self.cache_bytes} B)"
                if self.cache_hits or self.dedup_coalesced
                or self.cache_bytes else "")
+            + (f", streams {self.active_sessions} sessions"
+               f" ({self.session_bytes} B, "
+               f"{self.stream_chunks} chunks)"
+               if self.active_sessions or self.session_bytes
+               or self.stream_chunks else "")
             + (f", errors {self.errors}" if self.errors else ""))
 
     def to_wire(self) -> Dict:
@@ -134,6 +167,9 @@ class ModelStats(ThroughputStats):
             "cache_hits": self.cache_hits,
             "cache_bytes": self.cache_bytes,
             "dedup_coalesced": self.dedup_coalesced,
+            "active_sessions": self.active_sessions,
+            "session_bytes": self.session_bytes,
+            "stream_chunks": self.stream_chunks,
             "stage": self.stage,
         }
 
@@ -155,6 +191,9 @@ class ModelStats(ThroughputStats):
             cache_hits=int(fields.get("cache_hits", 0)),
             cache_bytes=int(fields.get("cache_bytes", 0)),
             dedup_coalesced=int(fields.get("dedup_coalesced", 0)),
+            active_sessions=int(fields.get("active_sessions", 0)),
+            session_bytes=int(fields.get("session_bytes", 0)),
+            stream_chunks=int(fields.get("stream_chunks", 0)),
             stage=str(fields.get("stage", "")))
 
 
@@ -168,11 +207,19 @@ class _HostedModel:
     """
 
     def __init__(self, name: str, engine: InferenceEngine,
-                 batcher: DynamicBatcher, stats_window: int):
+                 batcher: DynamicBatcher, stats_window: int,
+                 streamer: StreamBatcher, sessions: SessionStore):
         self.name = name
         self.engine = engine
         self.plan = engine.plan
         self.batcher = batcher
+        # Streaming-session state: the per-session recurrent-state store
+        # and the cross-session chunk batcher. The busy fence below covers
+        # stream micro-batches too, which is what serializes per-session
+        # state updates.
+        self.streamer = streamer
+        self.sessions = sessions
+        self.stream_chunks = 0
         self.busy = False            # one in-flight batch per model
         self.batch_counter = 0
         self.requests = 0
@@ -205,11 +252,16 @@ class _HostedModel:
             queue_depth=self.batcher.pending,
             in_flight=1 if self.busy else 0,
             cache_hits=self.cache_hits, cache_bytes=int(cache_bytes),
-            dedup_coalesced=self.dedup_coalesced)
+            dedup_coalesced=self.dedup_coalesced,
+            active_sessions=len(self.sessions),
+            session_bytes=self.sessions.bytes,
+            stream_chunks=self.stream_chunks)
 
 
 def _fail_pending(entry: _HostedModel, error: ServingError) -> None:
-    """Fail every request still queued on one model's batcher."""
+    """Fail every request/chunk still queued on one model's batchers."""
+    for chunk in entry.streamer.fail_all():
+        chunk.future._fail(error)
     while True:
         batch = entry.batcher.take(force=True)
         if not batch:
@@ -228,7 +280,9 @@ class ModelServer:
                  stats_window: int = 65536,
                  clock=time.perf_counter,
                  cache_mb: Optional[float] = None,
-                 cache_ttl_s: Optional[float] = None):
+                 cache_ttl_s: Optional[float] = None,
+                 session_mb: Optional[float] = None,
+                 session_ttl_s: Optional[float] = None):
         if workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {workers}")
         if max_batch < 1:
@@ -240,6 +294,18 @@ class ModelServer:
         if cache_mb is not None and cache_mb < 0:
             raise ConfigurationError(
                 f"cache_mb must be >= 0, got {cache_mb}")
+        if session_mb is not None and session_mb < 0:
+            raise ConfigurationError(
+                f"session_mb must be >= 0, got {session_mb}")
+        if session_ttl_s is not None and session_ttl_s <= 0:
+            raise ConfigurationError(
+                f"session_ttl_s must be > 0, got {session_ttl_s}")
+        # Streaming-session policy, applied per hosted model: an LRU byte
+        # budget over recurrent state and a sliding idle TTL, both
+        # measured against the injectable clock. None = unbounded.
+        self.session_max_bytes = (int(session_mb * 2 ** 20)
+                                  if session_mb is not None else None)
+        self.session_ttl_s = session_ttl_s
         self.default_max_batch = int(max_batch)
         self.default_max_wait_ms = max_wait_ms
         self.stats_window = int(stats_window)
@@ -333,7 +399,13 @@ class ModelServer:
         entry = _HostedModel(name, engine,
                              DynamicBatcher(max_batch, max_wait_ms=wait,
                                             clock=self._clock),
-                             stats_window=self.stats_window)
+                             stats_window=self.stats_window,
+                             streamer=StreamBatcher(max_batch,
+                                                    clock=self._clock),
+                             sessions=SessionStore(
+                                 max_bytes=self.session_max_bytes,
+                                 ttl_s=self.session_ttl_s,
+                                 clock=self._clock))
         if self._cache is not None:
             # One sha256 pass over the packed weights, once per hosting
             # (memoized on the artifact) — the cache key's identity half.
@@ -384,6 +456,13 @@ class ModelServer:
         try:
             if drain:
                 while True:
+                    chunks = entry.streamer.take()
+                    if not chunks:
+                        break
+                    self._run_stream_batch(entry, chunks,
+                                           entry.batch_counter)
+                    entry.batch_counter += 1
+                while True:
                     batch = entry.batcher.take(force=True)
                     if not batch:
                         break
@@ -392,6 +471,9 @@ class ModelServer:
             else:
                 _fail_pending(entry, ServingError(
                     f"model {name!r} unloaded before serving"))
+            # Retiring the hosting retires its sessions: the recurrent
+            # state is owned by this entry and dies with it.
+            entry.sessions.pop_all()
         finally:
             entry.busy = False
 
@@ -596,6 +678,154 @@ class ModelServer:
         return future.result(timeout=timeout)
 
     # ------------------------------------------------------------------
+    # Streaming sessions
+    # ------------------------------------------------------------------
+    def open_session(self, model: str,
+                     session_id: Optional[str] = None) -> str:
+        """Open a streaming session: server-held zero recurrent state.
+
+        Returns the session id (generated when not supplied). Raises a
+        typed :class:`~repro.errors.SessionError` if the id is already
+        open; opening may LRU-evict idle sessions past the byte budget,
+        failing any chunks still queued for them.
+        """
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            entry = self._resolve_locked(model)
+            if not entry.plan.streamable:
+                error = ServingError(
+                    f"model {model!r} has no recurrent layers; streaming "
+                    "sessions need an RNN plan")
+                error.code = "not-streamable"
+                raise error
+            sid = session_id if session_id is not None \
+                else uuid.uuid4().hex[:12]
+            evicted = entry.sessions.open(sid, entry.name,
+                                          fresh_state(entry.plan.graph))
+            victims = self._evicted_chunks_locked(entry, evicted)
+        for chunk, error in victims:
+            chunk.future._fail(error)
+        return sid
+
+    def submit_stream(self, model: str, session_id: str,
+                      chunk) -> InferenceFuture:
+        """Enqueue one (T, ...) chunk of a session's input stream.
+
+        Chunks of one session execute strictly in submission order, each
+        continuing from the state the previous chunk left behind;
+        concurrent sessions' chunks coalesce into cross-session
+        micro-batches. Streaming responses are stateful, so they
+        **never** touch the response cache or the in-flight dedup table.
+        Validation and session errors fail the returned future; an
+        unknown model raises, like :meth:`submit`.
+        """
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            entry = self._resolve_locked(model)
+        failure_future = InferenceFuture(model=entry.name)
+        try:
+            payload = coerce_chunk(entry.plan, chunk)
+        except ReproError as error:
+            failure_future._fail(error)
+            return failure_future
+        victims = []
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            if self._models.get(entry.name) is not entry:
+                failure_future._fail(ServingError(
+                    f"model {entry.name!r} was unloaded"))
+                return failure_future
+            try:
+                entry.sessions.get(session_id)
+            except SessionError as error:
+                # An expired/unknown session also orphans whatever it
+                # still had queued; fail those chunks with the same error.
+                victims = [(queued, error) for queued in
+                           entry.streamer.fail_session(session_id)]
+                failed = error
+            else:
+                failed = None
+                future = entry.streamer.submit(session_id, payload,
+                                               model=entry.name)
+                self._work.notify()
+        if failed is not None:
+            for queued, error in victims:
+                queued.future._fail(error)
+            failure_future._fail(failed)
+            return failure_future
+        return future
+
+    def close_session(self, model: str, session_id: str) -> int:
+        """Close a session, releasing its state; returns chunks served.
+
+        Chunks still queued (not yet executed) fail with a typed
+        ``session-closed`` error — await a session's outstanding futures
+        before closing it for a clean shutdown.
+        """
+        with self._work:
+            entry = self._resolve_locked(model)
+            closed = entry.sessions.close(session_id)
+            victims = entry.streamer.fail_session(session_id)
+        if victims:
+            error = SessionError(
+                f"session {session_id!r} closed with {len(victims)} "
+                "queued chunks", code="session-closed")
+            for chunk in victims:
+                chunk.future._fail(error)
+        return closed.chunks
+
+    def export_sessions(self, model: str) -> Dict[str, dict]:
+        """Wire-encoded snapshot of every live session of ``model``.
+
+        ``{session id: {"state": ..., "chunks": n}}`` — the exact-float
+        encoding round-trips bit-exactly through
+        :meth:`import_session`, which is how the cluster tier migrates
+        sessions across a worker's rolling restart.
+        """
+        with self._work:
+            entry = self._resolve_locked(model)
+            entry.sessions.sweep()
+            return {live.session_id: {"state": state_to_wire(live.state),
+                                      "chunks": live.chunks}
+                    for live in entry.sessions.entries()}
+
+    def import_session(self, model: str, session_id: str, state: dict,
+                       chunks: int = 0) -> str:
+        """Re-create a session from an exported snapshot (migration)."""
+        with self._work:
+            if not self._running:
+                raise ServingError("server is closed")
+            entry = self._resolve_locked(model)
+            evicted = entry.sessions.open(session_id, entry.name,
+                                          state_from_wire(state))
+            imported = entry.sessions.get(session_id)
+            imported.chunks = chunks
+            victims = self._evicted_chunks_locked(entry, evicted)
+        for chunk, error in victims:
+            chunk.future._fail(error)
+        return session_id
+
+    @staticmethod
+    def _evicted_chunks_locked(entry: _HostedModel, evicted) -> List:
+        """(chunk, error) pairs for every queued chunk of evicted
+        sessions; the caller fails the futures outside the lock."""
+        victims = []
+        for dropped in evicted:
+            reason = dropped.evicted_as or "session-evicted"
+            error = SessionError(
+                f"session {dropped.session_id!r} "
+                + ("expired while chunks were queued"
+                   if reason == "session-expired"
+                   else "evicted by the session byte budget"),
+                code=reason)
+            victims.extend((chunk, error) for chunk in
+                           entry.streamer.fail_session(dropped.session_id))
+        return victims
+
+    # ------------------------------------------------------------------
     # Execution (workers, or the caller in workers=0 mode)
     # ------------------------------------------------------------------
     def poll(self) -> int:
@@ -621,7 +851,8 @@ class ModelServer:
             with self._work:
                 claim = self._claim_locked(None, force=True)
                 if claim is None:
-                    if not any(entry.busy and entry.batcher.pending
+                    if not any(entry.busy and (entry.batcher.pending
+                                               or entry.streamer.pending)
                                for entry in self._models.values()):
                         return total
                     self._work.wait(0.05)   # a worker holds the model
@@ -648,16 +879,24 @@ class ModelServer:
                                           List[ServedRequest], int]]:
         best = None
         for entry in self._models.values():
-            if entry.busy or not entry.batcher.pending:
+            if entry.busy:
                 continue
-            if force or entry.batcher.ready(now):
+            if entry.batcher.pending and (force or entry.batcher.ready(now)):
                 oldest = entry.batcher.oldest_enqueued_at()
                 if best is None or oldest < best[0]:
-                    best = (oldest, entry)
+                    best = (oldest, entry, "infer")
+            # Stream chunks are always claimable: the coalescing window
+            # is whatever has queued up since the last claim, so batching
+            # never adds latency to a lone session.
+            if entry.streamer.ready():
+                oldest = entry.streamer.oldest_enqueued_at()
+                if best is None or oldest < best[0]:
+                    best = (oldest, entry, "stream")
         if best is None:
             return None
-        entry = best[1]
-        batch = entry.batcher.take(force=True)
+        _, entry, kind = best
+        batch = (entry.streamer.take() if kind == "stream"
+                 else entry.batcher.take(force=True))
         entry.busy = True
         batch_id = entry.batch_counter
         entry.batch_counter += 1
@@ -682,7 +921,10 @@ class ModelServer:
                                     int]) -> None:
         entry, batch, batch_id = claim
         try:
-            self._run_batch(entry, batch, batch_id)
+            if batch and isinstance(batch[0], StreamChunk):
+                self._run_stream_batch(entry, batch, batch_id)
+            else:
+                self._run_batch(entry, batch, batch_id)
         finally:
             with self._work:
                 entry.busy = False
@@ -701,6 +943,51 @@ class ModelServer:
         entry.serve_seconds += seconds
         entry.latencies_ms.extend(r.latency_ms for r in batch)
         entry.fpga_shares.extend(r.fpga_ms for r in batch)
+
+    def _run_stream_batch(self, entry: _HostedModel,
+                          chunks: List[StreamChunk], batch_id: int) -> None:
+        """Execute one time-major stream micro-batch.
+
+        Sessions are validated at claim time (a chunk may have outlived
+        its session via TTL expiry or eviction); survivors are stacked
+        into an ``(n, T, ...)`` batch plus an ``(n, hidden)``-stacked
+        state, run through the stateful plan, and the per-session final
+        states written back before any future resolves.
+        """
+        now = self._clock()
+        live, dead = [], []
+        with self._work:
+            for chunk in chunks:
+                try:
+                    session = entry.sessions.get(chunk.session_id, now=now)
+                except SessionError as error:
+                    dead.append((chunk, error))
+                else:
+                    live.append((chunk, session))
+        for chunk, error in dead:
+            chunk.future._fail(error)
+        if not live:
+            return
+        payloads = np.stack([chunk.payload for chunk, _ in live])
+        state = stack_states([session.state for _, session in live])
+        try:
+            outputs, new_state = entry.engine.infer_stream(payloads, state)
+        except Exception as exc:          # noqa: BLE001 — fail the futures
+            entry.errors += 1
+            error = exc if isinstance(exc, ServingError) else ServingError(
+                f"stream batch {batch_id} failed on model "
+                f"{entry.name!r}: {exc}")
+            for chunk, _ in live:
+                chunk.future._fail(error)
+            return
+        outs = entry.plan.stream_outputs(outputs, len(live))
+        with self._work:
+            for index, (chunk, session) in enumerate(live):
+                session.state = unstack_state(new_state, index)
+                session.chunks += 1
+            entry.stream_chunks += len(live)
+        for index, (chunk, _) in enumerate(live):
+            chunk.future._resolve(outs[index])
 
     # ------------------------------------------------------------------
     # Observability

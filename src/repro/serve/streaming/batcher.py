@@ -1,0 +1,113 @@
+"""Cross-session time-major micro-batching for streaming chunks.
+
+Where :class:`~repro.serve.batcher.DynamicBatcher` coalesces independent
+requests, ``StreamBatcher`` coalesces the *head* chunks of distinct
+sessions: each session's chunks form a FIFO (state must advance strictly
+in submission order), and one micro-batch takes at most one chunk per
+session. Only head chunks with the **same timestep count** batch together
+— stacking equal-length chunks is what keeps the time-major kernel input
+dense, and padding would break the bit-exactness contract. Ragged heads
+simply land in separate micro-batches on subsequent claims.
+
+Fairness is FIFO by arrival: a claim groups around the oldest pending
+head chunk, so no session's stream can be starved by chattier peers.
+
+Like the request batcher, this class does no locking of its own — the
+owning :class:`~repro.serve.server.ModelServer` serializes access under
+its work lock, and its per-model busy fence guarantees at most one
+micro-batch (stream or regular) is in flight per model, which is what
+makes per-session sequential state updates safe.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+from repro.serve.futures import InferenceFuture
+
+
+@dataclass
+class StreamChunk:
+    """One queued (T, ...) chunk of one session's input stream."""
+
+    session_id: str
+    payload: np.ndarray
+    future: InferenceFuture
+    enqueued_at: float
+    arrival: int                    # global FIFO order across sessions
+    timesteps: int = field(init=False)
+
+    def __post_init__(self):
+        self.timesteps = int(self.payload.shape[0])
+
+
+class StreamBatcher:
+    """Per-session FIFO queues + same-length head-chunk micro-batching."""
+
+    def __init__(self, max_batch: int = 16, clock=time.perf_counter):
+        self.max_batch = max_batch
+        self._clock = clock
+        self._queues: "OrderedDict[str, Deque[StreamChunk]]" = OrderedDict()
+        self._arrivals = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, payload: np.ndarray,
+               model: Optional[str] = None) -> InferenceFuture:
+        chunk = StreamChunk(
+            session_id=session_id, payload=payload,
+            future=InferenceFuture(model=model),
+            enqueued_at=self._clock(), arrival=self._arrivals)
+        self._arrivals += 1
+        self._queues.setdefault(session_id, deque()).append(chunk)
+        return chunk.future
+
+    @property
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def ready(self) -> bool:
+        return bool(self._queues)
+
+    def oldest_enqueued_at(self) -> Optional[float]:
+        heads = [q[0] for q in self._queues.values() if q]
+        if not heads:
+            return None
+        return min(chunk.enqueued_at for chunk in heads)
+
+    # ------------------------------------------------------------------
+    def take(self) -> List[StreamChunk]:
+        """Claim one micro-batch: same-T head chunks, oldest-head first."""
+        heads = [q[0] for q in self._queues.values() if q]
+        if not heads:
+            return []
+        heads.sort(key=lambda chunk: chunk.arrival)
+        timesteps = heads[0].timesteps
+        claimed = [chunk for chunk in heads
+                   if chunk.timesteps == timesteps][:self.max_batch]
+        for chunk in claimed:
+            queue = self._queues[chunk.session_id]
+            queue.popleft()
+            if not queue:
+                del self._queues[chunk.session_id]
+        return claimed
+
+    def fail_session(self, session_id: str) -> List[StreamChunk]:
+        """Remove and return every queued chunk of one session.
+
+        The caller fails the returned chunks' futures (session closed,
+        evicted, or expired) — the batcher itself never resolves futures.
+        """
+        queue = self._queues.pop(session_id, None)
+        return list(queue) if queue else []
+
+    def fail_all(self) -> List[StreamChunk]:
+        """Remove and return every queued chunk (server unload/stop)."""
+        chunks = [chunk for queue in self._queues.values()
+                  for chunk in queue]
+        self._queues.clear()
+        return chunks

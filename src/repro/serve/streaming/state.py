@@ -1,0 +1,118 @@
+"""Recurrent-state containers and helpers for streaming sessions.
+
+A *session state* is the per-session form of the state mapping that
+:meth:`repro.serve.backends.base.CompiledModel.run_stateful` threads
+through a graph walk: ``{rnn node id: {"h": [per-layer (hidden,) float32
+rows], "c": [...] or None}}``. Node ids come from the deterministic
+lowering order (:meth:`repro.serve.ir.Graph.rnn_nodes`), so the same
+artifact produces the same ids on every backend — a state captured under
+one backend (or exported over the wire for migration) seeds any other
+bit-exactly.
+
+Batched execution stacks one row per session into the ``(n, hidden)``
+arrays the kernels consume (:func:`stack_states`) and splits the returned
+final state back into per-session rows (:func:`unstack_state`). Row i of
+every GEMM depends only on row i of its input, so a session's trajectory
+is bit-identical whatever other sessions share its micro-batches — the
+same row-wise invariant the fused backend's hoisted input GEMM rests on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.ir import Graph
+
+SessionStateDict = Dict[int, dict]
+
+
+def rnn_state_spec(graph: Graph) -> List[dict]:
+    """Per-RNN-node state geometry: node id, cell kind, layers, width."""
+    return [{"node": node.id, "cell": node.spec["cell"],
+             "layers": len(node.spec["cells"]),
+             "hidden": node.spec["hidden_size"]}
+            for node in graph.rnn_nodes()]
+
+
+def fresh_state(graph: Graph) -> SessionStateDict:
+    """A zero per-session state for every RNN node of ``graph``."""
+    state: SessionStateDict = {}
+    for spec in rnn_state_spec(graph):
+        zeros = [np.zeros(spec["hidden"], dtype=np.float32)
+                 for _ in range(spec["layers"])]
+        state[spec["node"]] = {
+            "h": zeros,
+            "c": ([np.zeros(spec["hidden"], dtype=np.float32)
+                   for _ in range(spec["layers"])]
+                  if spec["cell"] == "lstm" else None),
+        }
+    return state
+
+
+def state_nbytes(state: SessionStateDict) -> int:
+    """Bytes held by one state mapping (the session-store budget unit)."""
+    total = 0
+    for entry in state.values():
+        total += sum(layer.nbytes for layer in entry["h"])
+        if entry.get("c") is not None:
+            total += sum(layer.nbytes for layer in entry["c"])
+    return total
+
+
+def stack_states(states: List[SessionStateDict]) -> SessionStateDict:
+    """Stack per-session rows into the batched (n, hidden) kernel form."""
+    first = states[0]
+    batched: SessionStateDict = {}
+    for node_id, entry in first.items():
+        batched[node_id] = {
+            "h": [np.stack([s[node_id]["h"][layer] for s in states])
+                  for layer in range(len(entry["h"]))],
+            "c": (None if entry.get("c") is None else
+                  [np.stack([s[node_id]["c"][layer] for s in states])
+                   for layer in range(len(entry["c"]))]),
+        }
+    return batched
+
+
+def unstack_state(batched: SessionStateDict, index: int) -> SessionStateDict:
+    """Session ``index``'s rows of a batched final state (fresh copies)."""
+    state: SessionStateDict = {}
+    for node_id, entry in batched.items():
+        state[node_id] = {
+            "h": [layer[index].copy() for layer in entry["h"]],
+            "c": (None if entry.get("c") is None else
+                  [layer[index].copy() for layer in entry["c"]]),
+        }
+    return state
+
+
+def state_to_wire(state: SessionStateDict) -> dict:
+    """JSON-safe encoding of a session state (session migration)."""
+    wire = {}
+    for node_id, entry in state.items():
+        wire[str(node_id)] = {
+            "h": [layer.tolist() for layer in entry["h"]],
+            "c": (None if entry.get("c") is None else
+                  [layer.tolist() for layer in entry["c"]]),
+        }
+    return wire
+
+
+def state_from_wire(wire: dict) -> SessionStateDict:
+    """Inverse of :func:`state_to_wire`.
+
+    float32 -> Python float -> float32 round-trips exactly (every float32
+    is representable as a double), so migration preserves bit-exactness.
+    """
+    state: SessionStateDict = {}
+    for node_key, entry in wire.items():
+        state[int(node_key)] = {
+            "h": [np.asarray(layer, dtype=np.float32)
+                  for layer in entry["h"]],
+            "c": (None if entry.get("c") is None else
+                  [np.asarray(layer, dtype=np.float32)
+                   for layer in entry["c"]]),
+        }
+    return state

@@ -1,0 +1,173 @@
+"""Server-held session state with TTL and LRU byte-budget eviction.
+
+``SessionStore`` is the stateful sibling of
+:class:`repro.serve.cache.ResponseCache` and shares its structure: an
+``OrderedDict`` in LRU order, a byte budget over the recurrent state
+arrays, lazy TTL expiry against an injectable clock, and **no internal
+locking** — the owning :class:`~repro.serve.server.ModelServer` serializes
+access under its work lock, exactly as it does for the response cache.
+
+Unlike the cache, eviction here is *destructive*: an evicted session's
+recurrent state is gone, and the client must re-open and replay. Eviction
+methods therefore return the evicted entries so the server can fail any
+chunks still queued for them with a typed
+:class:`~repro.errors.SessionError`.
+
+TTL is sliding: every successful use refreshes the deadline, so only
+*idle* sessions expire.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SessionError
+from repro.serve.streaming.state import SessionStateDict, state_nbytes
+
+
+@dataclass
+class SessionEntry:
+    """One live session: its identity, recurrent state, and bookkeeping."""
+
+    session_id: str
+    model: str                      # resolved (internal) model name
+    state: SessionStateDict
+    nbytes: int
+    created_at: float
+    last_used: float
+    expires_at: Optional[float]
+    chunks: int = 0                 # chunks executed so far
+    evicted_as: str = field(default="", repr=False)
+
+
+class SessionStore:
+    """LRU/TTL store of :class:`SessionEntry`, keyed by session id."""
+
+    def __init__(self, max_bytes: Optional[int] = None,
+                 ttl_s: Optional[float] = None, clock=time.monotonic):
+        self.max_bytes = max_bytes
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self._bytes = 0
+        self.opened = 0
+        self.closed = 0
+        self.expired = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._entries
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def ids(self) -> List[str]:
+        return list(self._entries)
+
+    def entries(self) -> List[SessionEntry]:
+        """Point-in-time entry list, LRU order (no touch/TTL effects)."""
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    def open(self, session_id: str, model: str, state: SessionStateDict,
+             now: Optional[float] = None) -> List[SessionEntry]:
+        """Register a session; returns any entries evicted to make room."""
+        now = self._clock() if now is None else now
+        evicted = self.sweep(now)
+        if session_id in self._entries:
+            raise SessionError(
+                f"session {session_id!r} is already open",
+                code="session-exists")
+        entry = SessionEntry(
+            session_id=session_id, model=model, state=state,
+            nbytes=state_nbytes(state), created_at=now, last_used=now,
+            expires_at=(now + self.ttl_s if self.ttl_s is not None
+                        else None))
+        self._entries[session_id] = entry
+        self._bytes += entry.nbytes
+        self.opened += 1
+        # LRU eviction never touches the session just opened: even an
+        # over-budget single session is admitted (the budget bounds the
+        # steady-state population, it is not an admission check).
+        while self.max_bytes is not None and self._bytes > self.max_bytes \
+                and len(self._entries) > 1:
+            victim_id = next(iter(self._entries))
+            if victim_id == session_id:
+                break
+            evicted.append(self._drop(victim_id, "session-evicted"))
+            self.evicted += 1
+        return evicted
+
+    def get(self, session_id: str,
+            now: Optional[float] = None) -> SessionEntry:
+        """Look up + touch a session; typed errors for unknown/expired."""
+        now = self._clock() if now is None else now
+        entry = self._entries.get(session_id)
+        if entry is None:
+            raise SessionError(
+                f"unknown session {session_id!r} (never opened, already "
+                "closed, or evicted)", code="unknown-session")
+        if entry.expires_at is not None and now >= entry.expires_at:
+            self._drop(session_id, "session-expired")
+            self.expired += 1
+            raise SessionError(
+                f"session {session_id!r} expired after "
+                f"{self.ttl_s:g}s idle", code="session-expired")
+        entry.last_used = now
+        if self.ttl_s is not None:
+            entry.expires_at = now + self.ttl_s
+        self._entries.move_to_end(session_id)
+        return entry
+
+    def close(self, session_id: str) -> SessionEntry:
+        if session_id not in self._entries:
+            raise SessionError(
+                f"unknown session {session_id!r} (never opened, already "
+                "closed, or evicted)", code="unknown-session")
+        self.closed += 1
+        return self._drop(session_id, "")
+
+    def sweep(self, now: Optional[float] = None) -> List[SessionEntry]:
+        """Drop every idle-expired session; returns the dropped entries."""
+        if self.ttl_s is None:
+            return []
+        now = self._clock() if now is None else now
+        stale = [sid for sid, e in self._entries.items()
+                 if e.expires_at is not None and now >= e.expires_at]
+        dropped = [self._drop(sid, "session-expired") for sid in stale]
+        self.expired += len(dropped)
+        return dropped
+
+    def pop_all(self) -> List[SessionEntry]:
+        """Remove and return every session (server unload/shutdown)."""
+        entries = list(self._entries.values())
+        self._entries.clear()
+        self._bytes = 0
+        return entries
+
+    # ------------------------------------------------------------------
+    def _drop(self, session_id: str, reason: str) -> SessionEntry:
+        entry = self._entries.pop(session_id)
+        self._bytes -= entry.nbytes
+        entry.evicted_as = reason
+        return entry
+
+    def stats(self) -> dict:
+        return {
+            "sessions": len(self._entries),
+            "bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "ttl_s": self.ttl_s,
+            "opened": self.opened,
+            "closed": self.closed,
+            "expired": self.expired,
+            "evicted": self.evicted,
+        }

@@ -7,7 +7,8 @@ the operations applied to it, and :meth:`~repro.tensor.tensor.Tensor.backward`
 runs reverse-mode differentiation over the recorded graph.
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, stable_sigmoid
+from repro.tensor.tensor import (Tensor, no_grad, is_grad_enabled,
+                                 row_stable_matmul, stable_sigmoid)
 from repro.tensor.ops import (
     concatenate,
     stack,
@@ -22,6 +23,7 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "row_stable_matmul",
     "stable_sigmoid",
     "concatenate",
     "stack",

@@ -72,6 +72,32 @@ def stable_sigmoid(x: np.ndarray) -> np.ndarray:
     return np.where(x >= 0, 1.0, exp) / (1.0 + exp)
 
 
+def row_stable_matmul(a: np.ndarray, b: np.ndarray,
+                      out: Optional[np.ndarray] = None) -> np.ndarray:
+    """``a @ b`` whose row bits do not depend on ``a``'s row count.
+
+    BLAS routes single-row 2-D float products down a gemv-style path
+    whose accumulation order can differ from the multi-row gemm kernels,
+    so row 0 of a one-row matmul may differ in the last ULP from the same
+    row computed as part of a larger batch. Streaming sessions make the
+    row count an accident of chunk size and session coalescing (the same
+    timestep runs at M=1 when a session streams alone and at M>=2 when
+    coalesced or replayed offline), so one-row products are computed as a
+    duplicated two-row gemm and sliced back — the result row's bits never
+    depend on M. Like :func:`stable_sigmoid`, this is shared by the eager
+    :meth:`Tensor.__matmul__` and the serving backends
+    (:mod:`repro.serve.backends`) so the two inference paths stay
+    bit-identical at every batch size.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[0] != 1:
+        return np.matmul(a, b, out=out)
+    padded = np.matmul(np.concatenate((a, a), axis=0), b)
+    if out is None:
+        return np.ascontiguousarray(padded[:1])
+    out[...] = padded[:1]
+    return out
+
+
 def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
@@ -294,7 +320,7 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out_data = self.data @ other.data
+        out_data = row_stable_matmul(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
